@@ -1,0 +1,62 @@
+//! Criterion benchmark of raw ISS emulation speed (instructions per
+//! second of the translate-then-interpret loop) — the figure the paper
+//! quotes as 3.57 MIPS for single-thread Banshee.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use terasim_iss::{run_core, Cpu, DenseMemory, Program, RunConfig};
+use terasim_riscv::{Assembler, Image, Reg, Segment};
+
+/// An integer/FP mix resembling the MMSE inner loop.
+fn workload(iterations: i32) -> Program {
+    let mut a = Assembler::new(0x8000_0000);
+    a.li(Reg::T0, iterations);
+    a.li(Reg::A1, 0x100);
+    let top = a.new_label();
+    a.bind(top);
+    a.lw(Reg::A2, 0, Reg::A1);
+    a.lw(Reg::A3, 4, Reg::A1);
+    a.fmadd_h(Reg::A4, Reg::A2, Reg::A3, Reg::A4);
+    a.fmadd_h(Reg::A5, Reg::A2, Reg::A3, Reg::A5);
+    a.add(Reg::A6, Reg::A2, Reg::A3);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ecall();
+    let mut image = Image::new(0x8000_0000);
+    image.push_segment(Segment::from_words(0x8000_0000, &a.finish().unwrap()));
+    Program::translate(&image).unwrap()
+}
+
+fn bench_emulation(c: &mut Criterion) {
+    let iters = 2_000;
+    let program = workload(iters);
+    let insts_per_run = 7 * iters as u64 + 3;
+    let mut group = c.benchmark_group("iss");
+    group.throughput(Throughput::Elements(insts_per_run));
+    group.bench_function("interpret_mips", |bencher| {
+        bencher.iter(|| {
+            let mut cpu = Cpu::new(0);
+            let mut mem = DenseMemory::new(0, 0x1000);
+            run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    // Translation cost (the "SBT" phase): decode a 4k-instruction image.
+    let mut a = Assembler::new(0x8000_0000);
+    for i in 0..4096 {
+        a.addi(Reg::A0, Reg::A0, i % 100);
+    }
+    let mut image = Image::new(0x8000_0000);
+    image.push_segment(Segment::from_words(0x8000_0000, &a.finish().unwrap()));
+    let mut group = c.benchmark_group("iss");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("translate", |bencher| {
+        bencher.iter(|| Program::translate(&image).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulation, bench_translation);
+criterion_main!(benches);

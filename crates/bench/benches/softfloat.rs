@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the softfloat substrate: these
+//! operations dominate the inner loops of both the ISS FPU and the native
+//! DUT models, so their throughput bounds overall simulation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use terasim_softfloat::{ops, F16, F8};
+
+fn bench_scalar(c: &mut Criterion) {
+    let a = F16::from_f32(1.5);
+    let b = F16::from_f32(-0.375);
+    let acc = F16::from_f32(10.0);
+    c.bench_function("f16_add", |bencher| bencher.iter(|| black_box(a) + black_box(b)));
+    c.bench_function("f16_mul", |bencher| bencher.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("f16_fma", |bencher| {
+        bencher.iter(|| black_box(a).mul_add(black_box(b), black_box(acc)))
+    });
+    c.bench_function("f16_div", |bencher| bencher.iter(|| black_box(acc) / black_box(a)));
+    c.bench_function("f16_from_f64", |bencher| bencher.iter(|| F16::from_f64(black_box(0.1234567))));
+    let q = F8::from_f32(1.25);
+    c.bench_function("f8_mul", |bencher| bencher.iter(|| black_box(q) * black_box(q)));
+}
+
+fn bench_dotp(c: &mut Criterion) {
+    let a = [F16::from_f32(0.5), F16::from_f32(-1.25)];
+    let b = [F16::from_f32(2.0), F16::from_f32(0.75)];
+    let acc = [F16::from_f32(3.0), F16::from_f32(-0.5)];
+    c.bench_function("vfdotpex_s_h", |bencher| {
+        bencher.iter(|| ops::vfdotpex_s_h(black_box(1.0), black_box(a), black_box(b)))
+    });
+    c.bench_function("vfcdotpex_conj_s_h", |bencher| {
+        bencher.iter(|| ops::vfcdotpex_conj_s_h(black_box(acc), black_box(a), black_box(b)))
+    });
+    c.bench_function("cmac_conj_h", |bencher| {
+        bencher.iter(|| ops::cmac_conj_h(black_box(acc), black_box(a), black_box(b)))
+    });
+    let a8 = [F8::from_f32(0.5), F8::from_f32(1.0), F8::from_f32(-1.5), F8::from_f32(2.0)];
+    let b8 = [F8::from_f32(1.0), F8::from_f32(0.25), F8::from_f32(0.5), F8::from_f32(-1.0)];
+    c.bench_function("vfdotpex_h_b", |bencher| {
+        bencher.iter(|| ops::vfdotpex_h_b(black_box(acc), black_box(a8), black_box(b8)))
+    });
+}
+
+criterion_group!(benches, bench_scalar, bench_dotp);
+criterion_main!(benches);

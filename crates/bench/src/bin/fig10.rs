@@ -1,0 +1,49 @@
+//! Figure 10: BER vs SNR over the flat-fading Rayleigh channel, 16QAM and
+//! 64QAM, for 4x4 and 32x32 MIMO.
+//!
+//! Paper: under fading, only 16bwDotp and 16bCDotp (the variants with
+//! 32-bit internal precision) follow the 64bDouble golden model — the
+//! co-simulation's headline design-space insight.
+//!
+//! Run: `cargo run -p terasim-bench --release --bin fig10 [--full]`
+
+use terasim::experiments::ber_curve;
+use terasim::DetectorKind;
+use terasim_bench::Scale;
+use terasim_kernels::Precision;
+use terasim_phy::{ChannelKind, Mimo, Modulation};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("{}", scale.banner("Figure 10 — BER vs SNR, Rayleigh channel"));
+    let sizes: &[usize] = if scale == Scale::Full { &[4, 32] } else { &[4, 8] };
+    let snrs = [0.0, 4.0, 8.0, 12.0, 16.0];
+    let detectors = [
+        DetectorKind::Reference64,
+        DetectorKind::Native(Precision::WDotp16),
+        DetectorKind::Native(Precision::CDotp16),
+        // Included to show *why* the paper keeps only the 32-bit-internal
+        // variants in this figure:
+        DetectorKind::Native(Precision::Half16),
+    ];
+
+    for modulation in [Modulation::Qam16, Modulation::Qam64] {
+        for &n in sizes {
+            let scenario = Mimo { n_tx: n, n_rx: n, modulation, channel: ChannelKind::Rayleigh };
+            println!("\n--- {n}x{n} {} Rayleigh ---", modulation.name());
+            print!("{:<14}", "detector");
+            for snr in snrs {
+                print!(" | {snr:>6.1} dB");
+            }
+            println!();
+            for kind in detectors {
+                print!("{:<14}", kind.label());
+                for p in ber_curve(scenario, &snrs, kind, scale.target_errors(), scale.max_iterations(), 100) {
+                    print!(" | {:>8.2e}", p.ber());
+                }
+                println!();
+            }
+        }
+    }
+    println!("\nExpected shape (paper): 16bwDotp/16bCDotp track 64bDouble under fading.");
+}

@@ -1,0 +1,49 @@
+//! Figure 5: CPU-time of multi-thread fast simulation of the parallel
+//! MMSE, and speedup against single-thread cycle-accurate simulation.
+//!
+//! Paper setup: 1024 TeraPool cores, one MMSE problem per core, four
+//! precisions × four MIMO sizes; Banshee multi-thread CPU-time vs
+//! QuestaSim single-thread CPU-time (up to 63× CPU-time speedup). Here
+//! the cycle-accurate backend plays QuestaSim's role.
+//!
+//! Run: `cargo run -p terasim-bench --release --bin fig5 [--full]`
+
+use terasim::experiments::{self, ParallelConfig};
+use terasim_bench::{host_threads, min_sec, Scale};
+use terasim_kernels::Precision;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    let threads = host_threads();
+    println!("{}", scale.banner("Figure 5 — parallel MMSE: fast-sim CPU-time and speedup vs cycle-accurate"));
+    println!(
+        "cluster: {} cores, {} host threads; CPU-time(fast) ~ wall x threads\n",
+        scale.cores(),
+        threads
+    );
+    println!(" MIMO  | precision | fast wall | fast CPU-time | cycle wall | speedup (CPU) | speedup (wall)");
+    println!(" ------+-----------+-----------+---------------+------------+---------------+---------------");
+    for &n in scale.mimo_sizes() {
+        for precision in Precision::TIMED {
+            let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 50, unroll: 2 };
+            let fast = experiments::parallel_fast(&config, threads)?;
+            let cycle = experiments::parallel_cycle(&config)?;
+            assert!(fast.verified && cycle.verified, "backends diverged");
+            let fast_cpu = fast.wall.as_secs_f64() * threads as f64;
+            let speedup_cpu = cycle.wall.as_secs_f64() / fast_cpu;
+            let speedup_wall = cycle.wall.as_secs_f64() / fast.wall.as_secs_f64();
+            println!(
+                " {n:>2}x{n:<2} | {:<9} | {:>9} | {:>13} | {:>10} | {:>12.1}x | {:>12.1}x",
+                precision.paper_name(),
+                min_sec(fast.wall),
+                format!("{:.2}s", fast_cpu),
+                min_sec(cycle.wall),
+                speedup_cpu,
+                speedup_wall,
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper): speedup grows with MIMO size (3x -> 63x CPU-time at 1024 cores).");
+    Ok(())
+}

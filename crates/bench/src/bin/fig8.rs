@@ -1,0 +1,50 @@
+//! Figure 8: breakdown of instructions and architectural stalls over the
+//! cycle count, from the cycle-accurate backend.
+//!
+//! Paper: few I$ (`stall-ins`) and FPU (`stall-acc`) stalls; unrolling
+//! keeps RAW stalls moderate; `stall-lsu` (interconnect contention) is
+//! highest for the load-heavy 16bHalf; `stall-wfi` is barrier idling.
+//!
+//! Run: `cargo run -p terasim-bench --release --bin fig8 [--full]`
+
+use terasim::experiments::{self, ParallelConfig};
+use terasim_bench::Scale;
+use terasim_kernels::Precision;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("{}", scale.banner("Figure 8 — cycle breakdown (cycle-accurate backend)"));
+    println!("cluster: {} cores\n", scale.cores());
+    println!(" MIMO  | precision | instr%  | raw%   | lsu%   | ins%   | acc%   | wfi%   | total cycles");
+    println!(" ------+-----------+---------+--------+--------+--------+--------+--------+-------------");
+    let mut lsu_shares = Vec::new();
+    for &n in scale.mimo_sizes() {
+        for precision in Precision::TIMED {
+            let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 80, unroll: 2 };
+            let out = experiments::parallel_cycle(&config)?;
+            assert!(out.verified);
+            let b = out.breakdown;
+            let total = b.total() as f64;
+            let pct = |x: u64| 100.0 * x as f64 / total;
+            if n == *scale.mimo_sizes().last().unwrap() {
+                lsu_shares.push((precision, pct(b.stall_lsu)));
+            }
+            println!(
+                " {n:>2}x{n:<2} | {:<9} | {:>6.1}% | {:>5.1}% | {:>5.1}% | {:>5.1}% | {:>5.1}% | {:>5.1}% | {:>12}",
+                precision.paper_name(),
+                pct(b.instructions),
+                pct(b.stall_raw),
+                pct(b.stall_lsu),
+                pct(b.stall_ins),
+                pct(b.stall_acc),
+                pct(b.stall_wfi),
+                out.cycles,
+            );
+        }
+        println!();
+    }
+    if let Some(max) = lsu_shares.iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
+        println!("Largest LSU-stall share: {} ({:.1}%) — the paper attributes this to 16bHalf's doubled memory ops.", max.0, max.1);
+    }
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! `tsim` — command-line front end to the terasim co-simulation framework.
+//!
+//! ```text
+//! tsim run    --mimo 8 --precision 16bCDotp --cores 64 --backend fast|cycle
+//! tsim symbol --mimo 4 --precision 16bHalf --nsc 128
+//! tsim ber    --mimo 4 --mod 16qam --channel awgn --detector 16bCDotp --snr 6,10,14,18
+//! tsim info   --cores 1024
+//! ```
+
+use std::process::ExitCode;
+
+use terasim::experiments::{self, BatchConfig, ParallelConfig};
+use terasim::DetectorKind;
+use terasim_kernels::Precision;
+use terasim_phy::{ChannelKind, Mimo, Modulation};
+use terasim_terapool::Topology;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
+    }
+
+    fn u32(&self, name: &str, default: u32) -> u32 {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn parse_precision(s: &str) -> Option<Precision> {
+    Precision::ALL.into_iter().find(|p| p.paper_name().eq_ignore_ascii_case(s))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tsim run    --mimo <4|8|16|32> --precision <name> [--cores N] [--backend fast|cycle] [--threads T] [--seed S]\n  tsim symbol --mimo <N> --precision <name> [--nsc N] [--seed S]\n  tsim ber    --mimo <N> --detector <64b|name|iss:name> [--mod 16qam|64qam] [--channel awgn|rayleigh] [--snr a,b,c] [--errors E]\n  tsim info   [--cores N]\n\nprecisions: 16bHalf 16bwDotp 16bCDotp 8bQuarter 8bwDotp"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return usage();
+    };
+    let args = Args(argv);
+
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "symbol" => cmd_symbol(&args),
+        "ber" => cmd_ber(&args),
+        "info" => cmd_info(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let n = args.u32("--mimo", 4);
+    let Some(precision) = parse_precision(args.value("--precision").unwrap_or("16bCDotp")) else {
+        return usage();
+    };
+    let config = ParallelConfig {
+        cores: args.u32("--cores", 64),
+        n,
+        precision,
+        seed: u64::from(args.u32("--seed", 1)),
+        unroll: args.u32("--unroll", 2),
+    };
+    match args.value("--backend").unwrap_or("fast") {
+        "fast" => {
+            let threads = args.u32("--threads", 2) as usize;
+            match experiments::parallel_fast(&config, threads) {
+                Ok(out) => {
+                    println!(
+                        "fast: {} cores x {}x{} {} -> {} instructions, ~{} cluster cycles, {:.2} MIPS, wall {:?}, verified={}",
+                        config.cores, n, n, precision, out.instructions, out.cluster_cycles, out.mips, out.wall, out.verified
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "cycle" => match experiments::parallel_cycle(&config) {
+            Ok(out) => {
+                let b = out.breakdown;
+                println!(
+                    "cycle: {} cores x {}x{} {} -> {} cycles (instr {} raw {} lsu {} ins {} acc {} wfi {}), wall {:?}, verified={}",
+                    config.cores, n, n, precision, out.cycles, b.instructions, b.stall_raw, b.stall_lsu, b.stall_ins, b.stall_acc, b.stall_wfi, out.wall, out.verified
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn cmd_symbol(args: &Args) -> ExitCode {
+    let Some(precision) = parse_precision(args.value("--precision").unwrap_or("16bCDotp")) else {
+        return usage();
+    };
+    let config = BatchConfig {
+        n: args.u32("--mimo", 4),
+        precision,
+        nsc: args.u32("--nsc", 128),
+        seed: u64::from(args.u32("--seed", 1)),
+        unroll: args.u32("--unroll", 2),
+    };
+    match experiments::mc_symbol_single(&config) {
+        Ok(out) => {
+            println!(
+                "symbol: NSC={} {}x{} {} -> {} instructions, {} Snitch cycles, {:.2} MIPS, wall {:?}, verified={}",
+                config.nsc, config.n, config.n, precision, out.instructions, out.cycles, out.mips, out.wall, out.verified
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ber(args: &Args) -> ExitCode {
+    let n = args.u32("--mimo", 4) as usize;
+    let detector = match args.value("--detector").unwrap_or("64b") {
+        "64b" | "64bDouble" => DetectorKind::Reference64,
+        s => {
+            if let Some(rest) = s.strip_prefix("iss:") {
+                match parse_precision(rest) {
+                    Some(p) => DetectorKind::Iss(p),
+                    None => return usage(),
+                }
+            } else {
+                match parse_precision(s) {
+                    Some(p) => DetectorKind::Native(p),
+                    None => return usage(),
+                }
+            }
+        }
+    };
+    let modulation = match args.value("--mod").unwrap_or("16qam") {
+        "qpsk" => Modulation::Qpsk,
+        "16qam" => Modulation::Qam16,
+        "64qam" => Modulation::Qam64,
+        _ => return usage(),
+    };
+    let channel = match args.value("--channel").unwrap_or("awgn") {
+        "awgn" => ChannelKind::Awgn,
+        "rayleigh" => ChannelKind::Rayleigh,
+        _ => return usage(),
+    };
+    let snrs: Vec<f64> = args
+        .value("--snr")
+        .unwrap_or("6,10,14,18")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if snrs.is_empty() {
+        return usage();
+    }
+    let scenario = Mimo { n_tx: n, n_rx: n, modulation, channel };
+    let errors = u64::from(args.u32("--errors", 500));
+    println!(
+        "BER {}x{} {} {} — {}",
+        n,
+        n,
+        modulation.name(),
+        channel.name(),
+        detector.label()
+    );
+    for p in experiments::ber_curve(scenario, &snrs, detector, errors, 50_000, 1) {
+        println!(
+            "  {:>5.1} dB: BER {:.3e}  ({} errors / {} bits, {} iterations)",
+            p.snr_db,
+            p.ber(),
+            p.errors,
+            p.bits,
+            p.iterations
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &Args) -> ExitCode {
+    let topo = Topology::scaled(args.u32("--cores", 1024));
+    println!("TeraPool topology:");
+    println!("  cores: {} ({} per tile)", topo.num_cores(), topo.cores_per_tile);
+    println!(
+        "  hierarchy: {} tiles = {} subgroups x {} -> {} groups",
+        topo.num_tiles(),
+        topo.tiles_per_subgroup,
+        topo.subgroups_per_group,
+        topo.groups
+    );
+    println!(
+        "  L1: {} KiB in {} banks ({} KiB / tile)",
+        topo.l1_bytes() >> 10,
+        topo.num_banks(),
+        topo.tile_spm_bytes >> 10
+    );
+    println!("  worst non-contended access: {} cycles", topo.max_access_latency());
+    println!("  I$: {} B per tile, {} B lines", topo.icache_bytes, topo.icache_line);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,183 @@
+//! DUT-in-the-loop detector adapters.
+//!
+//! The PHY scores any [`Detector`]; this module provides the three kinds
+//! the paper compares:
+//!
+//! * [`MmseF64`] — the "64bDouble" golden model
+//!   (re-exported from the PHY).
+//! * [`NativeDut`] — the bit-true native model of a kernel precision;
+//!   fast, and pinned to the ISS by the `bit_true` integration test.
+//! * [`IssDetector`] — actual hardware-in-the-loop: every detection runs
+//!   the generated RISC-V kernel on a simulated Snitch core.
+
+use parking_lot::Mutex;
+use terasim_kernels::{data, native, MmseKernel, Precision};
+use terasim_phy::{Cplx, Detector, MmseF64};
+use terasim_terapool::{FastSim, Topology};
+
+/// Which detector implementation to plug into a BER run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Double-precision reference.
+    Reference64,
+    /// Native bit-true model of a kernel precision.
+    Native(Precision),
+    /// ISS-executed kernel (one simulated core per detection).
+    Iss(Precision),
+}
+
+impl DetectorKind {
+    /// Instantiates the detector for `n × n` problems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ISS kernel cannot be built for `n` (invalid size).
+    pub fn instantiate(self, n: usize) -> Box<dyn Detector + Send> {
+        match self {
+            DetectorKind::Reference64 => Box::new(MmseF64),
+            DetectorKind::Native(p) => Box::new(NativeDut::new(p)),
+            DetectorKind::Iss(p) => Box::new(IssDetector::new(p, n as u32).expect("valid kernel")),
+        }
+    }
+
+    /// Report label ("DUT 16bCDotp" etc.).
+    pub fn label(self) -> String {
+        match self {
+            DetectorKind::Reference64 => "64bDouble".into(),
+            DetectorKind::Native(p) | DetectorKind::Iss(p) => format!("DUT {p}"),
+        }
+    }
+}
+
+/// The native bit-true DUT model as a [`Detector`].
+#[derive(Debug, Clone, Copy)]
+pub struct NativeDut {
+    precision: Precision,
+}
+
+impl NativeDut {
+    /// Creates the adapter for one kernel precision.
+    pub fn new(precision: Precision) -> Self {
+        Self { precision }
+    }
+}
+
+impl Detector for NativeDut {
+    fn detect(&self, n_tx: usize, h: &[Cplx], y: &[Cplx], sigma: f64) -> Vec<Cplx> {
+        let h64: Vec<(f64, f64)> = h.iter().map(|z| (*z).into()).collect();
+        let y64: Vec<(f64, f64)> = y.iter().map(|z| (*z).into()).collect();
+        native::detect(self.precision, n_tx, &h64, &y64, sigma)
+            .into_iter()
+            .map(|c| Cplx::new(c[0].to_f64(), c[1].to_f64()))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("DUT {}", self.precision)
+    }
+}
+
+/// Hardware-in-the-loop detector: runs the generated kernel on one
+/// simulated Snitch for every detection (paper Figure 2a).
+///
+/// Slow by construction — use [`NativeDut`] for Monte-Carlo volume and
+/// this for validation, exactly as the framework intends.
+pub struct IssDetector {
+    precision: Precision,
+    n: u32,
+    inner: Mutex<IssInner>,
+}
+
+struct IssInner {
+    sim: FastSim,
+    layout: terasim_kernels::ProblemLayout,
+}
+
+impl std::fmt::Debug for IssDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IssDetector").field("precision", &self.precision).field("n", &self.n).finish()
+    }
+}
+
+impl IssDetector {
+    /// Builds the kernel image and the single-core simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns any kernel build or translation error.
+    pub fn new(precision: Precision, n: u32) -> Result<Self, Box<dyn std::error::Error>> {
+        let topo = Topology::scaled(8);
+        let kernel = MmseKernel::new(n, precision).with_active_cores(1);
+        let layout = kernel.layout(&topo)?;
+        let image = kernel.build(&topo)?;
+        let sim = FastSim::new(topo, &image)?;
+        Ok(Self { precision, n, inner: Mutex::new(IssInner { sim, layout }) })
+    }
+}
+
+impl Detector for IssDetector {
+    fn detect(&self, n_tx: usize, h: &[Cplx], y: &[Cplx], sigma: f64) -> Vec<Cplx> {
+        assert_eq!(n_tx as u32, self.n, "detector built for n = {}", self.n);
+        let h64: Vec<(f64, f64)> = h.iter().map(|z| (*z).into()).collect();
+        let y64: Vec<(f64, f64)> = y.iter().map(|z| (*z).into()).collect();
+        let mut inner = self.inner.lock();
+        let IssInner { sim, layout } = &mut *inner;
+        data::write_problem(sim.memory(), layout, 0, &h64, &y64, sigma);
+        // Reset the barrier counter: the image is re-run for every call.
+        sim.memory().write_u32(layout.barrier_addr, 0);
+        sim.run_cores(0..1, 1).expect("kernel runs");
+        data::read_xhat(sim.memory(), layout, 0)
+            .into_iter()
+            .map(|c| Cplx::new(c[0].to_f64(), c[1].to_f64()))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("DUT {} (ISS)", self.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_and_iss_agree() {
+        let h = vec![
+            Cplx::new(0.9, 0.1),
+            Cplx::new(0.2, -0.3),
+            Cplx::new(-0.1, 0.2),
+            Cplx::new(0.8, -0.2),
+            Cplx::new(0.05, 0.0),
+            Cplx::new(0.3, 0.3),
+            Cplx::new(0.0, -0.4),
+            Cplx::new(0.7, 0.0),
+            Cplx::new(0.1, 0.1),
+            Cplx::new(-0.2, 0.0),
+            Cplx::new(0.9, -0.1),
+            Cplx::new(0.2, 0.2),
+            Cplx::new(0.0, 0.1),
+            Cplx::new(0.1, -0.1),
+            Cplx::new(-0.3, 0.2),
+            Cplx::new(1.0, 0.0),
+        ];
+        let y = vec![Cplx::new(0.5, -0.5), Cplx::new(-0.25, 0.75), Cplx::new(0.1, 0.2), Cplx::new(-0.6, 0.0)];
+        let native = NativeDut::new(Precision::WDotp16);
+        let iss = IssDetector::new(Precision::WDotp16, 4).unwrap();
+        let a = native.detect(4, &h, &y, 0.05);
+        let b = iss.detect(4, &h, &y, 0.05);
+        for (x, z) in a.iter().zip(&b) {
+            assert_eq!(x.re, z.re);
+            assert_eq!(x.im, z.im);
+        }
+        // Repeat to exercise the barrier reset path.
+        let c = iss.detect(4, &h, &y, 0.05);
+        assert_eq!(b[0].re, c[0].re);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DetectorKind::Reference64.label(), "64bDouble");
+        assert_eq!(DetectorKind::Native(Precision::WDotp8).label(), "DUT 8bwDotp");
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end co-simulation of many-RISC-V-core SDR baseband transceivers.
+//!
+//! `terasim` reproduces the DAC 2025 framework of Bertuletti et al.: a
+//! Banshee-style fast simulator for the 1024-core TeraPool-SDR cluster,
+//! coupled to wireless channel models for Monte-Carlo analysis of
+//! software-defined MMSE detection, with a cycle-accurate cluster model
+//! standing in for RTL simulation. The pieces live in focused crates —
+//!
+//! * [`terasim_softfloat`] — binary16/E4M3 arithmetic and SDR dot products,
+//! * [`terasim_riscv`] — the Snitch ISA, assembler and disassembler,
+//! * [`terasim_iss`] — instruction-accurate emulation + timing scoreboard,
+//! * [`terasim_terapool`] — the cluster: fast mode and cycle mode,
+//! * [`terasim_kernels`] — MMSE guest code generation + native models,
+//! * [`terasim_phy`] — QAM, channels, BER Monte-Carlo
+//!
+//! — and this crate ties them into the paper's experiments:
+//!
+//! * [`detectors`] — plug DUT models (native or ISS-in-the-loop) into the
+//!   PHY's [`Detector`](terasim_phy::Detector) interface.
+//! * [`experiments`] — one function per evaluation axis: parallel-MMSE
+//!   runtime (Figures 5–8), batched Monte-Carlo symbol runtime (Figure 6)
+//!   and BER curves (Figures 9–10).
+//!
+//! # Examples
+//!
+//! Simulate a full 16-core parallel MMSE and compare the fast estimate
+//! against the cycle-accurate reference:
+//!
+//! ```
+//! use terasim::experiments::{self, ParallelConfig};
+//! use terasim_kernels::Precision;
+//!
+//! let config = ParallelConfig { cores: 16, n: 4, precision: Precision::CDotp16, seed: 1, unroll: 2 };
+//! let fast = experiments::parallel_fast(&config, 2)?;
+//! let cycle = experiments::parallel_cycle(&config)?;
+//! assert!(fast.verified && cycle.verified);
+//! // Banshee-style estimates land within a factor ~2 of the reference.
+//! let err = (fast.cluster_cycles as f64 - cycle.cycles as f64).abs() / cycle.cycles as f64;
+//! assert!(err < 1.0, "estimate error {err}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod detectors;
+pub mod experiments;
+
+pub use detectors::{DetectorKind, IssDetector, NativeDut};

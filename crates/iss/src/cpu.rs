@@ -1,0 +1,770 @@
+//! Architectural state and instruction semantics of one Snitch hart.
+
+use core::fmt;
+
+use terasim_riscv::{
+    csr, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, MulDivOp, PvOp,
+    Reg, VfOp,
+};
+use terasim_softfloat::{ops, F16, F8};
+
+use crate::mem::{MemError, Memory};
+use crate::program::Program;
+
+/// Why execution cannot continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Fetch left the text segment or hit an untranslated word.
+    IllegalFetch {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// A data access failed.
+    Mem {
+        /// The faulting PC.
+        pc: u32,
+        /// The underlying memory error.
+        err: MemError,
+    },
+    /// `ebreak` was executed.
+    Breakpoint {
+        /// The faulting PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalFetch { pc } => write!(f, "illegal fetch at {pc:#010x}"),
+            Trap::Mem { pc, err } => write!(f, "at {pc:#010x}: {err}"),
+            Trap::Breakpoint { pc } => write!(f, "breakpoint at {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of architecturally executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Execution continues at the updated PC.
+    Continue,
+    /// `wfi` was executed: the hart parks until the cluster wakes it.
+    Wfi,
+    /// `ecall` was executed: the runtime convention is program exit with
+    /// the code in `a0`.
+    Exit {
+        /// Value of `a0` at the `ecall`.
+        code: u32,
+    },
+}
+
+/// Architectural state of one hart: integer register file (which also holds
+/// FP values under `zfinx`/`zhinx`), PC, hart id and counters.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_iss::Cpu;
+/// use terasim_riscv::Reg;
+///
+/// let mut cpu = Cpu::new(3);
+/// cpu.set_reg(Reg::A0, 42);
+/// assert_eq!(cpu.reg(Reg::A0), 42);
+/// assert_eq!(cpu.hart_id(), 3);
+/// cpu.set_reg(Reg::Zero, 7); // writes to x0 are ignored
+/// assert_eq!(cpu.reg(Reg::Zero), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    hart_id: u32,
+    retired: u64,
+    /// LR reservation address (single-hart granularity; see crate docs).
+    reservation: Option<u32>,
+    /// Cycle estimate exposed through `mcycle`, maintained by the driver.
+    mcycle: u64,
+}
+
+impl Cpu {
+    /// Creates a hart with the given id; all registers and the PC start at
+    /// zero (drivers set the PC from the program entry).
+    pub fn new(hart_id: u32) -> Self {
+        Self { regs: [0; 32], pc: 0, hart_id, retired: 0, reservation: None, mcycle: 0 }
+    }
+
+    /// Reads a register (`x0` always reads zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `x0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Hart id (returned by `csrr mhartid`).
+    pub fn hart_id(&self) -> u32 {
+        self.hart_id
+    }
+
+    /// Retired-instruction count.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Updates the cycle estimate visible through `mcycle`.
+    pub fn set_mcycle(&mut self, cycles: u64) {
+        self.mcycle = cycles;
+    }
+
+    /// Executes the instruction at the current PC.
+    ///
+    /// On success the PC has advanced (or jumped) and counters are updated.
+    /// This performs *architectural* execution only; timing is the driver's
+    /// job ([`run_core`](crate::run_core) or the cycle-accurate cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap`] on illegal fetch, memory faults, or `ebreak`.
+    pub fn step(&mut self, program: &Program, mem: &mut impl Memory) -> Result<Outcome, Trap> {
+        let pc = self.pc;
+        let inst = program.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        self.execute(inst, mem)
+    }
+
+    /// Executes one already-fetched instruction (used by the cycle-accurate
+    /// driver which fetches through its I$ model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap`] on memory faults or `ebreak`.
+    pub fn execute(&mut self, inst: Inst, mem: &mut impl Memory) -> Result<Outcome, Trap> {
+        let pc = self.pc;
+        let mut next_pc = pc.wrapping_add(4);
+        let merr = |err| Trap::Mem { pc, err };
+
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Inst::Load { op, rd, rs1, offset, post_inc } => {
+                let base = self.reg(rs1);
+                let addr = if post_inc { base } else { base.wrapping_add(offset as u32) };
+                let size = op.size();
+                let raw = mem.load(addr, size).map_err(merr)?;
+                let value = match op {
+                    terasim_riscv::LoadOp::Lb => raw as u8 as i8 as i32 as u32,
+                    terasim_riscv::LoadOp::Lh => raw as u16 as i16 as i32 as u32,
+                    _ => raw,
+                };
+                self.set_reg(rd, value);
+                if post_inc {
+                    self.set_reg(rs1, base.wrapping_add(offset as u32));
+                }
+            }
+            Inst::Store { op, rs1, rs2, offset, post_inc } => {
+                let base = self.reg(rs1);
+                let addr = if post_inc { base } else { base.wrapping_add(offset as u32) };
+                mem.store(addr, op.size(), self.reg(rs2)).map_err(merr)?;
+                if post_inc {
+                    self.set_reg(rs1, base.wrapping_add(offset as u32));
+                }
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let value = alu(op, self.reg(rs1), imm as u32);
+                self.set_reg(rd, value);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let value = alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, value);
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let value = muldiv(op, a, b);
+                self.set_reg(rd, value);
+            }
+            Inst::LrW { rd, rs1 } => {
+                let addr = self.reg(rs1);
+                let value = mem.load(addr, 4).map_err(merr)?;
+                self.reservation = Some(addr);
+                self.set_reg(rd, value);
+            }
+            Inst::ScW { rd, rs1, rs2 } => {
+                let addr = self.reg(rs1);
+                if self.reservation == Some(addr) {
+                    mem.store(addr, 4, self.reg(rs2)).map_err(merr)?;
+                    self.set_reg(rd, 0);
+                } else {
+                    self.set_reg(rd, 1);
+                }
+                self.reservation = None;
+            }
+            Inst::Amo { op, rd, rs1, rs2 } => {
+                let old = mem.amo(op, self.reg(rs1), self.reg(rs2)).map_err(merr)?;
+                self.set_reg(rd, old);
+            }
+            Inst::Csr { op, rd, src, csr: addr } => {
+                let old = self.read_csr(addr);
+                self.set_reg(rd, old);
+                let operand = match src {
+                    CsrSrc::Reg(r) => self.reg(r),
+                    CsrSrc::Imm(i) => u32::from(i),
+                };
+                let write_needed = match (op, src) {
+                    (CsrOp::Rw, _) => true,
+                    (_, CsrSrc::Reg(r)) => r != Reg::Zero,
+                    (_, CsrSrc::Imm(i)) => i != 0,
+                };
+                if write_needed {
+                    let new = match op {
+                        CsrOp::Rw => operand,
+                        CsrOp::Rs => old | operand,
+                        CsrOp::Rc => old & !operand,
+                    };
+                    self.write_csr(addr, new);
+                }
+            }
+            Inst::FpArith { op, fmt, rd, rs1, rs2 } => {
+                let value = self.fp_arith(op, fmt, rs1, rs2);
+                self.set_reg(rd, value);
+            }
+            Inst::FpUn { op, fmt, rd, rs1 } => {
+                let value = self.fp_un(op, fmt, rs1);
+                self.set_reg(rd, value);
+            }
+            Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+                let value = self.fp_fma(op, fmt, rs1, rs2, rs3);
+                self.set_reg(rd, value);
+            }
+            Inst::FpCmp { op, fmt, rd, rs1, rs2 } => {
+                let value = self.fp_cmp(op, fmt, rs1, rs2);
+                self.set_reg(rd, value);
+            }
+            Inst::Vf { op, rd, rs1, rs2 } => {
+                let value = self.vf(op, rd, rs1, rs2);
+                self.set_reg(rd, value);
+            }
+            Inst::Pv { op, rd, rs1, rs2 } => {
+                let value = pv(op, self.reg(rd), self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, value);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => {
+                self.retired += 1;
+                self.pc = next_pc;
+                return Ok(Outcome::Exit { code: self.reg(Reg::A0) });
+            }
+            Inst::Ebreak => return Err(Trap::Breakpoint { pc }),
+            Inst::Wfi => {
+                self.retired += 1;
+                self.pc = next_pc;
+                return Ok(Outcome::Wfi);
+            }
+        }
+
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(Outcome::Continue)
+    }
+
+    fn read_csr(&self, addr: u16) -> u32 {
+        match addr {
+            csr::MHARTID => self.hart_id,
+            csr::MCYCLE => self.mcycle as u32,
+            csr::MINSTRET => self.retired as u32,
+            _ => 0,
+        }
+    }
+
+    fn write_csr(&mut self, _addr: u16, _value: u32) {
+        // All implemented CSRs are read-only counters; writes are ignored,
+        // matching Snitch's minimal CSR file.
+    }
+
+    // --- FP helpers (zfinx/zhinx: values live in the integer registers) ---
+
+    fn h(&self, r: Reg) -> F16 {
+        F16::from_bits(self.reg(r) as u16)
+    }
+
+    fn s(&self, r: Reg) -> f32 {
+        f32::from_bits(self.reg(r))
+    }
+
+    /// binary16 results are sign-extended into the 32-bit register, as the
+    /// Zhinx spec requires for narrower-than-XLEN values.
+    fn box_h(value: F16) -> u32 {
+        value.to_bits() as i16 as i32 as u32
+    }
+
+    fn fp_arith(&self, op: FpOp, fmt: FpFmt, rs1: Reg, rs2: Reg) -> u32 {
+        match fmt {
+            FpFmt::H => {
+                let (a, b) = (self.h(rs1), self.h(rs2));
+                let r = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                    FpOp::Min => fp_min_h(a, b),
+                    FpOp::Max => fp_max_h(a, b),
+                    FpOp::SgnJ => F16::from_bits((a.to_bits() & 0x7fff) | (b.to_bits() & 0x8000)),
+                    FpOp::SgnJN => F16::from_bits((a.to_bits() & 0x7fff) | (!b.to_bits() & 0x8000)),
+                    FpOp::SgnJX => F16::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000)),
+                };
+                Self::box_h(r)
+            }
+            FpFmt::S => {
+                let (a, b) = (self.s(rs1), self.s(rs2));
+                let r = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                    FpOp::Min => if a.is_nan() { b } else if b.is_nan() { a } else { a.min(b) },
+                    FpOp::Max => if a.is_nan() { b } else if b.is_nan() { a } else { a.max(b) },
+                    FpOp::SgnJ => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000)),
+                    FpOp::SgnJN => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000)),
+                    FpOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
+                };
+                r.to_bits()
+            }
+        }
+    }
+
+    fn fp_un(&self, op: FpUnOp, fmt: FpFmt, rs1: Reg) -> u32 {
+        match op {
+            FpUnOp::Sqrt => match fmt {
+                FpFmt::H => Self::box_h(self.h(rs1).sqrt()),
+                FpFmt::S => self.s(rs1).sqrt().to_bits(),
+            },
+            FpUnOp::CvtWFromFp => {
+                // RTZ with RISC-V saturation semantics.
+                let x = match fmt {
+                    FpFmt::H => self.h(rs1).to_f32(),
+                    FpFmt::S => self.s(rs1),
+                };
+                if x.is_nan() {
+                    i32::MAX as u32
+                } else {
+                    (x.trunc().clamp(i32::MIN as f32, i32::MAX as f32)) as i32 as u32
+                }
+            }
+            FpUnOp::CvtFpFromW => {
+                let x = self.reg(rs1) as i32;
+                match fmt {
+                    FpFmt::H => Self::box_h(F16::from_f64(f64::from(x))),
+                    FpFmt::S => (x as f32).to_bits(),
+                }
+            }
+            FpUnOp::CvtSFromH => self.h(rs1).to_f32().to_bits(),
+            FpUnOp::CvtHFromS => Self::box_h(F16::from_f32(self.s(rs1))),
+        }
+    }
+
+    fn fp_fma(&self, op: FmaOp, fmt: FpFmt, rs1: Reg, rs2: Reg, rs3: Reg) -> u32 {
+        match fmt {
+            FpFmt::H => {
+                let (a, b, c) = (self.h(rs1).to_f64(), self.h(rs2).to_f64(), self.h(rs3).to_f64());
+                let r = match op {
+                    FmaOp::Madd => a * b + c,
+                    FmaOp::Msub => a * b - c,
+                    FmaOp::Nmadd => -(a * b) - c,
+                    FmaOp::Nmsub => -(a * b) + c,
+                };
+                Self::box_h(F16::from_f64(r))
+            }
+            FpFmt::S => {
+                let (a, b, c) = (self.s(rs1), self.s(rs2), self.s(rs3));
+                let r = match op {
+                    FmaOp::Madd => a.mul_add(b, c),
+                    FmaOp::Msub => a.mul_add(b, -c),
+                    FmaOp::Nmadd => (-a).mul_add(b, -c),
+                    FmaOp::Nmsub => (-a).mul_add(b, c),
+                };
+                r.to_bits()
+            }
+        }
+    }
+
+    fn fp_cmp(&self, op: FpCmpOp, fmt: FpFmt, rs1: Reg, rs2: Reg) -> u32 {
+        let result = match fmt {
+            FpFmt::H => {
+                let (a, b) = (self.h(rs1).to_f32(), self.h(rs2).to_f32());
+                match op {
+                    FpCmpOp::Eq => a == b,
+                    FpCmpOp::Lt => a < b,
+                    FpCmpOp::Le => a <= b,
+                }
+            }
+            FpFmt::S => {
+                let (a, b) = (self.s(rs1), self.s(rs2));
+                match op {
+                    FpCmpOp::Eq => a == b,
+                    FpCmpOp::Lt => a < b,
+                    FpCmpOp::Le => a <= b,
+                }
+            }
+        };
+        u32::from(result)
+    }
+
+    // --- SIMD (SmallFloat / Xpulpimg) --------------------------------------
+
+    fn vf(&self, op: VfOp, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        let a = self.reg(rs1);
+        let b = self.reg(rs2);
+        let acc = self.reg(rd);
+        match op {
+            VfOp::AddH => pack_h2(map2_h(a, b, |x, y| x + y)),
+            VfOp::SubH => pack_h2(map2_h(a, b, |x, y| x - y)),
+            VfOp::MulH => pack_h2(map2_h(a, b, |x, y| x * y)),
+            VfOp::MacH => {
+                let (av, bv, cv) = (unpack_h2(a), unpack_h2(b), unpack_h2(acc));
+                pack_h2([av[0].mul_add(bv[0], cv[0]), av[1].mul_add(bv[1], cv[1])])
+            }
+            VfOp::DotpExSH => ops::vfdotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
+            VfOp::NDotpExSH => ops::vfndotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
+            VfOp::CdotpExSH => pack_h2(ops::vfcdotpex_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
+            VfOp::CdotpExCSH => pack_h2(ops::vfcdotpex_conj_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
+            VfOp::DotpExHB => pack_h2(ops::vfdotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
+            VfOp::NDotpExHB => pack_h2(ops::vfndotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
+            VfOp::CpkAHS => pack_h2([F16::from_f32(f32::from_bits(a)), F16::from_f32(f32::from_bits(b))]),
+            VfOp::CvtHBLo => {
+                let v = unpack_b4(a);
+                pack_h2([F16::from(v[0]), F16::from(v[1])])
+            }
+            VfOp::CvtHBHi => {
+                let v = unpack_b4(a);
+                pack_h2([F16::from(v[2]), F16::from(v[3])])
+            }
+            VfOp::CvtBH => {
+                let v = unpack_h2(a);
+                u32::from(F8::from_f16(v[0]).to_bits()) | (u32::from(F8::from_f16(v[1]).to_bits()) << 8)
+            }
+            VfOp::SwapH => a.rotate_left(16),
+            VfOp::SwapB => ((a & 0x00ff_00ff) << 8) | ((a & 0xff00_ff00) >> 8),
+            VfOp::CmacB => {
+                let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
+                let r = ops::cmac_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
+                (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
+            }
+            VfOp::CmacConjB => {
+                let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
+                let r = ops::cmac_conj_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
+                (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
+            }
+        }
+    }
+}
+
+/// Xpulpimg integer MAC/SIMD semantics.
+fn pv(op: PvOp, acc: u32, a: u32, b: u32) -> u32 {
+    let lane_h = |x: u32, i: u32| (x >> (16 * i)) as i16;
+    let lane_b = |x: u32, i: u32| (x >> (8 * i)) as i8;
+    match op {
+        PvOp::AddH => {
+            let l0 = lane_h(a, 0).wrapping_add(lane_h(b, 0)) as u16;
+            let l1 = lane_h(a, 1).wrapping_add(lane_h(b, 1)) as u16;
+            u32::from(l0) | (u32::from(l1) << 16)
+        }
+        PvOp::SubH => {
+            let l0 = lane_h(a, 0).wrapping_sub(lane_h(b, 0)) as u16;
+            let l1 = lane_h(a, 1).wrapping_sub(lane_h(b, 1)) as u16;
+            u32::from(l0) | (u32::from(l1) << 16)
+        }
+        PvOp::AddB => {
+            let mut out = 0u32;
+            for i in 0..4 {
+                let l = lane_b(a, i).wrapping_add(lane_b(b, i)) as u8;
+                out |= u32::from(l) << (8 * i);
+            }
+            out
+        }
+        PvOp::SubB => {
+            let mut out = 0u32;
+            for i in 0..4 {
+                let l = lane_b(a, i).wrapping_sub(lane_b(b, i)) as u8;
+                out |= u32::from(l) << (8 * i);
+            }
+            out
+        }
+        PvOp::Mac => acc.wrapping_add(a.wrapping_mul(b)),
+        PvOp::Msu => acc.wrapping_sub(a.wrapping_mul(b)),
+        PvOp::DotspH => {
+            (i32::from(lane_h(a, 0)) * i32::from(lane_h(b, 0))
+                + i32::from(lane_h(a, 1)) * i32::from(lane_h(b, 1))) as u32
+        }
+        PvOp::SdotspH => acc.wrapping_add(
+            (i32::from(lane_h(a, 0)) * i32::from(lane_h(b, 0))
+                + i32::from(lane_h(a, 1)) * i32::from(lane_h(b, 1))) as u32,
+        ),
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        MulDivOp::Mulhsu => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
+        MulDivOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: i32::MIN / -1
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
+    }
+}
+
+/// RISC-V fmin semantics: NaN operands yield the other operand.
+fn fp_min_h(a: F16, b: F16) -> F16 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() || a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn fp_max_h(a: F16, b: F16) -> F16 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() || a > b {
+        a
+    } else {
+        b
+    }
+}
+
+#[inline]
+fn unpack_h2(word: u32) -> [F16; 2] {
+    [F16::from_bits(word as u16), F16::from_bits((word >> 16) as u16)]
+}
+
+#[inline]
+fn pack_h2(v: [F16; 2]) -> u32 {
+    u32::from(v[0].to_bits()) | (u32::from(v[1].to_bits()) << 16)
+}
+
+#[inline]
+fn unpack_b4(word: u32) -> [F8; 4] {
+    [
+        F8::from_bits(word as u8),
+        F8::from_bits((word >> 8) as u8),
+        F8::from_bits((word >> 16) as u8),
+        F8::from_bits((word >> 24) as u8),
+    ]
+}
+
+#[inline]
+fn map2_h(a: u32, b: u32, f: impl Fn(F16, F16) -> F16) -> [F16; 2] {
+    let (av, bv) = (unpack_h2(a), unpack_h2(b));
+    [f(av[0], bv[0]), f(av[1], bv[1])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DenseMemory;
+    use terasim_riscv::{Assembler, Image, Segment};
+
+    fn run_asm(build: impl FnOnce(&mut Assembler)) -> (Cpu, DenseMemory) {
+        let mut a = Assembler::new(0x8000_0000);
+        build(&mut a);
+        a.ecall();
+        let mut image = Image::new(0x8000_0000);
+        image.push_segment(Segment::from_words(0x8000_0000, &a.finish().unwrap()));
+        let program = Program::translate(&image).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.set_pc(program.entry());
+        let mut mem = DenseMemory::new(0, 0x1000);
+        for _ in 0..10_000 {
+            match cpu.step(&program, &mut mem).unwrap() {
+                Outcome::Exit { .. } => return (cpu, mem),
+                Outcome::Continue => {}
+                Outcome::Wfi => panic!("unexpected wfi"),
+            }
+        }
+        panic!("program did not exit");
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let (cpu, _) = run_asm(|a| {
+            a.li(Reg::T0, 6);
+            a.li(Reg::T1, 7);
+            a.mul(Reg::A0, Reg::T0, Reg::T1);
+            let skip = a.new_label();
+            a.beq(Reg::A0, Reg::Zero, skip); // not taken
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.bind(skip);
+        });
+        assert_eq!(cpu.reg(Reg::A0), 43);
+    }
+
+    #[test]
+    fn memory_and_post_increment() {
+        let (cpu, mem) = run_asm(|a| {
+            a.li(Reg::A1, 0x100);
+            a.li(Reg::T0, 0x1234);
+            a.p_sw(Reg::T0, 4, Reg::A1); // store at 0x100, a1 -> 0x104
+            a.p_sw(Reg::T0, 4, Reg::A1); // store at 0x104, a1 -> 0x108
+            a.li(Reg::A2, 0x100);
+            a.p_lw(Reg::A0, 8, Reg::A2); // load from 0x100, a2 -> 0x108
+        });
+        assert_eq!(cpu.reg(Reg::A0), 0x1234);
+        assert_eq!(cpu.reg(Reg::A1), 0x108);
+        assert_eq!(cpu.reg(Reg::A2), 0x108);
+        assert_eq!(mem.read_bytes(0x104, 4), &0x1234u32.to_le_bytes());
+    }
+
+    #[test]
+    fn sign_extension_on_lh() {
+        let (cpu, _) = run_asm(|a| {
+            a.li(Reg::T0, -5i32 & 0xffff); // 0xfffb
+            a.sh(Reg::T0, 0x10, Reg::Zero);
+            a.lh(Reg::A0, 0x10, Reg::Zero);
+            a.lhu(Reg::A1, 0x10, Reg::Zero);
+        });
+        assert_eq!(cpu.reg(Reg::A0) as i32, -5);
+        assert_eq!(cpu.reg(Reg::A1), 0xfffb);
+    }
+
+    #[test]
+    fn half_precision_fma() {
+        let (cpu, _) = run_asm(|a| {
+            // a0 = 1.5 * 2.0 + 0.25 = 3.25 in binary16
+            a.li(Reg::T0, F16::from_f32(1.5).to_bits() as i32);
+            a.li(Reg::T1, F16::from_f32(2.0).to_bits() as i32);
+            a.li(Reg::T2, F16::from_f32(0.25).to_bits() as i32);
+            a.fmadd_h(Reg::A0, Reg::T0, Reg::T1, Reg::T2);
+        });
+        assert_eq!(F16::from_bits(cpu.reg(Reg::A0) as u16).to_f32(), 3.25);
+    }
+
+    #[test]
+    fn simd_cdotp() {
+        let (cpu, _) = run_asm(|a| {
+            // acc = 0; a = 1+2j, b = 3+4j -> acc = -5+10j
+            let pack = |re: f32, im: f32| {
+                (u32::from(F16::from_f32(re).to_bits())
+                    | (u32::from(F16::from_f32(im).to_bits()) << 16)) as i32
+            };
+            a.li(Reg::A0, 0);
+            a.li(Reg::T0, pack(1.0, 2.0));
+            a.li(Reg::T1, pack(3.0, 4.0));
+            a.vfcdotpex_s_h(Reg::A0, Reg::T0, Reg::T1);
+        });
+        let v = cpu.reg(Reg::A0);
+        assert_eq!(F16::from_bits(v as u16).to_f32(), -5.0);
+        assert_eq!(F16::from_bits((v >> 16) as u16).to_f32(), 10.0);
+    }
+
+    #[test]
+    fn amo_and_csr() {
+        let (cpu, mem) = run_asm(|a| {
+            a.li(Reg::T0, 0x40);
+            a.li(Reg::T1, 3);
+            a.amoadd_w(Reg::A0, Reg::T1, Reg::T0); // old = 0
+            a.amoadd_w(Reg::A1, Reg::T1, Reg::T0); // old = 3
+            a.csrr(Reg::A2, csr::MHARTID);
+        });
+        assert_eq!(cpu.reg(Reg::A0), 0);
+        assert_eq!(cpu.reg(Reg::A1), 3);
+        assert_eq!(cpu.reg(Reg::A2), 0);
+        assert_eq!(mem.read_bytes(0x40, 4), &6u32.to_le_bytes());
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(muldiv(MulDivOp::Div, 7, 0), u32::MAX);
+        assert_eq!(muldiv(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(muldiv(MulDivOp::Rem, 7, 0), 7);
+        assert_eq!(muldiv(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
+        assert_eq!(muldiv(MulDivOp::Mulh, 0x8000_0000, 0x8000_0000), 0x4000_0000);
+    }
+
+    #[test]
+    fn swap_operations() {
+        let cpu = {
+            let (cpu, _) = run_asm(|a| {
+                a.li(Reg::T0, 0x1122_3344u32 as i32);
+                a.pv_swap_h(Reg::A0, Reg::T0);
+                a.pv_swap_b(Reg::A1, Reg::T0);
+            });
+            cpu
+        };
+        assert_eq!(cpu.reg(Reg::A0), 0x3344_1122);
+        assert_eq!(cpu.reg(Reg::A1), 0x2211_4433);
+    }
+}

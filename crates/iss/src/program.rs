@@ -1,0 +1,147 @@
+//! The translation phase: image → pre-decoded instruction stream.
+
+use core::fmt;
+
+use terasim_riscv::{decode, Image, Inst};
+
+/// Error produced by [`Program::translate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The image entry point is not covered by any segment.
+    EntryNotMapped {
+        /// The entry address.
+        entry: u32,
+    },
+    /// The text segment is not word-aligned.
+    MisalignedText {
+        /// Base address of the offending segment.
+        base: u32,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::EntryNotMapped { entry } => {
+                write!(f, "entry point {entry:#010x} is not inside any segment")
+            }
+            TranslateError::MisalignedText { base } => {
+                write!(f, "text segment at {base:#010x} is not word aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A translated program: the pre-decoded text stream all harts share.
+///
+/// Words that do not decode (data islands inside text, padding) become
+/// `None` and trap if reached, mirroring an illegal-instruction exception.
+#[derive(Debug, Clone)]
+pub struct Program {
+    entry: u32,
+    text_base: u32,
+    insts: Vec<Option<Inst>>,
+}
+
+impl Program {
+    /// Translates the segment containing the image entry point.
+    ///
+    /// This is the analogue of Banshee's SBT pass: decoding happens once,
+    /// up front, so emulation never touches raw machine words again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] if the entry point is unmapped or the
+    /// text segment is misaligned.
+    pub fn translate(image: &Image) -> Result<Self, TranslateError> {
+        let entry = image.entry();
+        let seg = image
+            .segments()
+            .iter()
+            .find(|s| s.base <= entry && entry < s.end())
+            .ok_or(TranslateError::EntryNotMapped { entry })?;
+        if seg.base % 4 != 0 {
+            return Err(TranslateError::MisalignedText { base: seg.base });
+        }
+        let insts = seg
+            .bytes
+            .chunks_exact(4)
+            .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).ok())
+            .collect();
+        Ok(Self { entry, text_base: seg.base, insts })
+    }
+
+    /// The program entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Base address of the translated text.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Number of translated instruction slots.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, or `None` when `pc` leaves the text
+    /// segment or hits an untranslatable word.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<Inst> {
+        if !pc.is_multiple_of(4) {
+            return None;
+        }
+        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
+        self.insts.get(idx).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use terasim_riscv::{Assembler, Reg, Segment};
+
+    use super::*;
+
+    #[test]
+    fn translate_and_fetch() {
+        let mut a = Assembler::new(0x400);
+        a.nop();
+        a.addi(Reg::A0, Reg::Zero, 7);
+        let mut image = Image::new(0x400);
+        image.push_segment(Segment::from_words(0x400, &a.finish().unwrap()));
+        let p = Program::translate(&image).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.fetch(0x400).is_some());
+        assert!(p.fetch(0x404).is_some());
+        assert_eq!(p.fetch(0x408), None, "past the end");
+        assert_eq!(p.fetch(0x402), None, "misaligned");
+        assert_eq!(p.fetch(0x3fc), None, "before the base");
+    }
+
+    #[test]
+    fn unmapped_entry_is_an_error() {
+        let image = Image::new(0x1000);
+        assert_eq!(
+            Program::translate(&image).unwrap_err(),
+            TranslateError::EntryNotMapped { entry: 0x1000 }
+        );
+    }
+
+    #[test]
+    fn data_islands_become_traps() {
+        let mut image = Image::new(0x0);
+        image.push_segment(Segment::from_words(0x0, &[0x0000_0013, 0xffff_ffff]));
+        let p = Program::translate(&image).unwrap();
+        assert!(p.fetch(0x0).is_some());
+        assert_eq!(p.fetch(0x4), None);
+    }
+}

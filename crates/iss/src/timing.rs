@@ -1,0 +1,378 @@
+//! The fast approximate timing model: static latencies + RAW scoreboard.
+//!
+//! Following the paper (§III-B), every instruction is assigned a *static*
+//! latency and a scoreboard tracks when each destination register becomes
+//! available. An instruction issues when (a) the previous instruction has
+//! issued (single-issue, in-order Snitch) and (b) all of its source
+//! registers are ready. The difference between those two times is the RAW
+//! stall the paper's Figure 8 calls `stall-raw`; loads stalled on the
+//! conservative 9-cycle memory latency surface the `stall-lsu` effect.
+
+use terasim_riscv::{FpOp, Inst, VfOp};
+
+/// Coarse instruction classes used for latency assignment and the
+/// Figure-8-style breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Integer ALU, `lui`/`auipc`, CSR moves.
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide/remainder.
+    Div,
+    /// Data-memory loads (including post-increment forms).
+    Load,
+    /// Data-memory stores.
+    Store,
+    /// Atomic read-modify-write, `lr.w`, `sc.w`.
+    Amo,
+    /// Conditional branches.
+    Branch,
+    /// `jal`/`jalr`.
+    Jump,
+    /// Scalar FP add/sub/mul/FMA/compare/sign ops.
+    Fp,
+    /// Scalar FP divide and square root (long-latency iterative unit).
+    FpDivSqrt,
+    /// SIMD SmallFloat lane ops, shuffles, conversions.
+    Simd,
+    /// Widening/complex dot products.
+    Dotp,
+    /// `wfi`, `ecall`, `fence` and friends.
+    System,
+}
+
+impl InstClass {
+    /// Number of classes (for stat arrays).
+    pub const COUNT: usize = 13;
+
+    /// All classes, in stat-array order.
+    pub const ALL: [InstClass; Self::COUNT] = [
+        InstClass::Alu,
+        InstClass::Mul,
+        InstClass::Div,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Amo,
+        InstClass::Branch,
+        InstClass::Jump,
+        InstClass::Fp,
+        InstClass::FpDivSqrt,
+        InstClass::Simd,
+        InstClass::Dotp,
+        InstClass::System,
+    ];
+
+    /// Stat-array index of the class.
+    pub const fn index(self) -> usize {
+        match self {
+            InstClass::Alu => 0,
+            InstClass::Mul => 1,
+            InstClass::Div => 2,
+            InstClass::Load => 3,
+            InstClass::Store => 4,
+            InstClass::Amo => 5,
+            InstClass::Branch => 6,
+            InstClass::Jump => 7,
+            InstClass::Fp => 8,
+            InstClass::FpDivSqrt => 9,
+            InstClass::Simd => 10,
+            InstClass::Dotp => 11,
+            InstClass::System => 12,
+        }
+    }
+
+    /// Classifies a decoded instruction.
+    pub fn of(inst: &Inst) -> Self {
+        match inst {
+            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::OpImm { .. } | Inst::Op { .. } | Inst::Csr { .. } => {
+                InstClass::Alu
+            }
+            Inst::MulDiv { op, .. } => match op {
+                terasim_riscv::MulDivOp::Mul
+                | terasim_riscv::MulDivOp::Mulh
+                | terasim_riscv::MulDivOp::Mulhsu
+                | terasim_riscv::MulDivOp::Mulhu => InstClass::Mul,
+                _ => InstClass::Div,
+            },
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::LrW { .. } | Inst::ScW { .. } | Inst::Amo { .. } => InstClass::Amo,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Jal { .. } | Inst::Jalr { .. } => InstClass::Jump,
+            Inst::FpArith { op, .. } => match op {
+                FpOp::Div => InstClass::FpDivSqrt,
+                _ => InstClass::Fp,
+            },
+            Inst::FpUn { op, .. } => match op {
+                terasim_riscv::FpUnOp::Sqrt => InstClass::FpDivSqrt,
+                _ => InstClass::Fp,
+            },
+            Inst::FpFma { .. } | Inst::FpCmp { .. } => InstClass::Fp,
+            Inst::Vf { op, .. } => match op {
+                VfOp::DotpExSH
+                | VfOp::NDotpExSH
+                | VfOp::CdotpExSH
+                | VfOp::CdotpExCSH
+                | VfOp::DotpExHB
+                | VfOp::NDotpExHB
+                | VfOp::CmacB
+                | VfOp::CmacConjB => InstClass::Dotp,
+                _ => InstClass::Simd,
+            },
+            Inst::Pv { op, .. } => match op {
+                terasim_riscv::PvOp::Mac
+                | terasim_riscv::PvOp::Msu
+                | terasim_riscv::PvOp::DotspH
+                | terasim_riscv::PvOp::SdotspH => InstClass::Mul,
+                _ => InstClass::Alu,
+            },
+            Inst::Fence | Inst::Ecall | Inst::Ebreak | Inst::Wfi => InstClass::System,
+        }
+    }
+}
+
+/// Static per-class result latencies (cycles until the destination register
+/// is usable) plus control-flow penalties.
+///
+/// The defaults approximate the Snitch pipeline and its co-processing
+/// functional units; they are deliberately public so the ablation benches
+/// can perturb them (DESIGN.md, decision D2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Integer ALU result latency.
+    pub alu: u32,
+    /// IPU multiply latency.
+    pub mul: u32,
+    /// IPU divide latency.
+    pub div: u32,
+    /// Fallback load-use latency when the memory does not refine it. The
+    /// paper's conservative choice is the worst non-contended L1 access:
+    /// 9 cycles.
+    pub load: u32,
+    /// AMO round-trip latency.
+    pub amo: u32,
+    /// FPU add/mul/FMA latency.
+    pub fp: u32,
+    /// FPU divide/sqrt latency.
+    pub fp_div_sqrt: u32,
+    /// SIMD lane-op latency.
+    pub simd: u32,
+    /// Widening/complex dot-product latency.
+    pub dotp: u32,
+    /// Extra bubbles after a taken branch or jump.
+    pub taken_branch_penalty: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            alu: 1,
+            mul: 3,
+            div: 21,
+            load: 9,
+            amo: 10,
+            fp: 4,
+            fp_div_sqrt: 12,
+            simd: 4,
+            dotp: 4,
+            taken_branch_penalty: 2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Result latency for an instruction of class `class` (loads use the
+    /// fallback; drivers override with per-address memory latency).
+    pub fn result_latency(&self, class: InstClass) -> u32 {
+        match class {
+            InstClass::Alu | InstClass::Branch | InstClass::Store | InstClass::System => 1,
+            InstClass::Jump => 1,
+            InstClass::Mul => self.mul,
+            InstClass::Div => self.div,
+            InstClass::Load => self.load,
+            InstClass::Amo => self.amo,
+            InstClass::Fp => self.fp,
+            InstClass::FpDivSqrt => self.fp_div_sqrt,
+            InstClass::Simd => self.simd,
+            InstClass::Dotp => self.dotp,
+        }
+    }
+}
+
+/// Per-hart issue scoreboard: tracks when each register's value becomes
+/// available and accumulates RAW stalls.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_iss::Scoreboard;
+/// use terasim_riscv::{Inst, LoadOp, Reg, AluOp};
+///
+/// let mut sb = Scoreboard::new();
+/// let load = Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A1, offset: 0, post_inc: false };
+/// let use_it = Inst::OpImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A0, imm: 1 };
+/// sb.issue(&load, 9);
+/// sb.issue(&use_it, 1);
+/// // The dependent add waited for the 9-cycle load.
+/// assert_eq!(sb.raw_stalls(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    ready: [u64; 32],
+    next_issue: u64,
+    raw_stalls: u64,
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard at cycle zero.
+    pub fn new() -> Self {
+        Self { ready: [0; 32], next_issue: 0, raw_stalls: 0 }
+    }
+
+    /// Issues `inst` whose result latency is `latency`; returns the issue
+    /// cycle.
+    pub fn issue(&mut self, inst: &Inst, latency: u32) -> u64 {
+        let mut t = self.next_issue;
+        for src in inst.srcs() {
+            t = t.max(self.ready[src.index()]);
+        }
+        self.raw_stalls += t - self.next_issue;
+        if let Some(rd) = inst.dst() {
+            self.ready[rd.index()] = t + u64::from(latency);
+        }
+        if let Some(base) = inst.post_inc_dst() {
+            // The incremented base comes from the ALU path: ready next cycle.
+            self.ready[base.index()] = t + 1;
+        }
+        self.next_issue = t + 1;
+        t
+    }
+
+    /// Inserts `n` pipeline bubbles (taken-branch penalty).
+    pub fn bubble(&mut self, n: u32) {
+        self.next_issue += u64::from(n);
+    }
+
+    /// Advances the local clock to at least `t` (used when a cluster
+    /// barrier releases: the hart idled until the slowest arrival).
+    /// Returns the number of idle cycles inserted.
+    pub fn advance_to(&mut self, t: u64) -> u64 {
+        let idle = t.saturating_sub(self.next_issue);
+        self.next_issue += idle;
+        idle
+    }
+
+    /// Current cycle estimate (the cycle after the last issue, including
+    /// any outstanding result latency is *not* waited for — matching an
+    /// in-order core that can retire under outstanding writebacks).
+    pub fn cycles(&self) -> u64 {
+        self.next_issue
+    }
+
+    /// Cycle at which every outstanding result has landed (used at program
+    /// end so trailing loads are not cut off).
+    pub fn drain_cycles(&self) -> u64 {
+        self.ready.iter().copied().fold(self.next_issue, u64::max)
+    }
+
+    /// Accumulated read-after-write stall cycles.
+    pub fn raw_stalls(&self) -> u64 {
+        self.raw_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use terasim_riscv::{AluOp, LoadOp, Reg};
+
+    use super::*;
+
+    fn load(rd: Reg) -> Inst {
+        Inst::Load { op: LoadOp::Lw, rd, rs1: Reg::Sp, offset: 0, post_inc: false }
+    }
+
+    fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        Inst::Op { op: AluOp::Add, rd, rs1, rs2 }
+    }
+
+    #[test]
+    fn independent_instructions_dual_stream() {
+        let mut sb = Scoreboard::new();
+        sb.issue(&load(Reg::A0), 9);
+        sb.issue(&load(Reg::A1), 9);
+        sb.issue(&add(Reg::A2, Reg::T0, Reg::T1), 1);
+        assert_eq!(sb.cycles(), 3, "independent ops issue back to back");
+        assert_eq!(sb.raw_stalls(), 0);
+    }
+
+    #[test]
+    fn dependent_chain_stalls() {
+        let mut sb = Scoreboard::new();
+        sb.issue(&load(Reg::A0), 9); // issues at 0, a0 ready at 9
+        sb.issue(&add(Reg::A1, Reg::A0, Reg::A0), 1); // waits until 9
+        assert_eq!(sb.cycles(), 10);
+        assert_eq!(sb.raw_stalls(), 8);
+        sb.issue(&add(Reg::A2, Reg::A1, Reg::A1), 1); // a1 ready at 10, issues at 10
+        assert_eq!(sb.raw_stalls(), 8, "back-to-back ALU has no extra stall");
+    }
+
+    #[test]
+    fn unrolling_hides_latency() {
+        // Two interleaved load-use pairs: the second load issues during the
+        // first load's latency, halving total stall - the paper's rationale
+        // for unrolled kernels.
+        let mut interleaved = Scoreboard::new();
+        interleaved.issue(&load(Reg::A0), 9);
+        interleaved.issue(&load(Reg::A1), 9);
+        interleaved.issue(&add(Reg::A2, Reg::A0, Reg::A0), 1);
+        interleaved.issue(&add(Reg::A3, Reg::A1, Reg::A1), 1);
+
+        let mut serial = Scoreboard::new();
+        serial.issue(&load(Reg::A0), 9);
+        serial.issue(&add(Reg::A2, Reg::A0, Reg::A0), 1);
+        serial.issue(&load(Reg::A1), 9);
+        serial.issue(&add(Reg::A3, Reg::A1, Reg::A1), 1);
+
+        assert!(interleaved.cycles() < serial.cycles());
+        assert_eq!(interleaved.raw_stalls(), 7);
+        assert_eq!(serial.raw_stalls(), 16);
+    }
+
+    #[test]
+    fn drain_includes_trailing_latency() {
+        let mut sb = Scoreboard::new();
+        sb.issue(&load(Reg::A0), 9);
+        assert_eq!(sb.cycles(), 1);
+        assert_eq!(sb.drain_cycles(), 9);
+    }
+
+    #[test]
+    fn classification_covers_all_variants() {
+        use terasim_riscv::{FmaOp, FpFmt, VfOp};
+        assert_eq!(InstClass::of(&add(Reg::A0, Reg::A0, Reg::A0)), InstClass::Alu);
+        assert_eq!(InstClass::of(&load(Reg::A0)), InstClass::Load);
+        assert_eq!(
+            InstClass::of(&Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0, rs3: Reg::A0 }),
+            InstClass::Fp
+        );
+        assert_eq!(
+            InstClass::of(&Inst::Vf { op: VfOp::CdotpExSH, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }),
+            InstClass::Dotp
+        );
+        assert_eq!(
+            InstClass::of(&Inst::Vf { op: VfOp::SwapH, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::Zero }),
+            InstClass::Simd
+        );
+        assert_eq!(InstClass::of(&Inst::Wfi), InstClass::System);
+        for (i, c) in InstClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

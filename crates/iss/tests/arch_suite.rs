@@ -1,0 +1,542 @@
+//! Directed architectural test suite (riscv-tests style).
+//!
+//! Every implemented instruction is exercised through full guest programs:
+//! assemble → translate → emulate → check architectural state. Each case
+//! targets one behaviour or edge (sign extension, overflow wrapping,
+//! division corner cases, NaN rules, saturation, …).
+
+use terasim_iss::{run_core, Cpu, DenseMemory, Outcome, Program, RunConfig, Trap};
+use terasim_riscv::{AluOp, Assembler, FpCmpOp, FpFmt, FpOp, Image, Inst, Reg, Segment, VfOp};
+use terasim_softfloat::{F16, F8};
+
+const BASE: u32 = 0x8000_0000;
+
+/// Assembles, runs to `ecall`, and returns the final CPU + memory.
+fn run(build: impl FnOnce(&mut Assembler)) -> (Cpu, DenseMemory) {
+    let mut a = Assembler::new(BASE);
+    build(&mut a);
+    a.ecall();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().expect("assembles")));
+    let program = Program::translate(&image).expect("translates");
+    let mut cpu = Cpu::new(0);
+    let mut mem = DenseMemory::new(0, 0x1000);
+    let stats = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).expect("runs");
+    assert!(
+        matches!(stats.stop, terasim_iss::StopReason::Exit { .. }),
+        "program must exit via ecall"
+    );
+    (cpu, mem)
+}
+
+/// Runs a two-register ALU computation and returns `a0`.
+fn alu2(op: AluOp, x: u32, y: u32) -> u32 {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, x as i32);
+        a.li(Reg::T1, y as i32);
+        a.inst(Inst::Op { op, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+    });
+    cpu.reg(Reg::A0)
+}
+
+#[test]
+fn alu_register_ops() {
+    assert_eq!(alu2(AluOp::Add, 7, 8), 15);
+    assert_eq!(alu2(AluOp::Add, u32::MAX, 1), 0, "wrapping add");
+    assert_eq!(alu2(AluOp::Sub, 3, 5), (-2i32) as u32);
+    assert_eq!(alu2(AluOp::Sub, 0, u32::MAX), 1, "wrapping sub");
+    assert_eq!(alu2(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+    assert_eq!(alu2(AluOp::Or, 0b1100, 0b1010), 0b1110);
+    assert_eq!(alu2(AluOp::And, 0b1100, 0b1010), 0b1000);
+    assert_eq!(alu2(AluOp::Sll, 1, 31), 0x8000_0000);
+    assert_eq!(alu2(AluOp::Sll, 1, 32), 1, "shift amount masked to 5 bits");
+    assert_eq!(alu2(AluOp::Srl, 0x8000_0000, 31), 1);
+    assert_eq!(alu2(AluOp::Sra, 0x8000_0000, 31), u32::MAX, "arithmetic shift extends sign");
+    assert_eq!(alu2(AluOp::Slt, (-1i32) as u32, 1), 1, "signed compare");
+    assert_eq!(alu2(AluOp::Sltu, (-1i32) as u32, 1), 0, "unsigned compare");
+    assert_eq!(alu2(AluOp::Slt, 1, 1), 0);
+}
+
+#[test]
+fn alu_immediate_ops() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, 100);
+        a.addi(Reg::A0, Reg::T0, -2048); // minimum I-immediate
+        a.andi(Reg::A1, Reg::T0, 0x7f);
+        a.ori(Reg::A2, Reg::T0, 0x700);
+        a.xori(Reg::A3, Reg::T0, -1); // bitwise not
+        a.slti(Reg::A4, Reg::T0, 101);
+        a.srai(Reg::A5, Reg::T0, 2);
+    });
+    assert_eq!(cpu.reg(Reg::A0) as i32, -1948);
+    assert_eq!(cpu.reg(Reg::A1), 100 & 0x7f);
+    assert_eq!(cpu.reg(Reg::A2), 100 | 0x700);
+    assert_eq!(cpu.reg(Reg::A3), !100u32);
+    assert_eq!(cpu.reg(Reg::A4), 1);
+    assert_eq!(cpu.reg(Reg::A5), 25);
+}
+
+#[test]
+fn lui_auipc_materialize_addresses() {
+    let (cpu, _) = run(|a| {
+        a.lui(Reg::A0, 0x12345 << 12);
+        a.inst(Inst::Auipc { rd: Reg::A1, imm: 0x1000 });
+    });
+    assert_eq!(cpu.reg(Reg::A0), 0x1234_5000);
+    // auipc was the third instruction (li = lui+addi for 0x12345000).
+    assert_eq!(cpu.reg(Reg::A1), BASE + 4 + 0x1000);
+}
+
+#[test]
+fn jal_jalr_link_and_jump() {
+    let (cpu, _) = run(|a| {
+        let target = a.new_label();
+        let end = a.new_label();
+        a.jal(Reg::Ra, target); // at BASE
+        a.li(Reg::A1, 111); // skipped
+        a.bind(target);
+        a.mv(Reg::A0, Reg::Ra); // link value
+        // jalr back over the dead instruction via a register target.
+        a.li(Reg::T0, (BASE + 4 * 6) as i32);
+        a.inst(Inst::Jalr { rd: Reg::A2, rs1: Reg::T0, offset: 4 });
+        a.li(Reg::A1, 222); // skipped (jalr lands past it)
+        a.bind(end);
+        a.nop();
+    });
+    assert_eq!(cpu.reg(Reg::A0), BASE + 4, "jal links to the next instruction");
+    assert_eq!(cpu.reg(Reg::A1), 0, "both dead instructions skipped");
+    assert_ne!(cpu.reg(Reg::A2), 0, "jalr wrote its link register");
+}
+
+#[test]
+fn branches_taken_and_not_taken() {
+    // For each op: (x, y, taken_expected)
+    let cases = [
+        (terasim_riscv::BranchOp::Eq, 5u32, 5u32, true),
+        (terasim_riscv::BranchOp::Eq, 5, 6, false),
+        (terasim_riscv::BranchOp::Ne, 5, 6, true),
+        (terasim_riscv::BranchOp::Ne, 5, 5, false),
+        (terasim_riscv::BranchOp::Lt, (-1i32) as u32, 0, true),
+        (terasim_riscv::BranchOp::Lt, 0, (-1i32) as u32, false),
+        (terasim_riscv::BranchOp::Ge, 0, (-1i32) as u32, true),
+        (terasim_riscv::BranchOp::Ge, (-1i32) as u32, 0, false),
+        (terasim_riscv::BranchOp::Ltu, 0, (-1i32) as u32, true),
+        (terasim_riscv::BranchOp::Ltu, (-1i32) as u32, 0, false),
+        (terasim_riscv::BranchOp::Geu, (-1i32) as u32, 0, true),
+        (terasim_riscv::BranchOp::Geu, 0, (-1i32) as u32, false),
+    ];
+    for (op, x, y, taken) in cases {
+        let (cpu, _) = run(|a| {
+            a.li(Reg::T0, x as i32);
+            a.li(Reg::T1, y as i32);
+            a.li(Reg::A0, 1);
+            let skip = a.new_label();
+            match op {
+                terasim_riscv::BranchOp::Eq => a.beq(Reg::T0, Reg::T1, skip),
+                terasim_riscv::BranchOp::Ne => a.bne(Reg::T0, Reg::T1, skip),
+                terasim_riscv::BranchOp::Lt => a.blt(Reg::T0, Reg::T1, skip),
+                terasim_riscv::BranchOp::Ge => a.bge(Reg::T0, Reg::T1, skip),
+                terasim_riscv::BranchOp::Ltu => a.bltu(Reg::T0, Reg::T1, skip),
+                terasim_riscv::BranchOp::Geu => {
+                    a.inst(Inst::Branch { op, rs1: Reg::T0, rs2: Reg::T1, offset: 8 })
+                }
+            };
+            a.li(Reg::A0, 0); // executed only if not taken
+            a.bind(skip);
+        });
+        assert_eq!(cpu.reg(Reg::A0) == 1, taken, "{op:?} {x:#x} {y:#x}");
+    }
+}
+
+#[test]
+fn loads_sign_and_zero_extend() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, 0x8000_0081u32 as i32);
+        a.sw(Reg::T0, 0x20, Reg::Zero);
+        a.lb(Reg::A0, 0x20, Reg::Zero); // 0x81 -> sign-extended
+        a.lbu(Reg::A1, 0x20, Reg::Zero);
+        a.lh(Reg::A2, 0x22, Reg::Zero); // 0x8000 -> sign-extended
+        a.lhu(Reg::A3, 0x22, Reg::Zero);
+        a.lw(Reg::A4, 0x20, Reg::Zero);
+    });
+    assert_eq!(cpu.reg(Reg::A0), 0xffff_ff81);
+    assert_eq!(cpu.reg(Reg::A1), 0x81);
+    assert_eq!(cpu.reg(Reg::A2), 0xffff_8000);
+    assert_eq!(cpu.reg(Reg::A3), 0x8000);
+    assert_eq!(cpu.reg(Reg::A4), 0x8000_0081);
+}
+
+#[test]
+fn stores_are_width_isolated() {
+    let (_, mem) = run(|a| {
+        a.li(Reg::T0, -1);
+        a.sw(Reg::T0, 0x40, Reg::Zero);
+        a.li(Reg::T1, 0);
+        a.sb(Reg::T1, 0x41, Reg::Zero);
+        a.sh(Reg::T1, 0x44, Reg::Zero); // outside the word
+        a.sw(Reg::T0, 0x44, Reg::Zero);
+        a.sh(Reg::T1, 0x46, Reg::Zero);
+    });
+    assert_eq!(mem.read_bytes(0x40, 4), &[0xff, 0x00, 0xff, 0xff]);
+    assert_eq!(mem.read_bytes(0x44, 4), &[0xff, 0xff, 0x00, 0x00]);
+}
+
+#[test]
+fn post_increment_chains() {
+    // Stream three halfwords with p.lh and write them back with p.sh.
+    let (cpu, mem) = run(|a| {
+        for (i, v) in [0x1111i32, 0x2222, 0x3333].into_iter().enumerate() {
+            a.li(Reg::T0, v);
+            a.sh(Reg::T0, 0x60 + 2 * i as i32, Reg::Zero);
+        }
+        a.li(Reg::A1, 0x60);
+        a.li(Reg::A2, 0x80);
+        for _ in 0..3 {
+            a.p_lh(Reg::T1, 2, Reg::A1);
+            a.p_sh(Reg::T1, 2, Reg::A2);
+        }
+    });
+    assert_eq!(cpu.reg(Reg::A1), 0x66);
+    assert_eq!(cpu.reg(Reg::A2), 0x86);
+    assert_eq!(mem.read_bytes(0x80, 6), mem.read_bytes(0x60, 6));
+}
+
+#[test]
+fn multiply_high_parts() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, -7);
+        a.li(Reg::T1, 6);
+        a.mul(Reg::A0, Reg::T0, Reg::T1);
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Mulh, rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Mulhu, rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Mulhsu, rd: Reg::A3, rs1: Reg::T0, rs2: Reg::T1 });
+    });
+    assert_eq!(cpu.reg(Reg::A0) as i32, -42);
+    assert_eq!(cpu.reg(Reg::A1), u32::MAX, "mulh of small negative product");
+    // (2^32 - 7) * 6 = 6*2^32 - 42 -> high word 5 (borrow).
+    assert_eq!(cpu.reg(Reg::A2), 5);
+    assert_eq!(cpu.reg(Reg::A3), u32::MAX, "mulhsu: signed rs1");
+}
+
+#[test]
+fn division_through_guest() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, -40);
+        a.li(Reg::T1, 6);
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Div, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Rem, rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+        a.li(Reg::T2, 0);
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Div, rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T2 });
+        a.inst(Inst::MulDiv { op: terasim_riscv::MulDivOp::Remu, rd: Reg::A3, rs1: Reg::T0, rs2: Reg::T2 });
+        a.divu(Reg::A4, Reg::T0, Reg::T1);
+    });
+    assert_eq!(cpu.reg(Reg::A0) as i32, -6, "division truncates toward zero");
+    assert_eq!(cpu.reg(Reg::A1) as i32, -4, "remainder keeps dividend sign");
+    assert_eq!(cpu.reg(Reg::A2), u32::MAX, "divide by zero returns -1");
+    assert_eq!(cpu.reg(Reg::A3), (-40i32) as u32, "remu by zero returns dividend");
+    assert_eq!(cpu.reg(Reg::A4), ((-40i32) as u32) / 6);
+}
+
+#[test]
+fn lr_sc_success_and_failure() {
+    let (cpu, mem) = run(|a| {
+        a.li(Reg::T0, 0x100);
+        a.li(Reg::T1, 77);
+        a.sw(Reg::T1, 0, Reg::T0);
+        a.inst(Inst::LrW { rd: Reg::A0, rs1: Reg::T0 }); // a0 = 77
+        a.li(Reg::T2, 88);
+        a.inst(Inst::ScW { rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T2 }); // succeeds: a1 = 0
+        a.inst(Inst::ScW { rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 }); // no reservation: a2 = 1
+    });
+    assert_eq!(cpu.reg(Reg::A0), 77);
+    assert_eq!(cpu.reg(Reg::A1), 0, "sc with valid reservation succeeds");
+    assert_eq!(cpu.reg(Reg::A2), 1, "sc without reservation fails");
+    assert_eq!(mem.read_bytes(0x100, 4), &88u32.to_le_bytes());
+}
+
+#[test]
+fn amo_family() {
+    use terasim_riscv::AmoOp::*;
+    let cases: [(terasim_riscv::AmoOp, u32, u32, u32); 9] = [
+        (Swap, 5, 9, 9),
+        (Add, 5, 9, 14),
+        (Xor, 0b1100, 0b1010, 0b0110),
+        (And, 0b1100, 0b1010, 0b1000),
+        (Or, 0b1100, 0b1010, 0b1110),
+        (Min, (-5i32) as u32, 3, (-5i32) as u32),
+        (Max, (-5i32) as u32, 3, 3),
+        (Minu, (-5i32) as u32, 3, 3),
+        (Maxu, (-5i32) as u32, 3, (-5i32) as u32),
+    ];
+    for (op, old, arg, want) in cases {
+        let (cpu, mem) = run(|a| {
+            a.li(Reg::T0, 0x200);
+            a.li(Reg::T1, old as i32);
+            a.sw(Reg::T1, 0, Reg::T0);
+            a.li(Reg::T2, arg as i32);
+            a.inst(Inst::Amo { op, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T2 });
+        });
+        assert_eq!(cpu.reg(Reg::A0), old, "{op:?} returns the old value");
+        assert_eq!(mem.read_bytes(0x200, 4), &want.to_le_bytes(), "{op:?} memory result");
+    }
+}
+
+fn fp_h(op: FpOp, x: f32, y: f32) -> F16 {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, F16::from_f32(x).to_bits() as i32);
+        a.li(Reg::T1, F16::from_f32(y).to_bits() as i32);
+        a.inst(Inst::FpArith { op, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+    });
+    F16::from_bits(cpu.reg(Reg::A0) as u16)
+}
+
+#[test]
+fn half_precision_arithmetic() {
+    assert_eq!(fp_h(FpOp::Add, 1.5, 2.25).to_f32(), 3.75);
+    assert_eq!(fp_h(FpOp::Sub, 1.0, 4.0).to_f32(), -3.0);
+    assert_eq!(fp_h(FpOp::Mul, -1.5, 2.0).to_f32(), -3.0);
+    assert_eq!(fp_h(FpOp::Div, 1.0, 4.0).to_f32(), 0.25);
+    assert_eq!(fp_h(FpOp::Min, -1.0, 2.0).to_f32(), -1.0);
+    assert_eq!(fp_h(FpOp::Max, -1.0, 2.0).to_f32(), 2.0);
+    // RISC-V NaN rule: min/max with one NaN returns the other operand.
+    let nan_min = {
+        let (cpu, _) = run(|a| {
+            a.li(Reg::T0, F16::NAN.to_bits() as i32);
+            a.li(Reg::T1, F16::from_f32(3.0).to_bits() as i32);
+            a.inst(Inst::FpArith { op: FpOp::Min, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        });
+        F16::from_bits(cpu.reg(Reg::A0) as u16)
+    };
+    assert_eq!(nan_min.to_f32(), 3.0);
+    // Sign injection.
+    assert_eq!(fp_h(FpOp::SgnJ, 2.0, -1.0).to_f32(), -2.0);
+    assert_eq!(fp_h(FpOp::SgnJN, 2.0, -1.0).to_f32(), 2.0);
+    assert_eq!(fp_h(FpOp::SgnJX, -2.0, -1.0).to_f32(), 2.0);
+}
+
+#[test]
+fn half_precision_rounding_is_rne() {
+    // 2048 + 1 in binary16: ulp(2048) = 2, tie at 2049 rounds to even 2048.
+    assert_eq!(fp_h(FpOp::Add, 2048.0, 1.0).to_f32(), 2048.0);
+    assert_eq!(fp_h(FpOp::Add, 2048.0, 3.0).to_f32(), 2052.0, "above tie rounds up to even 2052");
+}
+
+#[test]
+fn fp_compare_and_convert() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, F16::from_f32(1.5).to_bits() as i32);
+        a.li(Reg::T1, F16::from_f32(2.5).to_bits() as i32);
+        a.inst(Inst::FpCmp { op: FpCmpOp::Lt, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::FpCmp { op: FpCmpOp::Le, fmt: FpFmt::H, rd: Reg::A1, rs1: Reg::T1, rs2: Reg::T1 });
+        a.inst(Inst::FpCmp { op: FpCmpOp::Eq, fmt: FpFmt::H, rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
+        // fcvt.w.h truncates toward zero.
+        a.li(Reg::T2, F16::from_f32(-2.75).to_bits() as i32);
+        a.inst(Inst::FpUn { op: terasim_riscv::FpUnOp::CvtWFromFp, fmt: FpFmt::H, rd: Reg::A3, rs1: Reg::T2 });
+        // int -> half -> single roundtrip.
+        a.li(Reg::T3, 77);
+        a.inst(Inst::FpUn { op: terasim_riscv::FpUnOp::CvtFpFromW, fmt: FpFmt::H, rd: Reg::A4, rs1: Reg::T3 });
+        a.fcvt_s_h(Reg::A5, Reg::A4);
+    });
+    assert_eq!(cpu.reg(Reg::A0), 1);
+    assert_eq!(cpu.reg(Reg::A1), 1);
+    assert_eq!(cpu.reg(Reg::A2), 0);
+    assert_eq!(cpu.reg(Reg::A3) as i32, -2, "RTZ conversion");
+    assert_eq!(f32::from_bits(cpu.reg(Reg::A5)), 77.0);
+}
+
+#[test]
+fn single_precision_path() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, 2.5f32.to_bits() as i32);
+        a.li(Reg::T1, 4.0f32.to_bits() as i32);
+        a.fadd_s(Reg::A0, Reg::T0, Reg::T1);
+        a.fdiv_s(Reg::A1, Reg::T0, Reg::T1);
+        a.fcvt_h_s(Reg::A2, Reg::A1);
+    });
+    assert_eq!(f32::from_bits(cpu.reg(Reg::A0)), 6.5);
+    assert_eq!(f32::from_bits(cpu.reg(Reg::A1)), 0.625);
+    assert_eq!(F16::from_bits(cpu.reg(Reg::A2) as u16).to_f32(), 0.625);
+}
+
+fn pack2(re: f32, im: f32) -> i32 {
+    (u32::from(F16::from_f32(re).to_bits()) | (u32::from(F16::from_f32(im).to_bits()) << 16)) as i32
+}
+
+#[test]
+fn simd_lanewise_ops() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, pack2(1.0, -2.0));
+        a.li(Reg::T1, pack2(0.5, 4.0));
+        a.inst(Inst::Vf { op: VfOp::AddH, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::Vf { op: VfOp::SubH, rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::Vf { op: VfOp::MulH, rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
+        // MacH accumulates into rd.
+        a.li(Reg::A3, pack2(10.0, 20.0));
+        a.inst(Inst::Vf { op: VfOp::MacH, rd: Reg::A3, rs1: Reg::T0, rs2: Reg::T1 });
+    });
+    let unpack = |r: Reg, cpu: &Cpu| {
+        let v = cpu.reg(r);
+        (F16::from_bits(v as u16).to_f32(), F16::from_bits((v >> 16) as u16).to_f32())
+    };
+    assert_eq!(unpack(Reg::A0, &cpu), (1.5, 2.0));
+    assert_eq!(unpack(Reg::A1, &cpu), (0.5, -6.0));
+    assert_eq!(unpack(Reg::A2, &cpu), (0.5, -8.0));
+    assert_eq!(unpack(Reg::A3, &cpu), (10.5, 12.0));
+}
+
+#[test]
+fn simd_pack_and_convert() {
+    let (cpu, _) = run(|a| {
+        // vfcpka.h.s packs two f32 into 2xf16.
+        a.li(Reg::T0, 1.25f32.to_bits() as i32);
+        a.li(Reg::T1, (-3.5f32).to_bits() as i32);
+        a.vfcpka_h_s(Reg::A0, Reg::T0, Reg::T1);
+        // binary8 widen/narrow.
+        let b8 = u32::from(F8::from_f32(1.5).to_bits()) | (u32::from(F8::from_f32(-0.5).to_bits()) << 8);
+        a.li(Reg::T2, b8 as i32);
+        a.vfcvt_h_b_lo(Reg::A1, Reg::T2);
+        a.vfcvt_b_h(Reg::A2, Reg::A1);
+    });
+    let v = cpu.reg(Reg::A0);
+    assert_eq!(F16::from_bits(v as u16).to_f32(), 1.25);
+    assert_eq!(F16::from_bits((v >> 16) as u16).to_f32(), -3.5);
+    let w = cpu.reg(Reg::A1);
+    assert_eq!(F16::from_bits(w as u16).to_f32(), 1.5);
+    assert_eq!(F16::from_bits((w >> 16) as u16).to_f32(), -0.5);
+    let b = cpu.reg(Reg::A2);
+    assert_eq!(F8::from_bits(b as u8).to_f32(), 1.5);
+    assert_eq!(F8::from_bits((b >> 8) as u8).to_f32(), -0.5);
+}
+
+#[test]
+fn traps_are_reported() {
+    // Illegal fetch: jump off the end of the text.
+    let mut a = Assembler::new(BASE);
+    a.nop();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let mut cpu = Cpu::new(0);
+    let mut mem = DenseMemory::new(0, 0x100);
+    let err = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).unwrap_err();
+    assert!(matches!(err, Trap::IllegalFetch { pc } if pc == BASE + 4));
+
+    // Misaligned store.
+    let mut a = Assembler::new(BASE);
+    a.li(Reg::T0, 0x33);
+    a.sw(Reg::T0, 2, Reg::Zero);
+    a.ecall();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let mut cpu = Cpu::new(0);
+    let err = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).unwrap_err();
+    assert!(matches!(err, Trap::Mem { .. }), "misaligned store traps: {err}");
+
+    // Ebreak.
+    let mut a = Assembler::new(BASE);
+    a.inst(Inst::Ebreak);
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let mut cpu = Cpu::new(0);
+    let err = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).unwrap_err();
+    assert!(matches!(err, Trap::Breakpoint { pc } if pc == BASE));
+}
+
+#[test]
+fn wfi_stops_the_fast_runner() {
+    let mut a = Assembler::new(BASE);
+    a.li(Reg::A0, 5);
+    a.wfi();
+    a.ecall();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let mut cpu = Cpu::new(0);
+    let mut mem = DenseMemory::new(0, 0x100);
+    let stats = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).unwrap();
+    assert_eq!(stats.stop, terasim_iss::StopReason::Wfi);
+    assert_eq!(cpu.reg(Reg::A0), 5);
+    // Resuming continues to the ecall.
+    let mut cpu2 = cpu.clone();
+    let stats2 = run_core(&mut cpu2, &program, &mut mem, &RunConfig::default()).unwrap();
+    assert!(matches!(stats2.stop, terasim_iss::StopReason::Exit { code: 5 }));
+}
+
+#[test]
+fn x0_is_immutable_everywhere() {
+    let (cpu, _) = run(|a| {
+        a.li(Reg::A0, 1);
+        a.addi(Reg::Zero, Reg::A0, 41);
+        a.lui(Reg::Zero, 0x1000_0000u32 as i32);
+        a.add(Reg::A1, Reg::Zero, Reg::Zero);
+        a.inst(Inst::Vf { op: VfOp::AddH, rd: Reg::Zero, rs1: Reg::A0, rs2: Reg::A0 });
+        a.add(Reg::A2, Reg::Zero, Reg::A0);
+    });
+    assert_eq!(cpu.reg(Reg::Zero), 0);
+    assert_eq!(cpu.reg(Reg::A1), 0);
+    assert_eq!(cpu.reg(Reg::A2), 1);
+}
+
+#[test]
+fn outcome_enum_is_reported_through_step() {
+    // Direct Cpu::step outcomes.
+    let mut a = Assembler::new(BASE);
+    a.nop();
+    a.wfi();
+    a.ecall();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let mut cpu = Cpu::new(0);
+    cpu.set_pc(BASE);
+    let mut mem = DenseMemory::new(0, 0x10);
+    assert_eq!(cpu.step(&program, &mut mem).unwrap(), Outcome::Continue);
+    assert_eq!(cpu.step(&program, &mut mem).unwrap(), Outcome::Wfi);
+    assert_eq!(cpu.step(&program, &mut mem).unwrap(), Outcome::Exit { code: 0 });
+}
+
+#[test]
+fn xpulpimg_integer_mac_and_simd() {
+    use terasim_riscv::PvOp;
+    let (cpu, _) = run(|a| {
+        // p.mac / p.msu accumulate in rd.
+        a.li(Reg::A0, 100);
+        a.li(Reg::T0, 6);
+        a.li(Reg::T1, 7);
+        a.p_mac(Reg::A0, Reg::T0, Reg::T1); // 100 + 42
+        a.p_msu(Reg::A0, Reg::T0, Reg::T0); // 142 - 36
+        // Lanewise i16 add with independent wrap-around.
+        a.li(Reg::T2, 0x7fff_0001u32 as i32); // lanes [1, 32767]
+        a.li(Reg::T3, 0x0001_0002u32 as i32); // lanes [2, 1]
+        a.pv_add_h(Reg::A1, Reg::T2, Reg::T3); // [3, -32768]
+        a.pv_sub_h(Reg::A2, Reg::T2, Reg::T3); // [-1, 32766]
+        // Signed dot product with accumulation.
+        a.li(Reg::A3, 1000);
+        a.li(Reg::T4, 0xfffe_0003u32 as i32); // lanes [3, -2]
+        a.li(Reg::T5, 0x0004_0005u32 as i32); // lanes [5, 4]
+        a.pv_sdotsp_h(Reg::A3, Reg::T4, Reg::T5); // 1000 + 15 - 8
+        a.inst(Inst::Pv { op: PvOp::DotspH, rd: Reg::A4, rs1: Reg::T4, rs2: Reg::T5 });
+    });
+    assert_eq!(cpu.reg(Reg::A0), 106);
+    assert_eq!(cpu.reg(Reg::A1), 0x8000_0003);
+    assert_eq!(cpu.reg(Reg::A2), 0x7ffe_ffff);
+    assert_eq!(cpu.reg(Reg::A3), 1007);
+    assert_eq!(cpu.reg(Reg::A4) as i32, 7);
+}
+
+#[test]
+fn xpulpimg_byte_simd_wraps_per_lane() {
+    use terasim_riscv::PvOp;
+    let (cpu, _) = run(|a| {
+        a.li(Reg::T0, 0x7f01_ff80u32 as i32); // i8 lanes [-128, -1, 1, 127]
+        a.li(Reg::T1, 0x0101_0101u32 as i32); // all ones
+        a.inst(Inst::Pv { op: PvOp::AddB, rd: Reg::A0, rs1: Reg::T0, rs2: Reg::T1 });
+        a.inst(Inst::Pv { op: PvOp::SubB, rd: Reg::A1, rs1: Reg::T0, rs2: Reg::T1 });
+    });
+    // [-128+1, -1+1, 1+1, 127+1] = [-127, 0, 2, -128]
+    assert_eq!(cpu.reg(Reg::A0), 0x8002_0081);
+    // [-128-1, -1-1, 1-1, 127-1] = [127, -2, 0, 126]
+    assert_eq!(cpu.reg(Reg::A1), 0x7e00_fe7f);
+}

@@ -1,0 +1,144 @@
+//! Host-side operand quantization, injection and result readback.
+//!
+//! The same quantization functions feed both the cluster memory (consumed
+//! by the generated guest code) and the [`native`](crate::native) models,
+//! so the two paths start from identical bits.
+
+use terasim_softfloat::{F16, F8};
+use terasim_terapool::ClusterMem;
+
+use crate::layout::ProblemLayout;
+use crate::{Precision, C64};
+
+/// Quantizes a real to binary16 (single RNE rounding from `f64`).
+pub fn q16(x: f64) -> F16 {
+    F16::from_f64(x)
+}
+
+/// Quantizes a real to binary8 (single RNE rounding from `f64`).
+pub fn q8(x: f64) -> F8 {
+    F8::from_f64(x)
+}
+
+/// Packs a complex binary16 value as its memory word (`[im|re]`).
+pub fn pack_c16(c: C64) -> u32 {
+    u32::from(q16(c.0).to_bits()) | (u32::from(q16(c.1).to_bits()) << 16)
+}
+
+/// Packs a complex binary8 value as its memory halfword (`[im|re]`).
+pub fn pack_c8(c: C64) -> u16 {
+    u16::from(q8(c.0).to_bits()) | (u16::from(q8(c.1).to_bits()) << 8)
+}
+
+/// An `n × n` identity channel (useful for smoke tests: `x̂ ≈ y`).
+pub fn identity_channel(n: usize) -> Vec<C64> {
+    let mut h = vec![(0.0, 0.0); n * n];
+    for i in 0..n {
+        h[i * n + i] = (1.0, 0.0);
+    }
+    h
+}
+
+/// Writes one subcarrier problem's operands into cluster memory.
+///
+/// `h` is row-major `h[k*n + i]` = element `(row k, column i)`; the writer
+/// transposes into the kernel's column-major storage. `y` has `n` entries;
+/// `sigma` is the noise power σ².
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `layout.n` or `problem` is out of
+/// range.
+pub fn write_problem(
+    mem: &ClusterMem,
+    layout: &ProblemLayout,
+    problem: u32,
+    h: &[C64],
+    y: &[C64],
+    sigma: f64,
+) {
+    let n = layout.n;
+    assert_eq!(h.len(), (n * n) as usize, "H must be n*n");
+    assert_eq!(y.len(), n as usize, "y must be n");
+    assert!(problem < layout.problems, "problem index out of range");
+
+    match layout.precision {
+        Precision::Half16 | Precision::WDotp16 | Precision::CDotp16 => {
+            for k in 0..n {
+                for i in 0..n {
+                    let addr = layout.h_addr(problem, k, i);
+                    mem.write_u32(addr, pack_c16(h[(k * n + i) as usize]));
+                }
+            }
+            for k in 0..n {
+                mem.write_u32(layout.y_addr(problem, k), pack_c16(y[k as usize]));
+            }
+        }
+        Precision::Quarter8 | Precision::WDotp8 => {
+            for k in 0..n {
+                for i in 0..n {
+                    let addr = layout.h_addr(problem, k, i);
+                    mem.write_u16(addr, pack_c8(h[(k * n + i) as usize]));
+                }
+            }
+            for k in 0..n {
+                mem.write_u16(layout.y_addr(problem, k), pack_c8(y[k as usize]));
+            }
+        }
+    }
+    mem.write_u16(layout.sigma_addr(problem), q16(sigma).to_bits());
+}
+
+/// Reads back the detected symbol vector of one problem (packed binary16
+/// complex, `[re, im]` per entry).
+pub fn read_xhat(mem: &ClusterMem, layout: &ProblemLayout, problem: u32) -> Vec<[F16; 2]> {
+    (0..layout.n)
+        .map(|i| {
+            let word = mem.read_u32(layout.x_addr(problem, i));
+            [F16::from_bits(word as u16), F16::from_bits((word >> 16) as u16)]
+        })
+        .collect()
+}
+
+/// Reads back a Gram-triangle entry from a core's scratch (test support).
+pub fn read_g(
+    mem: &ClusterMem,
+    topo: &terasim_terapool::Topology,
+    layout: &ProblemLayout,
+    core: u32,
+    i: u32,
+    j: u32,
+) -> [F16; 2] {
+    let word = mem.read_u32(layout.g_addr(topo, core, i, j));
+    [F16::from_bits(word as u16), F16::from_bits((word >> 16) as u16)]
+}
+
+#[cfg(test)]
+mod tests {
+    use terasim_terapool::Topology;
+
+    use super::*;
+    use crate::MmseKernel;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let topo = Topology::scaled(8);
+        let kernel = MmseKernel::new(4, Precision::CDotp16).with_active_cores(2);
+        let layout = kernel.layout(&topo).unwrap();
+        let mem = ClusterMem::new(topo);
+        let h = identity_channel(4);
+        let y = vec![(0.5, -0.25); 4];
+        write_problem(&mem, &layout, 1, &h, &y, 0.125);
+        // H[0][0] of problem 1 is 1.0.
+        assert_eq!(mem.read_u32(layout.h_addr(1, 0, 0)), pack_c16((1.0, 0.0)));
+        // Column-major: H[1][0] sits 4 bytes after H[0][0] and is 0.
+        assert_eq!(mem.read_u32(layout.h_addr(1, 1, 0)), 0);
+        assert_eq!(mem.read_u16(layout.sigma_addr(1)), q16(0.125).to_bits());
+    }
+
+    #[test]
+    fn quantizers_match_softfloat() {
+        assert_eq!(pack_c16((1.0, -1.0)), 0xbc00_3c00);
+        assert_eq!(pack_c8((1.0, -1.0)), 0xbc3c);
+    }
+}

@@ -1,0 +1,74 @@
+//! Software-defined MMSE detection on TeraPool (paper §IV).
+//!
+//! The paper implements the linear MMSE detector
+//!
+//! ```text
+//! x̂ = (H^H H + σ² I)⁻¹ H^H y
+//! ```
+//!
+//! on Snitch cores in five arithmetic precisions, decomposing the inverse
+//! through a Cholesky factorization (`G = L L^H`) followed by two
+//! triangular solves. This crate generates that guest software — the
+//! replacement for the cross-compiled C kernels of the original flow — and
+//! provides bit-exact *native* models of each precision:
+//!
+//! * [`Precision`] — the five kernel variants (`16bHalf`, `16bwDotp`,
+//!   `16bCDotp`, `8bQuarter`, `8bwDotp`).
+//! * [`MmseKernel`] — parameters (MIMO size, batch, unrolling) and the
+//!   code generator producing a runnable [`Image`](terasim_riscv::Image).
+//! * [`ProblemLayout`] — the cluster-memory placement of operands following
+//!   the paper's Figure 4: inputs/outputs interleaved across banks,
+//!   intermediates (`G`, `L`) in core-local sequential memory.
+//! * [`data`] — host-side operand quantization/injection and result
+//!   readback.
+//! * [`native`] — pure-Rust models that mirror the generated code
+//!   operation by operation, used to accelerate Monte-Carlo BER runs; an
+//!   integration test asserts bit-equality against ISS execution.
+//!
+//! # Data convention
+//!
+//! The channel matrix is stored *column-major* (equivalently: the rows of
+//! `H^H` are contiguous), so the Gram matrix and matched filter stream
+//! unit-stride data through the SIMD dot-product units. Complex elements
+//! pack `re` at the lower address (`[im|re]` in a little-endian word).
+//!
+//! # Examples
+//!
+//! Build and run a 4×4 MMSE on one simulated core:
+//!
+//! ```
+//! use terasim_kernels::{data, MmseKernel, Precision};
+//! use terasim_terapool::{FastSim, Topology};
+//!
+//! let topo = Topology::scaled(8);
+//! let kernel = MmseKernel::new(4, Precision::CDotp16).with_active_cores(1);
+//! let layout = kernel.layout(&topo)?;
+//! let image = kernel.build(&topo)?;
+//! let mut sim = FastSim::new(topo, &image)?;
+//!
+//! // Identity channel, unit signal: x̂ should recover y (up to sigma).
+//! let h = data::identity_channel(4);
+//! let y = vec![(1.0, 0.0), (-1.0, 0.0), (1.0, 0.0), (-1.0, 0.0)];
+//! data::write_problem(sim.memory(), &layout, 0, &h, &y, 0.0);
+//! sim.run_all(1)?;
+//! let xhat = data::read_xhat(sim.memory(), &layout, 0);
+//! assert!((xhat[0][0].to_f32() - 1.0).abs() < 0.01);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+mod emit;
+mod layout;
+pub mod native;
+mod precision;
+
+pub use emit::{BuildError, MmseKernel};
+pub use layout::{LayoutError, ProblemLayout};
+pub use precision::Precision;
+
+/// A double-precision complex number as `(re, im)` — the host-side operand
+/// type before quantization.
+pub type C64 = (f64, f64);

@@ -1,0 +1,95 @@
+//! The five kernel arithmetic precisions (paper §IV).
+
+use core::fmt;
+
+/// Arithmetic precision of the MMSE kernel's Gram-matrix and
+/// matched-filter stages (the triangular factorization and solves always
+/// run in binary16, as in the paper: the 8-bit variants "cast the outputs
+/// to 16b to solve the linear system in higher numerical precision").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// `16bHalf`: scalar `zhinx` binary16; real/imaginary parts are loaded
+    /// and stored separately (twice the memory operations).
+    Half16,
+    /// `16bwDotp`: SmallFloat widening dot products with 32-bit
+    /// accumulators; two `wDotp` and one shuffle per complex MAC.
+    WDotp16,
+    /// `16bCDotp`: the complex dot-product instruction, 32-bit internal
+    /// precision, packed 16-bit accumulators; one instruction per MAC.
+    CDotp16,
+    /// `8bQuarter`: binary8 (E5M2) scalar complex MACs; outputs cast to binary16
+    /// before the solve.
+    Quarter8,
+    /// `8bwDotp`: packed binary8 widening dot products with 16-bit
+    /// accumulators; one `wDotp` + one shuffle per two complex MACs.
+    WDotp8,
+}
+
+impl Precision {
+    /// All precisions in the paper's presentation order.
+    pub const ALL: [Precision; 5] = [
+        Precision::Half16,
+        Precision::WDotp16,
+        Precision::CDotp16,
+        Precision::Quarter8,
+        Precision::WDotp8,
+    ];
+
+    /// The four precisions used in the cycle/runtime figures (Figures 5-8
+    /// omit `8bQuarter`).
+    pub const TIMED: [Precision; 4] =
+        [Precision::Half16, Precision::WDotp16, Precision::CDotp16, Precision::WDotp8];
+
+    /// Bytes per complex element of `H` and `y` in this precision.
+    pub const fn element_bytes(self) -> u32 {
+        match self {
+            Precision::Half16 | Precision::WDotp16 | Precision::CDotp16 => 4,
+            Precision::Quarter8 | Precision::WDotp8 => 2,
+        }
+    }
+
+    /// Complex elements consumed per emitted load (packed 8-bit loads
+    /// fetch two complexes per 32-bit word).
+    pub const fn elements_per_load(self) -> usize {
+        match self {
+            Precision::WDotp8 => 2,
+            _ => 1,
+        }
+    }
+
+    /// The paper's name for the variant.
+    pub const fn paper_name(self) -> &'static str {
+        match self {
+            Precision::Half16 => "16bHalf",
+            Precision::WDotp16 => "16bwDotp",
+            Precision::CDotp16 => "16bCDotp",
+            Precision::Quarter8 => "8bQuarter",
+            Precision::WDotp8 => "8bwDotp",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Precision::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["16bHalf", "16bwDotp", "16bCDotp", "8bQuarter", "8bwDotp"]);
+    }
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(Precision::Half16.element_bytes(), 4);
+        assert_eq!(Precision::WDotp8.element_bytes(), 2);
+        assert_eq!(Precision::WDotp8.elements_per_load(), 2);
+        assert_eq!(Precision::CDotp16.elements_per_load(), 1);
+    }
+}

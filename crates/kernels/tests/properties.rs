@@ -1,0 +1,156 @@
+//! Property-based tests of the kernel generator and native models.
+
+use proptest::prelude::*;
+use terasim_kernels::{data, native, MmseKernel, Precision, C64};
+use terasim_terapool::Topology;
+
+fn cplx_small() -> impl Strategy<Value = C64> {
+    (-0.5f64..0.5, -0.5f64..0.5)
+}
+
+/// Identity-plus-perturbation channel (well conditioned, row-major).
+fn channel(n: usize) -> impl Strategy<Value = Vec<C64>> {
+    proptest::collection::vec((-0.25f64..0.25, -0.25f64..0.25), n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            v[i * n + i].0 += 1.0;
+        }
+        v
+    })
+}
+
+fn precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Half16),
+        Just(Precision::WDotp16),
+        Just(Precision::CDotp16),
+        Just(Precision::Quarter8),
+        Just(Precision::WDotp8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The native detector tracks the f64 reference within fixed-precision
+    /// error bounds on well-conditioned channels (16-bit variants tight,
+    /// 8-bit loose).
+    #[test]
+    fn native_tracks_reference(
+        p in precision(),
+        h in channel(4),
+        x in proptest::collection::vec(cplx_small(), 4),
+    ) {
+        let n = 4;
+        let mut y = vec![(0.0, 0.0); n];
+        for k in 0..n {
+            for i in 0..n {
+                y[k].0 += h[k * n + i].0 * x[i].0 - h[k * n + i].1 * x[i].1;
+                y[k].1 += h[k * n + i].0 * x[i].1 + h[k * n + i].1 * x[i].0;
+            }
+        }
+        let gold = native::detect_f64(n, &h, &y, 0.01);
+        let dut = native::detect(p, n, &h, &y, 0.01);
+        // binary8 carries a 2-bit mantissa: its quantization error on the
+        // Gram matrix is amplified by the solve, so its bound is loose —
+        // the point is "tracks within fixed-precision error, never blows
+        // up", which is exactly the Figure 9/10 story.
+        let tol = match p {
+            Precision::Half16 | Precision::WDotp16 | Precision::CDotp16 => 0.05,
+            Precision::Quarter8 | Precision::WDotp8 => 1.0,
+        };
+        for (d, g) in dut.iter().zip(&gold) {
+            prop_assert!(d[0].is_finite() && d[1].is_finite(), "{p}: non-finite result");
+            prop_assert!(
+                (d[0].to_f64() - g.0).abs() < tol && (d[1].to_f64() - g.1).abs() < tol,
+                "{p}: ({}, {}) vs ({}, {})",
+                d[0].to_f64(), d[1].to_f64(), g.0, g.1
+            );
+        }
+    }
+
+    /// The f64 reference's Cholesky-based solve satisfies the normal
+    /// equations: (H^H H + sI) x̂ = H^H y.
+    #[test]
+    fn reference_satisfies_normal_equations(
+        h in channel(4),
+        y in proptest::collection::vec(cplx_small(), 4),
+        sigma in 0.001f64..1.0,
+    ) {
+        let n = 4;
+        let xhat = native::detect_f64(n, &h, &y, sigma);
+        // Compute residual r = H^H y - (H^H H + sI) x̂ directly.
+        let conj_mul = |a: C64, b: C64| (a.0 * b.0 + a.1 * b.1, a.0 * b.1 - a.1 * b.0);
+        let mul = |a: C64, b: C64| (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0);
+        for i in 0..n {
+            let mut lhs = (sigma * xhat[i].0, sigma * xhat[i].1);
+            let mut rhs = (0.0, 0.0);
+            for k in 0..n {
+                rhs.0 += conj_mul(h[k * n + i], y[k]).0;
+                rhs.1 += conj_mul(h[k * n + i], y[k]).1;
+                for j in 0..n {
+                    let g = conj_mul(h[k * n + i], h[k * n + j]);
+                    let t = mul(g, xhat[j]);
+                    lhs.0 += t.0;
+                    lhs.1 += t.1;
+                }
+            }
+            prop_assert!((lhs.0 - rhs.0).abs() < 1e-8 && (lhs.1 - rhs.1).abs() < 1e-8,
+                "normal equations violated at row {i}: {lhs:?} vs {rhs:?}");
+        }
+    }
+
+    /// Layout address helpers never collide: H, y, sigma, x regions of all
+    /// problems are disjoint.
+    #[test]
+    fn layout_regions_disjoint(
+        n in prop_oneof![Just(4u32), Just(8u32)],
+        p in precision(),
+        ppc in 1u32..4,
+    ) {
+        let topo = Topology::scaled(16);
+        let kernel = MmseKernel::new(n, p).with_problems_per_core(ppc).with_active_cores(16);
+        let layout = kernel.layout(&topo).unwrap();
+        let eb = p.element_bytes();
+        // Sample addresses across problems and categories.
+        let mut seen = std::collections::HashMap::new();
+        for prob in 0..layout.problems {
+            for k in 0..n {
+                for i in 0..n {
+                    let a = layout.h_addr(prob, k, i);
+                    prop_assert!(seen.insert(a, ("h", prob)).is_none(), "collision at {a:#x}");
+                    if eb == 4 { prop_assert!(seen.insert(a + 2, ("h2", prob)).is_none()); }
+                }
+                let a = layout.y_addr(prob, k);
+                prop_assert!(seen.insert(a, ("y", prob)).is_none(), "collision at {a:#x}");
+                let a = layout.x_addr(prob, k);
+                prop_assert!(seen.insert(a, ("x", prob)).is_none(), "collision at {a:#x}");
+                prop_assert!(seen.insert(a + 2, ("x2", prob)).is_none());
+            }
+            let a = layout.sigma_addr(prob);
+            prop_assert!(seen.insert(a, ("s", prob)).is_none(), "collision at {a:#x}");
+        }
+    }
+
+    /// Quantization helpers are monotone and respect signs.
+    #[test]
+    fn quantizers_monotone(x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(data::q16(lo).to_f64() <= data::q16(hi).to_f64());
+        prop_assert!(data::q8(lo).to_f64() <= data::q8(hi).to_f64());
+        prop_assert_eq!(data::q16(-x).to_bits(), (-data::q16(x)).to_bits());
+    }
+
+    /// The effective unroll factor always divides the problem size.
+    #[test]
+    fn unroll_clamp_is_sound(
+        n in prop_oneof![Just(4u32), Just(8u32), Just(16u32), Just(32u32)],
+        p in precision(),
+        requested in 1u32..8,
+    ) {
+        let kernel = MmseKernel::new(n, p).with_unroll(requested);
+        let u = kernel.effective_unroll();
+        let epl = p.elements_per_load() as u32;
+        prop_assert!(u >= 1 && u <= requested);
+        prop_assert_eq!(n % (2 * u * epl), 0, "body of {} x 2 chains x {} must divide {}", u, epl, n);
+    }
+}

@@ -1,0 +1,136 @@
+//! The Monte-Carlo BER engine (paper §V-C).
+//!
+//! For each SNR point the paper "iterates to a target error count": keep
+//! generating channel uses, running the detector and hard-demapping until
+//! enough bit errors accumulate for a statistically solid estimate (or an
+//! iteration cap is hit).
+
+use crate::channel::{Mimo, TxGenerator};
+use crate::detector::Detector;
+
+/// One measured point of a BER-vs-SNR curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerPoint {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Total bits transmitted.
+    pub bits: u64,
+    /// Bit errors observed.
+    pub errors: u64,
+    /// Channel uses simulated.
+    pub iterations: u64,
+}
+
+impl BerPoint {
+    /// The measured bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+}
+
+/// A Monte-Carlo run at one SNR point.
+#[derive(Debug)]
+pub struct BerRun {
+    scenario: Mimo,
+    snr_db: f64,
+    generator: TxGenerator,
+}
+
+impl BerRun {
+    /// Creates a run for `scenario` at `snr_db`, deterministically seeded.
+    pub fn new(scenario: Mimo, snr_db: f64, seed: u64) -> Self {
+        Self { scenario, snr_db, generator: TxGenerator::new(scenario, snr_db, seed) }
+    }
+
+    /// Simulates until `target_errors` bit errors or `max_iterations`
+    /// channel uses, whichever comes first.
+    pub fn run(&mut self, detector: &dyn Detector, target_errors: u64, max_iterations: u64) -> BerPoint {
+        let mut point =
+            BerPoint { snr_db: self.snr_db, bits: 0, errors: 0, iterations: 0 };
+        let bps = self.scenario.modulation.bits_per_symbol();
+        while point.errors < target_errors && point.iterations < max_iterations {
+            let t = self.generator.next_transmission();
+            let xhat = detector.detect(self.scenario.n_tx, &t.h, &t.y, t.sigma);
+            for (u, sym) in xhat.iter().enumerate() {
+                let rx_bits = self.scenario.modulation.demap(*sym);
+                let tx_bits = &t.bits[u * bps..(u + 1) * bps];
+                point.errors += rx_bits.iter().zip(tx_bits).filter(|(a, b)| a != b).count() as u64;
+            }
+            point.bits += self.scenario.bits_per_use() as u64;
+            point.iterations += 1;
+        }
+        point
+    }
+}
+
+/// Sweeps a detector over a list of SNR points (one [`BerRun`] each,
+/// seeds derived from `seed`).
+pub fn sweep(
+    scenario: Mimo,
+    snrs_db: &[f64],
+    detector: &dyn Detector,
+    target_errors: u64,
+    max_iterations: u64,
+    seed: u64,
+) -> Vec<BerPoint> {
+    snrs_db
+        .iter()
+        .enumerate()
+        .map(|(i, &snr)| {
+            BerRun::new(scenario, snr, seed.wrapping_add(i as u64)).run(
+                detector,
+                target_errors,
+                max_iterations,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelKind, MmseF64, Modulation};
+
+    fn awgn(modulation: Modulation) -> Mimo {
+        Mimo { n_tx: 4, n_rx: 4, modulation, channel: ChannelKind::Awgn }
+    }
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        let points = sweep(awgn(Modulation::Qam16), &[6.0, 12.0, 18.0], &MmseF64, 400, 4_000, 1);
+        assert!(points[0].ber() > points[2].ber(), "{points:?}");
+        assert!(points[0].ber() > 1e-3);
+        assert!(points[2].ber() < 5e-3);
+    }
+
+    #[test]
+    fn higher_order_modulation_is_more_fragile() {
+        let p16 = BerRun::new(awgn(Modulation::Qam16), 12.0, 2).run(&MmseF64, 300, 3_000);
+        let p64 = BerRun::new(awgn(Modulation::Qam64), 12.0, 2).run(&MmseF64, 300, 3_000);
+        assert!(p64.ber() > p16.ber(), "64QAM {} vs 16QAM {}", p64.ber(), p16.ber());
+    }
+
+    #[test]
+    fn target_error_stopping() {
+        let mut run = BerRun::new(awgn(Modulation::Qam16), 0.0, 3);
+        let p = run.run(&MmseF64, 50, 100_000);
+        assert!(p.errors >= 50);
+        assert!(p.iterations < 100_000, "low SNR should hit the error target quickly");
+    }
+
+    #[test]
+    fn rayleigh_is_harder_than_awgn() {
+        let a = BerRun::new(awgn(Modulation::Qam16), 10.0, 4).run(&MmseF64, 300, 3_000);
+        let r = BerRun::new(
+            Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh },
+            10.0,
+            4,
+        )
+        .run(&MmseF64, 300, 3_000);
+        assert!(r.ber() > a.ber(), "Rayleigh {} vs AWGN {}", r.ber(), a.ber());
+    }
+}

@@ -1,0 +1,186 @@
+//! MIMO uplink transmission generation: bits → QAM → channel → noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::qam::Modulation;
+use crate::Cplx;
+
+/// Wireless channel model between the UEs and the basestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Ideal propagation: `H = I`, additive white Gaussian noise only
+    /// ("zero attenuation and interference from other transmitters").
+    Awgn,
+    /// Flat-fading Rayleigh: i.i.d. `CN(0, 1/N_TX)` entries drawn per
+    /// transmission (models multi-path fading, paper Figure 10).
+    Rayleigh,
+}
+
+impl ChannelKind {
+    /// The paper-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Awgn => "AWGN",
+            ChannelKind::Rayleigh => "Rayleigh",
+        }
+    }
+}
+
+/// A MIMO scenario: dimensions, modulation and channel type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mimo {
+    /// Transmitting user equipments.
+    pub n_tx: usize,
+    /// Basestation antennas (the paper uses square `N×N`).
+    pub n_rx: usize,
+    /// Uplink modulation.
+    pub modulation: Modulation,
+    /// Channel model.
+    pub channel: ChannelKind,
+}
+
+impl Mimo {
+    /// Bits carried by one transmission (all users).
+    pub fn bits_per_use(&self) -> usize {
+        self.n_tx * self.modulation.bits_per_symbol()
+    }
+}
+
+/// One generated channel use: the transmitted bits/symbols, the channel
+/// realization, the noisy receive vector and the noise power.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Transmitted bits, `n_tx * bits_per_symbol` LSB-first per user.
+    pub bits: Vec<bool>,
+    /// Transmitted QAM symbols (one per user).
+    pub x: Vec<Cplx>,
+    /// Channel matrix, row-major `h[k*n_tx + i]`.
+    pub h: Vec<Cplx>,
+    /// Received vector (`y = Hx + n`).
+    pub y: Vec<Cplx>,
+    /// Noise power σ² (per receive antenna).
+    pub sigma: f64,
+}
+
+/// Deterministic transmission generator for Monte-Carlo runs.
+#[derive(Debug)]
+pub struct TxGenerator {
+    scenario: Mimo,
+    snr_db: f64,
+    rng: StdRng,
+}
+
+impl TxGenerator {
+    /// Creates a generator for `scenario` at the given SNR (dB, per
+    /// receive antenna), seeded for reproducibility.
+    pub fn new(scenario: Mimo, snr_db: f64, seed: u64) -> Self {
+        Self { scenario, snr_db, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Noise power used for this SNR (`σ² = 10^(-SNR/10)`, unit receive
+    /// signal power by construction).
+    pub fn sigma(&self) -> f64 {
+        10f64.powf(-self.snr_db / 10.0)
+    }
+
+    /// Standard normal sample (Box-Muller).
+    fn randn(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-300);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Circularly-symmetric complex Gaussian with variance `var`.
+    fn randcn(&mut self, var: f64) -> Cplx {
+        let s = (var / 2.0).sqrt();
+        Cplx::new(self.randn() * s, self.randn() * s)
+    }
+
+    /// Draws one channel use.
+    pub fn next_transmission(&mut self) -> Transmission {
+        let Mimo { n_tx, n_rx, modulation, channel } = self.scenario;
+        let bps = modulation.bits_per_symbol();
+        let bits: Vec<bool> = (0..n_tx * bps).map(|_| self.rng.random()).collect();
+        let x: Vec<Cplx> = (0..n_tx).map(|u| modulation.map(&bits[u * bps..(u + 1) * bps])).collect();
+
+        let h: Vec<Cplx> = match channel {
+            ChannelKind::Awgn => {
+                let mut h = vec![Cplx::ZERO; n_rx * n_tx];
+                for i in 0..n_tx.min(n_rx) {
+                    h[i * n_tx + i] = Cplx::new(1.0, 0.0);
+                }
+                h
+            }
+            // E|h|² = 1/n_tx keeps unit receive power per antenna.
+            ChannelKind::Rayleigh => {
+                (0..n_rx * n_tx).map(|_| self.randcn(1.0 / n_tx as f64)).collect()
+            }
+        };
+
+        let sigma = self.sigma();
+        let mut y = vec![Cplx::ZERO; n_rx];
+        for k in 0..n_rx {
+            for i in 0..n_tx {
+                y[k] += h[k * n_tx + i] * x[i];
+            }
+            y[k] += self.randcn(sigma);
+        }
+        Transmission { bits, x, h, y, sigma }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(channel: ChannelKind) -> Mimo {
+        Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel }
+    }
+
+    #[test]
+    fn awgn_channel_is_identity() {
+        let mut g = TxGenerator::new(scenario(ChannelKind::Awgn), 20.0, 7);
+        let t = g.next_transmission();
+        for k in 0..4 {
+            for i in 0..4 {
+                let expect = if k == i { 1.0 } else { 0.0 };
+                assert_eq!(t.h[k * 4 + i].re, expect);
+                assert_eq!(t.h[k * 4 + i].im, 0.0);
+            }
+        }
+        // y ≈ x at high SNR.
+        for k in 0..4 {
+            assert!((t.y[k] - t.x[k]).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TxGenerator::new(scenario(ChannelKind::Rayleigh), 10.0, 42);
+        let mut b = TxGenerator::new(scenario(ChannelKind::Rayleigh), 10.0, 42);
+        let (ta, tb) = (a.next_transmission(), b.next_transmission());
+        assert_eq!(ta.bits, tb.bits);
+        assert_eq!(ta.h[3], tb.h[3]);
+        assert_eq!(ta.y[0], tb.y[0]);
+    }
+
+    #[test]
+    fn rayleigh_unit_receive_power() {
+        let mut g = TxGenerator::new(scenario(ChannelKind::Rayleigh), 100.0, 3);
+        let mut power = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let t = g.next_transmission();
+            power += t.y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 4.0;
+        }
+        let avg = power / trials as f64;
+        assert!((avg - 1.0).abs() < 0.15, "average receive power {avg}");
+    }
+
+    #[test]
+    fn sigma_follows_snr() {
+        let g = TxGenerator::new(scenario(ChannelKind::Awgn), 10.0, 0);
+        assert!((g.sigma() - 0.1).abs() < 1e-12);
+    }
+}

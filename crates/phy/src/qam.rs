@@ -1,0 +1,156 @@
+//! Gray-mapped square QAM constellations with unit average power.
+
+use crate::Cplx;
+
+/// Modulation order of the uplink bit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 4-QAM / QPSK (2 bits per symbol).
+    Qpsk,
+    /// 16-QAM (4 bits per symbol) — used in Figures 9–10.
+    Qam16,
+    /// 64-QAM (6 bits per symbol) — used in Figures 9–10.
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits carried per complex symbol.
+    pub const fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Amplitude levels per I/Q axis.
+    const fn levels(self) -> usize {
+        1 << (self.bits_per_symbol() / 2)
+    }
+
+    /// Unit-average-power normalization factor: `sqrt(2(M-1)/3)` for
+    /// square M-QAM with levels `±1, ±3, …`.
+    pub fn norm(self) -> f64 {
+        let m = (self.levels() * self.levels()) as f64;
+        (2.0 * (m - 1.0) / 3.0).sqrt()
+    }
+
+    /// The paper-style name ("16QAM").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16QAM",
+            Modulation::Qam64 => "64QAM",
+        }
+    }
+
+    /// Maps `bits_per_symbol` bits (LSB-first in the slice) to a
+    /// constellation point with unit average power, Gray-coded per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != bits_per_symbol()`.
+    pub fn map(self, bits: &[bool]) -> Cplx {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong number of bits");
+        let half = self.bits_per_symbol() / 2;
+        let i = Self::pam_level(&bits[..half]);
+        let q = Self::pam_level(&bits[half..]);
+        Cplx::new(i / self.norm(), q / self.norm())
+    }
+
+    /// Hard demapping: nearest constellation point back to bits.
+    ///
+    /// The output has `bits_per_symbol()` entries in the same order
+    /// [`map`](Self::map) consumes them.
+    pub fn demap(self, symbol: Cplx) -> Vec<bool> {
+        let half = self.bits_per_symbol() / 2;
+        let mut bits = Vec::with_capacity(self.bits_per_symbol());
+        bits.extend(Self::pam_bits(symbol.re * self.norm(), half));
+        bits.extend(Self::pam_bits(symbol.im * self.norm(), half));
+        bits
+    }
+
+    /// Gray-coded PAM: `b` bits to an odd level in `±1..=±(2^b - 1)`.
+    fn pam_level(bits: &[bool]) -> f64 {
+        // Binary-reflected Gray decode, then map index 0..2^b to levels.
+        let mut idx = 0usize;
+        let mut acc = false;
+        for &bit in bits.iter().rev() {
+            acc ^= bit;
+            idx = (idx << 1) | usize::from(acc);
+        }
+        let m = 1usize << bits.len();
+        (2.0 * idx as f64) - (m as f64 - 1.0)
+    }
+
+    /// Inverse of [`pam_level`]: nearest level back to Gray bits.
+    fn pam_bits(level: f64, b: usize) -> Vec<bool> {
+        let m = 1usize << b;
+        let idx = (((level + (m as f64 - 1.0)) / 2.0).round() as i64).clamp(0, m as i64 - 1) as usize;
+        // Gray encode, then emit in map()'s bit order (LSB-first of the
+        // reflected code).
+        let gray = idx ^ (idx >> 1);
+        (0..b).map(|i| (gray >> i) & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_bit_patterns(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..1usize << n).map(move |v| (0..n).map(|i| (v >> i) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn map_demap_roundtrip_all_symbols() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            for bits in all_bit_patterns(m.bits_per_symbol()) {
+                let sym = m.map(&bits);
+                assert_eq!(m.demap(sym), bits, "{} bits {bits:?}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unit_average_power() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let mut power = 0.0;
+            let mut count = 0;
+            for bits in all_bit_patterns(m.bits_per_symbol()) {
+                power += m.map(&bits).norm_sqr();
+                count += 1;
+            }
+            let avg = power / count as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{}: avg power {avg}", m.name());
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit() {
+        // Adjacent I-axis points must differ in exactly one bit (Gray
+        // property keeps nearest-neighbour errors to single bit errors).
+        let m = Modulation::Qam16;
+        let norm = m.norm();
+        for bits in all_bit_patterns(4) {
+            let sym = m.map(&bits);
+            let neighbour = Cplx::new(sym.re + 2.0 / norm, sym.im);
+            if neighbour.re * norm <= 3.1 {
+                let nb = m.demap(neighbour);
+                let diff: usize = bits.iter().zip(&nb).filter(|(a, b)| a != b).count();
+                assert_eq!(diff, 1, "bits {bits:?} -> neighbour {nb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn demap_clamps_outliers() {
+        let m = Modulation::Qam16;
+        let far = Cplx::new(10.0, -10.0);
+        let bits = m.demap(far);
+        let sym = m.map(&bits);
+        // Nearest corner.
+        assert!((sym.re * m.norm() - 3.0).abs() < 1e-12);
+        assert!((sym.im * m.norm() + 3.0).abs() < 1e-12);
+    }
+}

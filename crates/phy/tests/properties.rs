@@ -1,0 +1,105 @@
+//! Property-based tests of the PHY substrate.
+
+use proptest::prelude::*;
+use terasim_phy::{ChannelKind, Cplx, Detector, Mimo, MmseF64, Modulation, TxGenerator};
+
+fn cplx() -> impl Strategy<Value = Cplx> {
+    (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| Cplx::new(re, im))
+}
+
+/// A well-conditioned random channel: identity plus a small perturbation.
+fn channel(n: usize) -> impl Strategy<Value = Vec<Cplx>> {
+    proptest::collection::vec((-0.2..0.2f64, -0.2..0.2f64), n * n).prop_map(move |v| {
+        let mut h: Vec<Cplx> = v.into_iter().map(|(re, im)| Cplx::new(re, im)).collect();
+        for i in 0..n {
+            h[i * n + i] += Cplx::new(1.0, 0.0);
+        }
+        h
+    })
+}
+
+proptest! {
+    /// Zero-noise MMSE inverts the channel: x̂ recovers x for any
+    /// well-conditioned H.
+    #[test]
+    fn mmse_inverts_at_zero_noise(h in channel(4), x in proptest::collection::vec(cplx(), 4)) {
+        let n = 4;
+        let mut y = vec![Cplx::ZERO; n];
+        for k in 0..n {
+            for i in 0..n {
+                y[k] += h[k * n + i] * x[i];
+            }
+        }
+        let xhat = MmseF64.detect(n, &h, &y, 0.0);
+        for (a, b) in xhat.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// MMSE shrinks towards zero as sigma grows (never amplifies): the
+    /// regularized solution has smaller norm than the zero-noise one.
+    #[test]
+    fn mmse_regularization_shrinks(h in channel(4), x in proptest::collection::vec(cplx(), 4)) {
+        let n = 4;
+        let mut y = vec![Cplx::ZERO; n];
+        for k in 0..n {
+            for i in 0..n {
+                y[k] += h[k * n + i] * x[i];
+            }
+        }
+        let norm = |v: &[Cplx]| v.iter().map(|z| z.norm_sqr()).sum::<f64>();
+        let x0 = MmseF64.detect(n, &h, &y, 1e-9);
+        let x9 = MmseF64.detect(n, &h, &y, 100.0);
+        prop_assert!(norm(&x9) <= norm(&x0) + 1e-9, "{} vs {}", norm(&x9), norm(&x0));
+    }
+
+    /// QAM map/demap round-trips for arbitrary bit patterns (all
+    /// modulations).
+    #[test]
+    fn qam_roundtrip(bits in proptest::collection::vec(any::<bool>(), 6)) {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let b = &bits[..m.bits_per_symbol()];
+            prop_assert_eq!(m.demap(m.map(b)), b.to_vec());
+        }
+    }
+
+    /// Demapping is idempotent under small perturbations below half the
+    /// minimum constellation distance.
+    #[test]
+    fn qam_demap_robust_to_small_noise(
+        bits in proptest::collection::vec(any::<bool>(), 4),
+        dx in -0.9f64..0.9,
+        dy in -0.9f64..0.9,
+    ) {
+        let m = Modulation::Qam16;
+        let half_min_dist = 1.0 / m.norm(); // levels are 2 apart before normalization
+        let sym = m.map(&bits);
+        let noisy = sym + Cplx::new(dx * half_min_dist, dy * half_min_dist);
+        prop_assert_eq!(m.demap(noisy), bits);
+    }
+
+    /// Transmission generation is deterministic in the seed and the
+    /// received power scales with the transmitted symbols.
+    #[test]
+    fn transmission_determinism(seed in any::<u64>(), snr in 0.0f64..30.0) {
+        let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
+        let ta = TxGenerator::new(scenario, snr, seed).next_transmission();
+        let tb = TxGenerator::new(scenario, snr, seed).next_transmission();
+        prop_assert_eq!(ta.bits, tb.bits);
+        for (a, b) in ta.y.iter().zip(&tb.y) {
+            prop_assert_eq!(a.re, b.re);
+            prop_assert_eq!(a.im, b.im);
+        }
+        prop_assert!((ta.sigma - 10f64.powf(-snr / 10.0)).abs() < 1e-12);
+    }
+
+    /// Complex arithmetic laws (with exact f64 where applicable).
+    #[test]
+    fn cplx_conjugation_laws(a in cplx(), b in cplx()) {
+        prop_assert_eq!((a + b).conj(), a.conj() + b.conj());
+        prop_assert_eq!((a * b).conj(), a.conj() * b.conj());
+        let n = (a * a.conj()).re;
+        prop_assert!((n - a.norm_sqr()).abs() < 1e-12);
+        prop_assert!((a * a.conj()).im.abs() < 1e-12);
+    }
+}

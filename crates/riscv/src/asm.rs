@@ -1,0 +1,712 @@
+//! A label-aware programmatic assembler.
+//!
+//! The original flow cross-compiles C kernels; here the kernel generators
+//! ([`terasim-kernels`]) drive this assembler directly from Rust. It
+//! supports forward references via [`Label`]s, validates encoding ranges at
+//! [`Assembler::finish`], and emits plain `u32` words ready for a
+//! [`Segment`](crate::Segment).
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::inst::*;
+use crate::Reg;
+
+/// A branch/jump target. Created unbound by [`Assembler::new_label`] and
+/// attached to an address by [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced when finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// The unbound label.
+        label: Label,
+    },
+    /// A branch target is further than the B-type ±4 KiB range.
+    BranchOutOfRange {
+        /// PC of the branch instruction.
+        at: u32,
+        /// Resolved target address.
+        target: u32,
+    },
+    /// A jump target is further than the J-type ±1 MiB range.
+    JumpOutOfRange {
+        /// PC of the jump instruction.
+        at: u32,
+        /// Resolved target address.
+        target: u32,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label {label:?} was never bound"),
+            AsmError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at {at:#010x} cannot reach {target:#010x}")
+            }
+            AsmError::JumpOutOfRange { at, target } => {
+                write!(f, "jump at {at:#010x} cannot reach {target:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    Branch(Label),
+    Jump(Label),
+}
+
+/// Builds a text section instruction by instruction.
+///
+/// Every emit method appends one instruction (pseudo-instructions such as
+/// [`li`](Assembler::li) may append two) and returns `&mut self` for
+/// chaining where convenient.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_riscv::{Assembler, Reg};
+///
+/// let mut a = Assembler::new(0x8000_0000);
+/// a.li(Reg::T0, 10);
+/// let top = a.new_label();
+/// a.bind(top);
+/// a.addi(Reg::T0, Reg::T0, -1);
+/// a.bnez(Reg::T0, top);
+/// a.wfi();
+/// let words = a.finish()?;
+/// assert_eq!(words.len(), 4); // li fits addi; loop body; branch; wfi
+/// # Ok::<(), terasim_riscv::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    base: u32,
+    insts: Vec<Inst>,
+    fixups: HashMap<usize, Fixup>,
+    labels: Vec<Option<u32>>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction lands at `base`.
+    pub fn new(base: u32) -> Self {
+        assert!(base.is_multiple_of(4), "text base must be word aligned");
+        Self { base, insts: Vec::new(), fixups: HashMap::new(), labels: Vec::new() }
+    }
+
+    /// Address of the next instruction to be emitted.
+    pub fn pc(&self) -> u32 {
+        self.base + 4 * u32::try_from(self.insts.len()).expect("text fits the address space")
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let pc = self.pc();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(pc);
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Resolves labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a referenced label is unbound or a resolved
+    /// offset exceeds its encoding range.
+    pub fn finish(self) -> Result<Vec<u32>, AsmError> {
+        let mut insts = self.insts;
+        for (&idx, &fixup) in &self.fixups {
+            let at = self.base + 4 * u32::try_from(idx).expect("index fits");
+            let label = match fixup {
+                Fixup::Branch(l) | Fixup::Jump(l) => l,
+            };
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel { label })?;
+            let offset = target.wrapping_sub(at) as i32;
+            match (&mut insts[idx], fixup) {
+                (Inst::Branch { offset: o, .. }, Fixup::Branch(_)) => {
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { at, target });
+                    }
+                    *o = offset;
+                }
+                (Inst::Jal { offset: o, .. }, Fixup::Jump(_)) => {
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { at, target });
+                    }
+                    *o = offset;
+                }
+                _ => unreachable!("fixup attached to a non-control-flow instruction"),
+            }
+        }
+        Ok(insts.iter().map(Inst::encode).collect())
+    }
+
+    fn branch_to(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.fixups.insert(self.insts.len(), Fixup::Branch(label));
+        self.inst(Inst::Branch { op, rs1, rs2, offset: 0 })
+    }
+
+    // --- RV32I -----------------------------------------------------------
+
+    /// `lui rd, imm20` (`imm` is the already-shifted 32-bit value).
+    pub fn lui(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::Lui { rd, imm })
+    }
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// `ori rd, rs1, imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm })
+    }
+
+    /// `xori rd, rs1, imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm })
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+    }
+
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt })
+    }
+
+    /// `slti rd, rs1, imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `sll rd, rs1, rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2 })
+    }
+
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2 })
+    }
+
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2 })
+    }
+
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2 })
+    }
+
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2 })
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 })
+    }
+
+    /// `divu rd, rs1, rs2`
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 })
+    }
+
+    /// `remu rd, rs1, rs2`
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 })
+    }
+
+    // --- loads / stores ---------------------------------------------------
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lw, rd, rs1, offset, post_inc: false })
+    }
+
+    /// `lh rd, offset(rs1)`
+    pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lh, rd, rs1, offset, post_inc: false })
+    }
+
+    /// `lhu rd, offset(rs1)`
+    pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lhu, rd, rs1, offset, post_inc: false })
+    }
+
+    /// `lb rd, offset(rs1)`
+    pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lb, rd, rs1, offset, post_inc: false })
+    }
+
+    /// `lbu rd, offset(rs1)`
+    pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lbu, rd, rs1, offset, post_inc: false })
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store { op: StoreOp::Sw, rs1, rs2, offset, post_inc: false })
+    }
+
+    /// `sh rs2, offset(rs1)`
+    pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store { op: StoreOp::Sh, rs1, rs2, offset, post_inc: false })
+    }
+
+    /// `sb rs2, offset(rs1)`
+    pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store { op: StoreOp::Sb, rs1, rs2, offset, post_inc: false })
+    }
+
+    /// `p.lw rd, offset(rs1!)` — load word, then `rs1 += offset`.
+    pub fn p_lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lw, rd, rs1, offset, post_inc: true })
+    }
+
+    /// `p.lh rd, offset(rs1!)`
+    pub fn p_lh(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lh, rd, rs1, offset, post_inc: true })
+    }
+
+    /// `p.lhu rd, offset(rs1!)`
+    pub fn p_lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load { op: LoadOp::Lhu, rd, rs1, offset, post_inc: true })
+    }
+
+    /// `p.sw rs2, offset(rs1!)`
+    pub fn p_sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store { op: StoreOp::Sw, rs1, rs2, offset, post_inc: true })
+    }
+
+    /// `p.sh rs2, offset(rs1!)`
+    pub fn p_sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store { op: StoreOp::Sh, rs1, rs2, offset, post_inc: true })
+    }
+
+    // --- control flow -----------------------------------------------------
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch_to(BranchOp::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ne, rs1, rs2, label)
+    }
+
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch_to(BranchOp::Lt, rs1, rs2, label)
+    }
+
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ge, rs1, rs2, label)
+    }
+
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ltu, rs1, rs2, label)
+    }
+
+    /// `beqz rs1, label`
+    pub fn beqz(&mut self, rs1: Reg, label: Label) -> &mut Self {
+        self.beq(rs1, Reg::Zero, label)
+    }
+
+    /// `bnez rs1, label`
+    pub fn bnez(&mut self, rs1: Reg, label: Label) -> &mut Self {
+        self.bne(rs1, Reg::Zero, label)
+    }
+
+    /// `j label` (jal zero)
+    pub fn j(&mut self, label: Label) -> &mut Self {
+        self.jal(Reg::Zero, label)
+    }
+
+    /// `jal rd, label`
+    pub fn jal(&mut self, rd: Reg, label: Label) -> &mut Self {
+        self.fixups.insert(self.insts.len(), Fixup::Jump(label));
+        self.inst(Inst::Jal { rd, offset: 0 })
+    }
+
+    /// `call label` (jal ra)
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        self.jal(Reg::Ra, label)
+    }
+
+    /// `ret` (jalr zero, 0(ra))
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 })
+    }
+
+    // --- system ------------------------------------------------------------
+
+    /// `csrr rd, csr` (csrrs rd, csr, zero)
+    pub fn csrr(&mut self, rd: Reg, csr: u16) -> &mut Self {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, src: CsrSrc::Reg(Reg::Zero), csr })
+    }
+
+    /// `wfi`
+    pub fn wfi(&mut self) -> &mut Self {
+        self.inst(Inst::Wfi)
+    }
+
+    /// `ecall`
+    pub fn ecall(&mut self) -> &mut Self {
+        self.inst(Inst::Ecall)
+    }
+
+    // --- atomics ------------------------------------------------------------
+
+    /// `amoadd.w rd, rs2, (rs1)`
+    pub fn amoadd_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Amo { op: AmoOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `amoswap.w rd, rs2, (rs1)`
+    pub fn amoswap_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Amo { op: AmoOp::Swap, rd, rs1, rs2 })
+    }
+
+    // --- scalar FP (zhinx/zfinx) --------------------------------------------
+
+    /// `fadd.h rd, rs1, rs2`
+    pub fn fadd_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Add, fmt: FpFmt::H, rd, rs1, rs2 })
+    }
+
+    /// `fsub.h rd, rs1, rs2`
+    pub fn fsub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Sub, fmt: FpFmt::H, rd, rs1, rs2 })
+    }
+
+    /// `fmul.h rd, rs1, rs2`
+    pub fn fmul_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Mul, fmt: FpFmt::H, rd, rs1, rs2 })
+    }
+
+    /// `fdiv.h rd, rs1, rs2`
+    pub fn fdiv_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Div, fmt: FpFmt::H, rd, rs1, rs2 })
+    }
+
+    /// `fsqrt.h rd, rs1`
+    pub fn fsqrt_h(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::FpUn { op: FpUnOp::Sqrt, fmt: FpFmt::H, rd, rs1 })
+    }
+
+    /// `fmadd.h rd, rs1, rs2, rs3` — `rd = rs1*rs2 + rs3`
+    pub fn fmadd_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg) -> &mut Self {
+        self.inst(Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::H, rd, rs1, rs2, rs3 })
+    }
+
+    /// `fmsub.h rd, rs1, rs2, rs3` — `rd = rs1*rs2 - rs3`
+    pub fn fmsub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg) -> &mut Self {
+        self.inst(Inst::FpFma { op: FmaOp::Msub, fmt: FpFmt::H, rd, rs1, rs2, rs3 })
+    }
+
+    /// `fnmsub.h rd, rs1, rs2, rs3` — `rd = -(rs1*rs2) + rs3`
+    pub fn fnmsub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg) -> &mut Self {
+        self.inst(Inst::FpFma { op: FmaOp::Nmsub, fmt: FpFmt::H, rd, rs1, rs2, rs3 })
+    }
+
+    /// `fsgnjn.h rd, rs1, rs1` (pseudo `fneg.h`)
+    pub fn fneg_h(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::SgnJN, fmt: FpFmt::H, rd, rs1, rs2: rs1 })
+    }
+
+    /// `fcvt.h.s rd, rs1`
+    pub fn fcvt_h_s(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::FpUn { op: FpUnOp::CvtHFromS, fmt: FpFmt::H, rd, rs1 })
+    }
+
+    /// `fcvt.s.h rd, rs1`
+    pub fn fcvt_s_h(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::FpUn { op: FpUnOp::CvtSFromH, fmt: FpFmt::S, rd, rs1 })
+    }
+
+    /// `fadd.s rd, rs1, rs2`
+    pub fn fadd_s(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Add, fmt: FpFmt::S, rd, rs1, rs2 })
+    }
+
+    /// `fdiv.s rd, rs1, rs2`
+    pub fn fdiv_s(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::FpArith { op: FpOp::Div, fmt: FpFmt::S, rd, rs1, rs2 })
+    }
+
+    // --- SmallFloat SIMD ----------------------------------------------------
+
+    /// `vfadd.h rd, rs1, rs2`
+    pub fn vfadd_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::AddH, rd, rs1, rs2 })
+    }
+
+    /// `vfmac.h rd, rs1, rs2` (accumulating)
+    pub fn vfmac_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::MacH, rd, rs1, rs2 })
+    }
+
+    /// `vfdotpex.s.h rd, rs1, rs2` (accumulating)
+    pub fn vfdotpex_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::DotpExSH, rd, rs1, rs2 })
+    }
+
+    /// `vfndotpex.s.h rd, rs1, rs2` (accumulating)
+    pub fn vfndotpex_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::NDotpExSH, rd, rs1, rs2 })
+    }
+
+    /// `vfcdotpex.s.h rd, rs1, rs2` (accumulating complex MAC)
+    pub fn vfcdotpex_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CdotpExSH, rd, rs1, rs2 })
+    }
+
+    /// `vfcdotpex.c.s.h rd, rs1, rs2` (accumulating conjugated complex MAC)
+    pub fn vfcdotpex_c_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CdotpExCSH, rd, rs1, rs2 })
+    }
+
+    /// `vfdotpex.h.b rd, rs1, rs2` (accumulating)
+    pub fn vfdotpex_h_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::DotpExHB, rd, rs1, rs2 })
+    }
+
+    /// `vfndotpex.h.b rd, rs1, rs2` (accumulating)
+    pub fn vfndotpex_h_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::NDotpExHB, rd, rs1, rs2 })
+    }
+
+    /// `vfcpka.h.s rd, rs1, rs2` — pack two f32 into 2×f16.
+    pub fn vfcpka_h_s(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CpkAHS, rd, rs1, rs2 })
+    }
+
+    /// `vfcvt.h.b.lo rd, rs1`
+    pub fn vfcvt_h_b_lo(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CvtHBLo, rd, rs1, rs2: Reg::Zero })
+    }
+
+    /// `vfcvt.h.b.hi rd, rs1`
+    pub fn vfcvt_h_b_hi(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CvtHBHi, rd, rs1, rs2: Reg::Zero })
+    }
+
+    /// `vfcvt.b.h rd, rs1`
+    pub fn vfcvt_b_h(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CvtBH, rd, rs1, rs2: Reg::Zero })
+    }
+
+    /// `pv.swap.h rd, rs1`
+    pub fn pv_swap_h(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::SwapH, rd, rs1, rs2: Reg::Zero })
+    }
+
+    /// `pv.swap.b rd, rs1`
+    pub fn pv_swap_b(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::SwapB, rd, rs1, rs2: Reg::Zero })
+    }
+
+    /// `pv.cmac.b rd, rs1, rs2` (accumulating complex f8 MAC)
+    pub fn pv_cmac_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CmacB, rd, rs1, rs2 })
+    }
+
+    /// `pv.cmac.c.b rd, rs1, rs2` (accumulating conjugated complex f8 MAC)
+    pub fn pv_cmac_c_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Vf { op: VfOp::CmacConjB, rd, rs1, rs2 })
+    }
+
+    // --- Xpulpimg integer MAC / SIMD ------------------------------------------
+
+    /// `p.mac rd, rs1, rs2` — `rd += rs1 * rs2` (accumulating)
+    pub fn p_mac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Pv { op: PvOp::Mac, rd, rs1, rs2 })
+    }
+
+    /// `p.msu rd, rs1, rs2` — `rd -= rs1 * rs2` (accumulating)
+    pub fn p_msu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Pv { op: PvOp::Msu, rd, rs1, rs2 })
+    }
+
+    /// `pv.add.h rd, rs1, rs2` — lanewise 2×i16 add
+    pub fn pv_add_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Pv { op: PvOp::AddH, rd, rs1, rs2 })
+    }
+
+    /// `pv.sub.h rd, rs1, rs2` — lanewise 2×i16 subtract
+    pub fn pv_sub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Pv { op: PvOp::SubH, rd, rs1, rs2 })
+    }
+
+    /// `pv.sdotsp.h rd, rs1, rs2` — accumulating signed 2×i16 dot product
+    pub fn pv_sdotsp_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Pv { op: PvOp::SdotspH, rd, rs1, rs2 })
+    }
+
+    // --- pseudo-instructions ------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(Reg::Zero, Reg::Zero, 0)
+    }
+
+    /// `mv rd, rs1`
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+
+    /// `li rd, value` — loads a 32-bit constant in one or two instructions.
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        if (-2048..=2047).contains(&value) {
+            return self.addi(rd, Reg::Zero, value);
+        }
+        // lui + addi: round the upper part so the sign-extended addi lands
+        // exactly on value.
+        let lo = (value << 20) >> 20;
+        let hi = value.wrapping_sub(lo) as u32;
+        self.lui(rd, hi as i32);
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::decode;
+
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new(0x100);
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.nop();
+        a.beqz(Reg::T0, fwd); // at 0x104, target 0x10c: offset +8
+        a.j(back); // at 0x108, target 0x100: offset -8
+        a.bind(fwd);
+        a.ret();
+        let words = a.finish().unwrap();
+        assert_eq!(
+            decode(words[1]).unwrap(),
+            Inst::Branch { op: BranchOp::Eq, rs1: Reg::T0, rs2: Reg::Zero, offset: 8 }
+        );
+        assert_eq!(decode(words[2]).unwrap(), Inst::Jal { rd: Reg::Zero, offset: -8 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.j(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_an_error() {
+        let mut a = Assembler::new(0);
+        let far = a.new_label();
+        a.beqz(Reg::T0, far);
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.bind(far);
+        a.ret();
+        assert!(matches!(a.finish(), Err(AsmError::BranchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn li_covers_full_range() {
+        for value in [0, 1, -1, 2047, -2048, 2048, -2049, 0x1234_5678, -0x1234_5678, i32::MIN, i32::MAX, 0x7ff, 0x800, 0xfffff000u32 as i32] {
+            let mut a = Assembler::new(0);
+            a.li(Reg::T0, value);
+            let words = a.finish().unwrap();
+            // Emulate the one or two instructions.
+            let mut t0: i32 = 0;
+            for w in words {
+                match decode(w).unwrap() {
+                    Inst::Lui { imm, .. } => t0 = imm,
+                    Inst::OpImm { op: AluOp::Add, rs1, imm, .. } => {
+                        t0 = if rs1 == Reg::Zero { imm } else { t0.wrapping_add(imm) };
+                    }
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            assert_eq!(t0, value, "li {value}");
+        }
+    }
+
+    #[test]
+    fn pc_advances_by_four() {
+        let mut a = Assembler::new(0x8000_0000);
+        assert_eq!(a.pc(), 0x8000_0000);
+        a.nop().nop();
+        assert_eq!(a.pc(), 0x8000_0008);
+        assert_eq!(a.len(), 2);
+    }
+}

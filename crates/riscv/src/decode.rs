@@ -1,0 +1,417 @@
+//! Machine-word decoder (the ISS "translation" front end).
+
+use core::fmt;
+
+use crate::encoding::*;
+use crate::inst::*;
+use crate::Reg;
+
+/// Error returned when a 32-bit word is not a recognized instruction.
+///
+/// The offending word is carried for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The unrecognized machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::from_num((word >> 7) & 0x1f)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::from_num((word >> 15) & 0x1f)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::from_num((word >> 20) & 0x1f)
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1f) as i32)
+}
+
+fn imm_b(word: u32) -> i32 {
+    
+    (((word as i32) >> 31) << 12)
+        | ((((word >> 7) & 1) as i32) << 11)
+        | ((((word >> 25) & 0x3f) as i32) << 5)
+        | ((((word >> 8) & 0xf) as i32) << 1)
+}
+
+fn imm_u(word: u32) -> i32 {
+    (word & 0xffff_f000) as i32
+}
+
+fn imm_j(word: u32) -> i32 {
+    (((word as i32) >> 31) << 20)
+        | (((word >> 12) & 0xff) as i32) << 12
+        | ((((word >> 20) & 1) as i32) << 11)
+        | ((((word >> 21) & 0x3ff) as i32) << 1)
+}
+
+fn branch_op(f3: u32) -> Option<BranchOp> {
+    Some(match f3 {
+        0b000 => BranchOp::Eq,
+        0b001 => BranchOp::Ne,
+        0b100 => BranchOp::Lt,
+        0b101 => BranchOp::Ge,
+        0b110 => BranchOp::Ltu,
+        0b111 => BranchOp::Geu,
+        _ => return None,
+    })
+}
+
+fn load_op(f3: u32) -> Option<LoadOp> {
+    Some(match f3 {
+        0b000 => LoadOp::Lb,
+        0b001 => LoadOp::Lh,
+        0b010 => LoadOp::Lw,
+        0b100 => LoadOp::Lbu,
+        0b101 => LoadOp::Lhu,
+        _ => return None,
+    })
+}
+
+fn store_op(f3: u32) -> Option<StoreOp> {
+    Some(match f3 {
+        0b000 => StoreOp::Sb,
+        0b001 => StoreOp::Sh,
+        0b010 => StoreOp::Sw,
+        _ => return None,
+    })
+}
+
+fn fp_fmt(bits: u32) -> Option<FpFmt> {
+    Some(match bits {
+        0b00 => FpFmt::S,
+        0b10 => FpFmt::H,
+        _ => return None,
+    })
+}
+
+fn vf_op(f7: u32) -> Option<VfOp> {
+    Some(match f7 {
+        0x00 => VfOp::AddH,
+        0x01 => VfOp::SubH,
+        0x02 => VfOp::MulH,
+        0x03 => VfOp::MacH,
+        0x08 => VfOp::DotpExSH,
+        0x09 => VfOp::NDotpExSH,
+        0x0a => VfOp::CdotpExSH,
+        0x0b => VfOp::CdotpExCSH,
+        0x0c => VfOp::DotpExHB,
+        0x0d => VfOp::NDotpExHB,
+        0x10 => VfOp::CpkAHS,
+        0x14 => VfOp::CvtHBLo,
+        0x15 => VfOp::CvtHBHi,
+        0x16 => VfOp::CvtBH,
+        0x18 => VfOp::SwapH,
+        0x19 => VfOp::SwapB,
+        0x1a => VfOp::CmacB,
+        0x1b => VfOp::CmacConjB,
+        _ => return None,
+    })
+}
+
+fn pv_op(f7: u32) -> Option<PvOp> {
+    Some(match f7 {
+        0x00 => PvOp::AddH,
+        0x01 => PvOp::AddB,
+        0x02 => PvOp::SubH,
+        0x03 => PvOp::SubB,
+        0x08 => PvOp::Mac,
+        0x09 => PvOp::Msu,
+        0x0c => PvOp::DotspH,
+        0x0d => PvOp::SdotspH,
+        _ => return None,
+    })
+}
+
+/// Decodes a 32-bit machine word into an [`Inst`].
+///
+/// This is the front half of the simulator's translation phase; the ISS
+/// pre-decodes whole text segments through this function.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words outside the implemented ISA
+/// (RV32IMA + Zfinx/Zhinx + the custom PULP encodings of [`crate::encoding`]).
+///
+/// # Examples
+///
+/// ```
+/// use terasim_riscv::{decode, Inst, Reg};
+///
+/// let word = Inst::Jal { rd: Reg::Ra, offset: -8 }.encode();
+/// assert_eq!(decode(word)?, Inst::Jal { rd: Reg::Ra, offset: -8 });
+/// # Ok::<(), terasim_riscv::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = DecodeError { word };
+    let opcode = word & 0x7f;
+    let inst = match opcode {
+        OP_LUI => Inst::Lui { rd: rd(word), imm: imm_u(word) },
+        OP_AUIPC => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
+        OP_JAL => Inst::Jal { rd: rd(word), offset: imm_j(word) },
+        OP_JALR if funct3(word) == 0 => {
+            Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        OP_BRANCH => Inst::Branch {
+            op: branch_op(funct3(word)).ok_or(err)?,
+            rs1: rs1(word),
+            rs2: rs2(word),
+            offset: imm_b(word),
+        },
+        OP_LOAD | OP_CUSTOM0 => Inst::Load {
+            op: load_op(funct3(word)).ok_or(err)?,
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+            post_inc: opcode == OP_CUSTOM0,
+        },
+        OP_STORE | OP_CUSTOM1 => Inst::Store {
+            op: store_op(funct3(word)).ok_or(err)?,
+            rs1: rs1(word),
+            rs2: rs2(word),
+            offset: imm_s(word),
+            post_inc: opcode == OP_CUSTOM1,
+        },
+        OP_IMM => {
+            let f3 = funct3(word);
+            let imm = imm_i(word);
+            let (op, imm) = match f3 {
+                0b000 => (AluOp::Add, imm),
+                0b001 if funct7(word) == 0 => (AluOp::Sll, imm & 0x1f),
+                0b010 => (AluOp::Slt, imm),
+                0b011 => (AluOp::Sltu, imm),
+                0b100 => (AluOp::Xor, imm),
+                0b101 if funct7(word) == 0 => (AluOp::Srl, imm & 0x1f),
+                0b101 if funct7(word) == 0b010_0000 => (AluOp::Sra, imm & 0x1f),
+                0b110 => (AluOp::Or, imm),
+                0b111 => (AluOp::And, imm),
+                _ => return Err(err),
+            };
+            Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        OP_OP => {
+            let f3 = funct3(word);
+            let f7 = funct7(word);
+            if f7 == 0b000_0001 {
+                let op = match f3 {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    _ => MulDivOp::Remu,
+                };
+                Inst::MulDiv { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            } else {
+                let op = match (f3, f7) {
+                    (0b000, 0) => AluOp::Add,
+                    (0b000, 0b010_0000) => AluOp::Sub,
+                    (0b001, 0) => AluOp::Sll,
+                    (0b010, 0) => AluOp::Slt,
+                    (0b011, 0) => AluOp::Sltu,
+                    (0b100, 0) => AluOp::Xor,
+                    (0b101, 0) => AluOp::Srl,
+                    (0b101, 0b010_0000) => AluOp::Sra,
+                    (0b110, 0) => AluOp::Or,
+                    (0b111, 0) => AluOp::And,
+                    _ => return Err(err),
+                };
+                Inst::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            }
+        }
+        OP_MISC_MEM => Inst::Fence,
+        OP_SYSTEM => {
+            let f3 = funct3(word);
+            if f3 == 0 {
+                match word {
+                    WORD_ECALL => Inst::Ecall,
+                    WORD_EBREAK => Inst::Ebreak,
+                    WORD_WFI => Inst::Wfi,
+                    _ => return Err(err),
+                }
+            } else {
+                let csr = u16::try_from(word >> 20).expect("12-bit CSR address");
+                let field = (word >> 15) & 0x1f;
+                let (op, src) = match f3 {
+                    0b001 => (CsrOp::Rw, CsrSrc::Reg(Reg::from_num(field))),
+                    0b010 => (CsrOp::Rs, CsrSrc::Reg(Reg::from_num(field))),
+                    0b011 => (CsrOp::Rc, CsrSrc::Reg(Reg::from_num(field))),
+                    0b101 => (CsrOp::Rw, CsrSrc::Imm(field as u8)),
+                    0b110 => (CsrOp::Rs, CsrSrc::Imm(field as u8)),
+                    0b111 => (CsrOp::Rc, CsrSrc::Imm(field as u8)),
+                    _ => return Err(err),
+                };
+                Inst::Csr { op, rd: rd(word), src, csr }
+            }
+        }
+        OP_AMO if funct3(word) == 0b010 => {
+            let funct5 = funct7(word) >> 2;
+            match funct5 {
+                AMO_LR if rs2(word) == Reg::Zero => Inst::LrW { rd: rd(word), rs1: rs1(word) },
+                AMO_SC => Inst::ScW { rd: rd(word), rs1: rs1(word), rs2: rs2(word) },
+                _ => {
+                    let op = match funct5 {
+                        0b00000 => AmoOp::Add,
+                        0b00001 => AmoOp::Swap,
+                        0b00100 => AmoOp::Xor,
+                        0b01000 => AmoOp::Or,
+                        0b01100 => AmoOp::And,
+                        0b10000 => AmoOp::Min,
+                        0b10100 => AmoOp::Max,
+                        0b11000 => AmoOp::Minu,
+                        0b11100 => AmoOp::Maxu,
+                        _ => return Err(err),
+                    };
+                    Inst::Amo { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                }
+            }
+        }
+        OP_FP => {
+            let fmt = fp_fmt(funct7(word) & 0b11).ok_or(err)?;
+            let funct5 = funct7(word) >> 2;
+            let rm = funct3(word);
+            match funct5 {
+                0b00000 => Inst::FpArith { op: FpOp::Add, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) },
+                0b00001 => Inst::FpArith { op: FpOp::Sub, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) },
+                0b00010 => Inst::FpArith { op: FpOp::Mul, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) },
+                0b00011 => Inst::FpArith { op: FpOp::Div, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) },
+                0b00100 => {
+                    let op = match rm {
+                        0b000 => FpOp::SgnJ,
+                        0b001 => FpOp::SgnJN,
+                        0b010 => FpOp::SgnJX,
+                        _ => return Err(err),
+                    };
+                    Inst::FpArith { op, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                }
+                0b00101 => {
+                    let op = match rm {
+                        0b000 => FpOp::Min,
+                        0b001 => FpOp::Max,
+                        _ => return Err(err),
+                    };
+                    Inst::FpArith { op, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                }
+                0b01011 if rs2(word) == Reg::Zero => {
+                    Inst::FpUn { op: FpUnOp::Sqrt, fmt, rd: rd(word), rs1: rs1(word) }
+                }
+                0b01000 => {
+                    let op = match rs2(word).num() {
+                        2 if fmt == FpFmt::S => FpUnOp::CvtSFromH,
+                        0 if fmt == FpFmt::H => FpUnOp::CvtHFromS,
+                        _ => return Err(err),
+                    };
+                    Inst::FpUn { op, fmt, rd: rd(word), rs1: rs1(word) }
+                }
+                0b11000 if rs2(word) == Reg::Zero => {
+                    Inst::FpUn { op: FpUnOp::CvtWFromFp, fmt, rd: rd(word), rs1: rs1(word) }
+                }
+                0b11010 if rs2(word) == Reg::Zero => {
+                    Inst::FpUn { op: FpUnOp::CvtFpFromW, fmt, rd: rd(word), rs1: rs1(word) }
+                }
+                0b10100 => {
+                    let op = match rm {
+                        0b000 => FpCmpOp::Le,
+                        0b001 => FpCmpOp::Lt,
+                        0b010 => FpCmpOp::Eq,
+                        _ => return Err(err),
+                    };
+                    Inst::FpCmp { op, fmt, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                }
+                _ => return Err(err),
+            }
+        }
+        OP_FMADD | OP_FMSUB | OP_FNMSUB | OP_FNMADD => {
+            let op = match opcode {
+                OP_FMADD => FmaOp::Madd,
+                OP_FMSUB => FmaOp::Msub,
+                OP_FNMSUB => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            let fmt = fp_fmt((word >> 25) & 0b11).ok_or(err)?;
+            Inst::FpFma {
+                op,
+                fmt,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+                rs3: Reg::from_num(word >> 27),
+            }
+        }
+        OP_CUSTOM3 if funct3(word) == 0 => Inst::Vf {
+            op: vf_op(funct7(word)).ok_or(err)?,
+            rd: rd(word),
+            rs1: rs1(word),
+            rs2: rs2(word),
+        },
+        OP_CUSTOM3 if funct3(word) == 1 => Inst::Pv {
+            op: pv_op(funct7(word)).ok_or(err)?,
+            rd: rd(word),
+            rs1: rs1(word),
+            rs2: rs2(word),
+        },
+        _ => return Err(err),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_canonical_words() {
+        // Canonical encodings cross-checked against the RISC-V spec.
+        assert_eq!(decode(0x0000_0013).unwrap(), Inst::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }); // nop
+        assert_eq!(decode(0x0080_0093).unwrap(), Inst::OpImm { op: AluOp::Add, rd: Reg::Ra, rs1: Reg::Zero, imm: 8 });
+        assert_eq!(decode(0x0000_8067).unwrap(), Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }); // ret
+        assert_eq!(decode(0xfe52_8ae3).unwrap(), Inst::Branch { op: BranchOp::Eq, rs1: Reg::T0, rs2: Reg::T0, offset: -12 });
+        assert_eq!(decode(0x0005_2503).unwrap(), Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A0, offset: 0, post_inc: false });
+        assert_eq!(decode(0x00b5_2023).unwrap(), Inst::Store { op: StoreOp::Sw, rs1: Reg::A0, rs2: Reg::A1, offset: 0, post_inc: false });
+        assert_eq!(decode(0x02b5_0533).unwrap(), Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        assert_eq!(decode(0xf140_2573).unwrap(), Inst::Csr { op: CsrOp::Rs, rd: Reg::A0, src: CsrSrc::Reg(Reg::Zero), csr: 0xf14 }); // csrr a0, mhartid
+        assert_eq!(decode(0x1050_0073).unwrap(), Inst::Wfi);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // OP-FP with quad fmt (0b11) is not implemented.
+        let bad_fmt = Inst::FpArith { op: FpOp::Add, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }.encode() | (0b01 << 25);
+        assert!(decode(bad_fmt).is_err());
+    }
+
+    #[test]
+    fn amoadd_roundtrip_example() {
+        let inst = Inst::Amo { op: AmoOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(decode(inst.encode()).unwrap(), inst);
+    }
+}

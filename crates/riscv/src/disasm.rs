@@ -1,0 +1,245 @@
+//! Disassembly: `Display` renders an [`Inst`] in assembler syntax.
+
+use core::fmt;
+
+use crate::inst::*;
+
+impl fmt::Display for FpFmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FpFmt::S => "s",
+            FpFmt::H => "h",
+        })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let name = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, {offset}")
+            }
+            Inst::Load { op, rd, rs1, offset, post_inc } => {
+                let name = match op {
+                    LoadOp::Lb => "lb",
+                    LoadOp::Lh => "lh",
+                    LoadOp::Lw => "lw",
+                    LoadOp::Lbu => "lbu",
+                    LoadOp::Lhu => "lhu",
+                };
+                if post_inc {
+                    write!(f, "p.{name} {rd}, {offset}({rs1}!)")
+                } else {
+                    write!(f, "{name} {rd}, {offset}({rs1})")
+                }
+            }
+            Inst::Store { op, rs1, rs2, offset, post_inc } => {
+                let name = match op {
+                    StoreOp::Sb => "sb",
+                    StoreOp::Sh => "sh",
+                    StoreOp::Sw => "sw",
+                };
+                if post_inc {
+                    write!(f, "p.{name} {rs2}, {offset}({rs1}!)")
+                } else {
+                    write!(f, "{name} {rs2}, {offset}({rs1})")
+                }
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Sll => "slli",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sub => "subi?",
+                };
+                write!(f, "{name} {rd}, {rs1}, {imm}")
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    MulDivOp::Mul => "mul",
+                    MulDivOp::Mulh => "mulh",
+                    MulDivOp::Mulhsu => "mulhsu",
+                    MulDivOp::Mulhu => "mulhu",
+                    MulDivOp::Div => "div",
+                    MulDivOp::Divu => "divu",
+                    MulDivOp::Rem => "rem",
+                    MulDivOp::Remu => "remu",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::LrW { rd, rs1 } => write!(f, "lr.w {rd}, ({rs1})"),
+            Inst::ScW { rd, rs1, rs2 } => write!(f, "sc.w {rd}, {rs2}, ({rs1})"),
+            Inst::Amo { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    AmoOp::Swap => "amoswap.w",
+                    AmoOp::Add => "amoadd.w",
+                    AmoOp::Xor => "amoxor.w",
+                    AmoOp::And => "amoand.w",
+                    AmoOp::Or => "amoor.w",
+                    AmoOp::Min => "amomin.w",
+                    AmoOp::Max => "amomax.w",
+                    AmoOp::Minu => "amominu.w",
+                    AmoOp::Maxu => "amomaxu.w",
+                };
+                write!(f, "{name} {rd}, {rs2}, ({rs1})")
+            }
+            Inst::Csr { op, rd, src, csr } => {
+                let name = match (op, src) {
+                    (CsrOp::Rw, CsrSrc::Reg(_)) => "csrrw",
+                    (CsrOp::Rs, CsrSrc::Reg(_)) => "csrrs",
+                    (CsrOp::Rc, CsrSrc::Reg(_)) => "csrrc",
+                    (CsrOp::Rw, CsrSrc::Imm(_)) => "csrrwi",
+                    (CsrOp::Rs, CsrSrc::Imm(_)) => "csrrsi",
+                    (CsrOp::Rc, CsrSrc::Imm(_)) => "csrrci",
+                };
+                match src {
+                    CsrSrc::Reg(r) => write!(f, "{name} {rd}, {csr:#x}, {r}"),
+                    CsrSrc::Imm(i) => write!(f, "{name} {rd}, {csr:#x}, {i}"),
+                }
+            }
+            Inst::FpArith { op, fmt, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpOp::Add => "fadd",
+                    FpOp::Sub => "fsub",
+                    FpOp::Mul => "fmul",
+                    FpOp::Div => "fdiv",
+                    FpOp::Min => "fmin",
+                    FpOp::Max => "fmax",
+                    FpOp::SgnJ => "fsgnj",
+                    FpOp::SgnJN => "fsgnjn",
+                    FpOp::SgnJX => "fsgnjx",
+                };
+                write!(f, "{name}.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpUn { op, fmt, rd, rs1 } => match op {
+                FpUnOp::Sqrt => write!(f, "fsqrt.{fmt} {rd}, {rs1}"),
+                FpUnOp::CvtWFromFp => write!(f, "fcvt.w.{fmt} {rd}, {rs1}"),
+                FpUnOp::CvtFpFromW => write!(f, "fcvt.{fmt}.w {rd}, {rs1}"),
+                FpUnOp::CvtSFromH => write!(f, "fcvt.s.h {rd}, {rs1}"),
+                FpUnOp::CvtHFromS => write!(f, "fcvt.h.s {rd}, {rs1}"),
+            },
+            Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+                let name = match op {
+                    FmaOp::Madd => "fmadd",
+                    FmaOp::Msub => "fmsub",
+                    FmaOp::Nmadd => "fnmadd",
+                    FmaOp::Nmsub => "fnmsub",
+                };
+                write!(f, "{name}.{fmt} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Inst::FpCmp { op, fmt, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpCmpOp::Eq => "feq",
+                    FpCmpOp::Lt => "flt",
+                    FpCmpOp::Le => "fle",
+                };
+                write!(f, "{name}.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Inst::Vf { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    VfOp::AddH => "vfadd.h",
+                    VfOp::SubH => "vfsub.h",
+                    VfOp::MulH => "vfmul.h",
+                    VfOp::MacH => "vfmac.h",
+                    VfOp::DotpExSH => "vfdotpex.s.h",
+                    VfOp::NDotpExSH => "vfndotpex.s.h",
+                    VfOp::CdotpExSH => "vfcdotpex.s.h",
+                    VfOp::CdotpExCSH => "vfcdotpex.c.s.h",
+                    VfOp::DotpExHB => "vfdotpex.h.b",
+                    VfOp::NDotpExHB => "vfndotpex.h.b",
+                    VfOp::CpkAHS => "vfcpka.h.s",
+                    VfOp::CvtHBLo => "vfcvt.h.b.lo",
+                    VfOp::CvtHBHi => "vfcvt.h.b.hi",
+                    VfOp::CvtBH => "vfcvt.b.h",
+                    VfOp::SwapH => "pv.swap.h",
+                    VfOp::SwapB => "pv.swap.b",
+                    VfOp::CmacB => "pv.cmac.b",
+                    VfOp::CmacConjB => "pv.cmac.c.b",
+                };
+                if op.is_unary() {
+                    write!(f, "{name} {rd}, {rs1}")
+                } else {
+                    write!(f, "{name} {rd}, {rs1}, {rs2}")
+                }
+            }
+            Inst::Pv { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    PvOp::AddH => "pv.add.h",
+                    PvOp::AddB => "pv.add.b",
+                    PvOp::SubH => "pv.sub.h",
+                    PvOp::SubB => "pv.sub.b",
+                    PvOp::Mac => "p.mac",
+                    PvOp::Msu => "p.msu",
+                    PvOp::DotspH => "pv.dotsp.h",
+                    PvOp::SdotspH => "pv.sdotsp.h",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::Fence => f.write_str("fence"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Wfi => f.write_str("wfi"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode, Reg};
+
+    use super::*;
+
+    #[test]
+    fn renders_common_instructions() {
+        let cases: [(Inst, &str); 6] = [
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -16 }, "addi a0, sp, -16"),
+            (Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 8, post_inc: false }, "lw t0, 8(a1)"),
+            (Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 4, post_inc: true }, "p.lw t0, 4(a1!)"),
+            (Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::H, rd: Reg::A2, rs1: Reg::A3, rs2: Reg::A4, rs3: Reg::A2 }, "fmadd.h a2, a3, a4, a2"),
+            (Inst::Vf { op: VfOp::CdotpExSH, rd: Reg::S0, rs1: Reg::S1, rs2: Reg::S2 }, "vfcdotpex.s.h s0, s1, s2"),
+            (Inst::Vf { op: VfOp::SwapH, rd: Reg::S0, rs1: Reg::S1, rs2: Reg::Zero }, "pv.swap.h s0, s1"),
+        ];
+        for (inst, want) in cases {
+            assert_eq!(inst.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn disasm_of_decoded_word() {
+        let word = 0xf140_2573; // csrr a0, mhartid
+        assert_eq!(decode(word).unwrap().to_string(), "csrrs a0, 0xf14, zero");
+    }
+}

@@ -1,0 +1,340 @@
+//! Machine-word encodings.
+//!
+//! Standard RV32IMA, Zfinx/Zhinx scalar FP and the FMA opcodes use the
+//! ratified RISC-V layouts. The PULP extensions occupy the custom opcode
+//! spaces:
+//!
+//! | Space | Opcode | Contents |
+//! |---|---|---|
+//! | custom-0 | `0001011` | post-increment loads (I-type, load `funct3`) |
+//! | custom-1 | `0101011` | post-increment stores (S-type, store `funct3`) |
+//! | custom-3 | `1111011` | SmallFloat/MiniFloat SIMD + shuffles (R-type, [`VfOp`] in `funct7`) |
+//!
+//! The upstream Xpulpimg/SmallFloat encodings are not publicly ratified;
+//! these layouts are this project's own, chosen to round-trip exactly
+//! through [`Inst::encode`] and [`decode`](crate::decode).
+
+use crate::inst::*;
+use crate::Reg;
+
+// Major opcodes.
+pub(crate) const OP_LUI: u32 = 0b011_0111;
+pub(crate) const OP_AUIPC: u32 = 0b001_0111;
+pub(crate) const OP_JAL: u32 = 0b110_1111;
+pub(crate) const OP_JALR: u32 = 0b110_0111;
+pub(crate) const OP_BRANCH: u32 = 0b110_0011;
+pub(crate) const OP_LOAD: u32 = 0b000_0011;
+pub(crate) const OP_STORE: u32 = 0b010_0011;
+pub(crate) const OP_IMM: u32 = 0b001_0011;
+pub(crate) const OP_OP: u32 = 0b011_0011;
+pub(crate) const OP_MISC_MEM: u32 = 0b000_1111;
+pub(crate) const OP_SYSTEM: u32 = 0b111_0011;
+pub(crate) const OP_AMO: u32 = 0b010_1111;
+pub(crate) const OP_FP: u32 = 0b101_0011;
+pub(crate) const OP_FMADD: u32 = 0b100_0011;
+pub(crate) const OP_FMSUB: u32 = 0b100_0111;
+pub(crate) const OP_FNMSUB: u32 = 0b100_1011;
+pub(crate) const OP_FNMADD: u32 = 0b100_1111;
+pub(crate) const OP_CUSTOM0: u32 = 0b000_1011;
+pub(crate) const OP_CUSTOM1: u32 = 0b010_1011;
+pub(crate) const OP_CUSTOM3: u32 = 0b111_1011;
+
+pub(crate) const WORD_ECALL: u32 = 0x0000_0073;
+pub(crate) const WORD_EBREAK: u32 = 0x0010_0073;
+pub(crate) const WORD_WFI: u32 = 0x1050_0073;
+pub(crate) const WORD_FENCE: u32 = 0x0ff0_000f;
+
+pub(crate) fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0b000,
+        BranchOp::Ne => 0b001,
+        BranchOp::Lt => 0b100,
+        BranchOp::Ge => 0b101,
+        BranchOp::Ltu => 0b110,
+        BranchOp::Geu => 0b111,
+    }
+}
+
+pub(crate) fn load_funct3(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb => 0b000,
+        LoadOp::Lh => 0b001,
+        LoadOp::Lw => 0b010,
+        LoadOp::Lbu => 0b100,
+        LoadOp::Lhu => 0b101,
+    }
+}
+
+pub(crate) fn store_funct3(op: StoreOp) -> u32 {
+    match op {
+        StoreOp::Sb => 0b000,
+        StoreOp::Sh => 0b001,
+        StoreOp::Sw => 0b010,
+    }
+}
+
+/// `(funct3, funct7)` of an OP-format ALU instruction.
+pub(crate) fn alu_functs(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0),
+        AluOp::Sub => (0b000, 0b010_0000),
+        AluOp::Sll => (0b001, 0),
+        AluOp::Slt => (0b010, 0),
+        AluOp::Sltu => (0b011, 0),
+        AluOp::Xor => (0b100, 0),
+        AluOp::Srl => (0b101, 0),
+        AluOp::Sra => (0b101, 0b010_0000),
+        AluOp::Or => (0b110, 0),
+        AluOp::And => (0b111, 0),
+    }
+}
+
+pub(crate) fn muldiv_funct3(op: MulDivOp) -> u32 {
+    match op {
+        MulDivOp::Mul => 0b000,
+        MulDivOp::Mulh => 0b001,
+        MulDivOp::Mulhsu => 0b010,
+        MulDivOp::Mulhu => 0b011,
+        MulDivOp::Div => 0b100,
+        MulDivOp::Divu => 0b101,
+        MulDivOp::Rem => 0b110,
+        MulDivOp::Remu => 0b111,
+    }
+}
+
+pub(crate) fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Add => 0b00000,
+        AmoOp::Swap => 0b00001,
+        AmoOp::Xor => 0b00100,
+        AmoOp::Or => 0b01000,
+        AmoOp::And => 0b01100,
+        AmoOp::Min => 0b10000,
+        AmoOp::Max => 0b10100,
+        AmoOp::Minu => 0b11000,
+        AmoOp::Maxu => 0b11100,
+    }
+}
+
+pub(crate) const AMO_LR: u32 = 0b00010;
+pub(crate) const AMO_SC: u32 = 0b00011;
+
+pub(crate) fn fp_fmt_bits(fmt: FpFmt) -> u32 {
+    match fmt {
+        FpFmt::S => 0b00,
+        FpFmt::H => 0b10,
+    }
+}
+
+pub(crate) fn pv_funct7(op: PvOp) -> u32 {
+    match op {
+        PvOp::AddH => 0x00,
+        PvOp::AddB => 0x01,
+        PvOp::SubH => 0x02,
+        PvOp::SubB => 0x03,
+        PvOp::Mac => 0x08,
+        PvOp::Msu => 0x09,
+        PvOp::DotspH => 0x0c,
+        PvOp::SdotspH => 0x0d,
+    }
+}
+
+pub(crate) fn vf_funct7(op: VfOp) -> u32 {
+    match op {
+        VfOp::AddH => 0x00,
+        VfOp::SubH => 0x01,
+        VfOp::MulH => 0x02,
+        VfOp::MacH => 0x03,
+        VfOp::DotpExSH => 0x08,
+        VfOp::NDotpExSH => 0x09,
+        VfOp::CdotpExSH => 0x0a,
+        VfOp::CdotpExCSH => 0x0b,
+        VfOp::DotpExHB => 0x0c,
+        VfOp::NDotpExHB => 0x0d,
+        VfOp::CpkAHS => 0x10,
+        VfOp::CvtHBLo => 0x14,
+        VfOp::CvtHBHi => 0x15,
+        VfOp::CvtBH => 0x16,
+        VfOp::SwapH => 0x18,
+        VfOp::SwapB => 0x19,
+        VfOp::CmacB => 0x1a,
+        VfOp::CmacConjB => 0x1b,
+    }
+}
+
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    opcode | (rd.num() << 7) | (funct3 << 12) | (rs1.num() << 15) | (rs2.num() << 20) | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "I-type immediate {imm} out of range");
+    opcode | (rd.num() << 7) | (funct3 << 12) | (rs1.num() << 15) | ((imm as u32 & 0xfff) << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "S-type immediate {imm} out of range");
+    let imm = imm as u32 & 0xfff;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | (rs1.num() << 15)
+        | (rs2.num() << 20)
+        | ((imm >> 5) << 25)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+    assert!(
+        (-4096..=4094).contains(&offset) && offset % 2 == 0,
+        "branch offset {offset} out of range or misaligned"
+    );
+    let imm = offset as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | (rs1.num() << 15)
+        | (rs2.num() << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn u_type(opcode: u32, rd: Reg, imm: i32) -> u32 {
+    assert!(imm as u32 & 0xfff == 0, "U-type immediate must be 4 KiB aligned");
+    opcode | (rd.num() << 7) | (imm as u32)
+}
+
+fn j_type(opcode: u32, rd: Reg, offset: i32) -> u32 {
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "jump offset {offset} out of range or misaligned"
+    );
+    let imm = offset as u32;
+    opcode
+        | (rd.num() << 7)
+        | (imm & 0xf_f000)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+impl Inst {
+    /// Encodes the instruction as a 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate or offset does not fit its encoding field
+    /// (e.g. a branch offset beyond ±4 KiB). The [`Assembler`](crate::Assembler)
+    /// performs checked validation before calling this.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Inst::Lui { rd, imm } => u_type(OP_LUI, rd, imm),
+            Inst::Auipc { rd, imm } => u_type(OP_AUIPC, rd, imm),
+            Inst::Jal { rd, offset } => j_type(OP_JAL, rd, offset),
+            Inst::Jalr { rd, rs1, offset } => i_type(OP_JALR, 0, rd, rs1, offset),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                b_type(OP_BRANCH, branch_funct3(op), rs1, rs2, offset)
+            }
+            Inst::Load { op, rd, rs1, offset, post_inc } => {
+                let opcode = if post_inc { OP_CUSTOM0 } else { OP_LOAD };
+                i_type(opcode, load_funct3(op), rd, rs1, offset)
+            }
+            Inst::Store { op, rs1, rs2, offset, post_inc } => {
+                let opcode = if post_inc { OP_CUSTOM1 } else { OP_STORE };
+                s_type(opcode, store_funct3(op), rs1, rs2, offset)
+            }
+            Inst::OpImm { op, rd, rs1, imm } => match op {
+                AluOp::Sub => panic!("subi does not exist; use addi with negated immediate"),
+                AluOp::Sll => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(OP_IMM, 0b001, rd, rs1, imm)
+                }
+                AluOp::Srl => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(OP_IMM, 0b101, rd, rs1, imm)
+                }
+                AluOp::Sra => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(OP_IMM, 0b101, rd, rs1, imm | 0x400)
+                }
+                _ => i_type(OP_IMM, alu_functs(op).0, rd, rs1, imm),
+            },
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let (f3, f7) = alu_functs(op);
+                r_type(OP_OP, f3, f7, rd, rs1, rs2)
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                r_type(OP_OP, muldiv_funct3(op), 0b000_0001, rd, rs1, rs2)
+            }
+            Inst::LrW { rd, rs1 } => r_type(OP_AMO, 0b010, AMO_LR << 2, rd, rs1, Reg::Zero),
+            Inst::ScW { rd, rs1, rs2 } => r_type(OP_AMO, 0b010, AMO_SC << 2, rd, rs1, rs2),
+            Inst::Amo { op, rd, rs1, rs2 } => {
+                r_type(OP_AMO, 0b010, amo_funct5(op) << 2, rd, rs1, rs2)
+            }
+            Inst::Csr { op, rd, src, csr } => {
+                let (funct3, field) = match (op, src) {
+                    (CsrOp::Rw, CsrSrc::Reg(r)) => (0b001, r.num()),
+                    (CsrOp::Rs, CsrSrc::Reg(r)) => (0b010, r.num()),
+                    (CsrOp::Rc, CsrSrc::Reg(r)) => (0b011, r.num()),
+                    (CsrOp::Rw, CsrSrc::Imm(i)) => (0b101, u32::from(i) & 0x1f),
+                    (CsrOp::Rs, CsrSrc::Imm(i)) => (0b110, u32::from(i) & 0x1f),
+                    (CsrOp::Rc, CsrSrc::Imm(i)) => (0b111, u32::from(i) & 0x1f),
+                };
+                OP_SYSTEM | (rd.num() << 7) | (funct3 << 12) | (field << 15) | (u32::from(csr) << 20)
+            }
+            Inst::FpArith { op, fmt, rd, rs1, rs2 } => {
+                let (funct5, rm) = match op {
+                    FpOp::Add => (0b00000, 0b111),
+                    FpOp::Sub => (0b00001, 0b111),
+                    FpOp::Mul => (0b00010, 0b111),
+                    FpOp::Div => (0b00011, 0b111),
+                    FpOp::SgnJ => (0b00100, 0b000),
+                    FpOp::SgnJN => (0b00100, 0b001),
+                    FpOp::SgnJX => (0b00100, 0b010),
+                    FpOp::Min => (0b00101, 0b000),
+                    FpOp::Max => (0b00101, 0b001),
+                };
+                r_type(OP_FP, rm, (funct5 << 2) | fp_fmt_bits(fmt), rd, rs1, rs2)
+            }
+            Inst::FpUn { op, fmt, rd, rs1 } => {
+                let (funct5, rs2_field, rm) = match op {
+                    FpUnOp::Sqrt => (0b01011, 0, 0b111),
+                    FpUnOp::CvtWFromFp => (0b11000, 0, 0b001), // RTZ
+                    FpUnOp::CvtFpFromW => (0b11010, 0, 0b111),
+                    // fcvt.s.h: dest fmt S, source code H (2); fcvt.h.s: dest H, source S (0).
+                    FpUnOp::CvtSFromH => (0b01000, 2, 0b111),
+                    FpUnOp::CvtHFromS => (0b01000, 0, 0b111),
+                };
+                r_type(OP_FP, rm, (funct5 << 2) | fp_fmt_bits(fmt), rd, rs1, Reg::from_num(rs2_field))
+            }
+            Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+                let opcode = match op {
+                    FmaOp::Madd => OP_FMADD,
+                    FmaOp::Msub => OP_FMSUB,
+                    FmaOp::Nmsub => OP_FNMSUB,
+                    FmaOp::Nmadd => OP_FNMADD,
+                };
+                opcode
+                    | (rd.num() << 7)
+                    | (0b111 << 12)
+                    | (rs1.num() << 15)
+                    | (rs2.num() << 20)
+                    | (fp_fmt_bits(fmt) << 25)
+                    | (rs3.num() << 27)
+            }
+            Inst::FpCmp { op, fmt, rd, rs1, rs2 } => {
+                let rm = match op {
+                    FpCmpOp::Le => 0b000,
+                    FpCmpOp::Lt => 0b001,
+                    FpCmpOp::Eq => 0b010,
+                };
+                r_type(OP_FP, rm, (0b10100 << 2) | fp_fmt_bits(fmt), rd, rs1, rs2)
+            }
+            Inst::Vf { op, rd, rs1, rs2 } => r_type(OP_CUSTOM3, 0, vf_funct7(op), rd, rs1, rs2),
+            Inst::Pv { op, rd, rs1, rs2 } => r_type(OP_CUSTOM3, 1, pv_funct7(op), rd, rs1, rs2),
+            Inst::Fence => WORD_FENCE,
+            Inst::Ecall => WORD_ECALL,
+            Inst::Ebreak => WORD_EBREAK,
+            Inst::Wfi => WORD_WFI,
+        }
+    }
+}

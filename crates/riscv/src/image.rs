@@ -1,0 +1,131 @@
+//! Flat binary images — the loadable artifact the assembler produces and
+//! the simulator consumes (in place of ELF files).
+
+use core::fmt;
+
+/// A contiguous chunk of initialized memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Base address of the segment.
+    pub base: u32,
+    /// Raw contents (little-endian byte order, as on the bus).
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// Creates a segment from 32-bit words (little-endian).
+    pub fn from_words(base: u32, words: &[u32]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        Self { base, bytes }
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.base + u32::try_from(self.bytes.len()).expect("segment fits the address space")
+    }
+
+    /// Returns `true` if the segment overlaps `other`.
+    pub fn overlaps(&self, other: &Segment) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
+/// A complete program image: text/data segments plus the entry point.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_riscv::{Image, Segment};
+///
+/// let mut image = Image::new(0x8000_0000);
+/// image.push_segment(Segment::from_words(0x8000_0000, &[0x0000_0013]));
+/// assert_eq!(image.entry(), 0x8000_0000);
+/// assert_eq!(image.segments().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    entry: u32,
+    segments: Vec<Segment>,
+}
+
+impl Image {
+    /// Creates an empty image with the given entry point.
+    pub fn new(entry: u32) -> Self {
+        Self { entry, segments: Vec::new() }
+    }
+
+    /// The address execution starts at.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// All segments, in insertion order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Appends a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment overlaps an existing one — overlapping
+    /// initialized memory is always a build bug.
+    pub fn push_segment(&mut self, segment: Segment) {
+        for existing in &self.segments {
+            assert!(
+                !existing.overlaps(&segment),
+                "segment at {:#010x}..{:#010x} overlaps existing {:#010x}..{:#010x}",
+                segment.base,
+                segment.end(),
+                existing.base,
+                existing.end()
+            );
+        }
+        self.segments.push(segment);
+    }
+
+    /// Total initialized bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Returns `true` if the image has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "image: entry {:#010x}, {} segment(s)", self.entry, self.segments.len())?;
+        for s in &self.segments {
+            writeln!(f, "  {:#010x}..{:#010x} ({} bytes)", s.base, s.end(), s.bytes.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_detection() {
+        let a = Segment::from_words(0x100, &[0, 0]);
+        let b = Segment::from_words(0x104, &[0]);
+        let c = Segment::from_words(0x108, &[0]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn image_rejects_overlap() {
+        let mut img = Image::new(0);
+        img.push_segment(Segment::from_words(0, &[1, 2]));
+        img.push_segment(Segment::from_words(4, &[3]));
+    }
+}

@@ -1,0 +1,506 @@
+//! The decoded instruction type and its operand-class enums.
+
+use crate::Reg;
+
+/// Branch comparison (`beq`..`bgeu`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Load width/sign (`lb`..`lhu`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum LoadOp {
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+}
+
+impl LoadOp {
+    /// Access size in bytes.
+    pub const fn size(self) -> u32 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw => 4,
+        }
+    }
+}
+
+/// Store width (`sb`, `sh`, `sw`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StoreOp {
+    Sb,
+    Sh,
+    Sw,
+}
+
+impl StoreOp {
+    /// Access size in bytes.
+    pub const fn size(self) -> u32 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+        }
+    }
+}
+
+/// Integer ALU operation (register or immediate form).
+///
+/// `Sub` is only valid in the register form; the assembler rejects
+/// `OpImm { op: Sub, .. }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+/// RV32M multiply/divide operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MulDivOp {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// RV32A read-modify-write operation (`amoadd.w` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AmoOp {
+    Swap,
+    Add,
+    Xor,
+    And,
+    Or,
+    Min,
+    Max,
+    Minu,
+    Maxu,
+}
+
+/// CSR access operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CsrOp {
+    Rw,
+    Rs,
+    Rc,
+}
+
+/// Source operand of a CSR instruction: a register (`csrrw`) or a 5-bit
+/// zero-extended immediate (`csrrwi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    /// Register form.
+    Reg(Reg),
+    /// Immediate form (`uimm[4:0]`).
+    Imm(u8),
+}
+
+/// Scalar FP operand format under `zfinx`: single (`.s`) or half (`.h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpFmt {
+    S,
+    H,
+}
+
+/// Two-operand scalar FP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    SgnJ,
+    SgnJN,
+    SgnJX,
+}
+
+/// One-operand scalar FP operation (square root and conversions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpUnOp {
+    /// `fsqrt.fmt`
+    Sqrt,
+    /// `fcvt.w.fmt` — FP to signed integer, round towards zero.
+    CvtWFromFp,
+    /// `fcvt.fmt.w` — signed integer to FP, RNE.
+    CvtFpFromW,
+    /// `fcvt.s.h` — widen half to single (exact).
+    CvtSFromH,
+    /// `fcvt.h.s` — narrow single to half, RNE.
+    CvtHFromS,
+}
+
+/// Fused multiply-add family (`fmadd`..`fnmsub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FmaOp {
+    /// ` rs1*rs2 + rs3`
+    Madd,
+    /// ` rs1*rs2 - rs3`
+    Msub,
+    /// `-rs1*rs2 - rs3`
+    Nmadd,
+    /// `-rs1*rs2 + rs3`
+    Nmsub,
+}
+
+/// FP comparison writing 0/1 to an integer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// SmallFloat/MiniFloat SIMD and PULP shuffle operations (custom-3 space).
+///
+/// Semantics are defined by `terasim_softfloat::ops` where applicable; see
+/// the [`encoding`](crate::encoding) module for the bit layout. Operations
+/// marked *accumulating* read `rd` as a third source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VfOp {
+    /// `vfadd.h` — lanewise 2×f16 add.
+    AddH,
+    /// `vfsub.h` — lanewise 2×f16 subtract.
+    SubH,
+    /// `vfmul.h` — lanewise 2×f16 multiply.
+    MulH,
+    /// `vfmac.h` — lanewise 2×f16 multiply-accumulate (accumulating).
+    MacH,
+    /// `vfdotpex.s.h` — widening 2×f16 dot product into an f32 accumulator
+    /// (accumulating).
+    DotpExSH,
+    /// `vfndotpex.s.h` — as [`VfOp::DotpExSH`] with the second product
+    /// negated (accumulating).
+    NDotpExSH,
+    /// `vfcdotpex.s.h` — complex f16 MAC with 32-bit internal precision
+    /// (accumulating).
+    CdotpExSH,
+    /// `vfcdotpex.c.s.h` — conjugated complex f16 MAC, `rd += conj(rs1)*rs2`
+    /// (accumulating).
+    CdotpExCSH,
+    /// `vfdotpex.h.b` — widening 4×f8 dot product into 2×f16 accumulators
+    /// (accumulating).
+    DotpExHB,
+    /// `vfndotpex.h.b` — as [`VfOp::DotpExHB`] with the second product of
+    /// each pair negated (accumulating).
+    NDotpExHB,
+    /// `vfcpka.h.s` — pack two f32 sources into 2×f16 (RNE).
+    CpkAHS,
+    /// `vfcvt.h.b.lo` — widen the low 2×f8 of `rs1` to 2×f16 (exact).
+    CvtHBLo,
+    /// `vfcvt.h.b.hi` — widen the high 2×f8 of `rs1` to 2×f16 (exact).
+    CvtHBHi,
+    /// `vfcvt.b.h` — narrow 2×f16 of `rs1` to 2×f8 in the low half (RNE).
+    CvtBH,
+    /// `pv.swap.h` — swap the two 16-bit halves of `rs1`.
+    SwapH,
+    /// `pv.swap.b` — swap the bytes within each 16-bit half of `rs1`.
+    SwapB,
+    /// `pv.cmac.b` — complex f8 MAC on the low 16 bits (accumulating).
+    CmacB,
+    /// `pv.cmac.c.b` — conjugated complex f8 MAC, `rd += conj(rs1)*rs2`
+    /// (accumulating).
+    CmacConjB,
+}
+
+impl VfOp {
+    /// Returns `true` if the operation reads `rd` as an accumulator.
+    pub const fn accumulates(self) -> bool {
+        matches!(
+            self,
+            VfOp::MacH
+                | VfOp::DotpExSH
+                | VfOp::NDotpExSH
+                | VfOp::CdotpExSH
+                | VfOp::CdotpExCSH
+                | VfOp::DotpExHB
+                | VfOp::NDotpExHB
+                | VfOp::CmacB
+                | VfOp::CmacConjB
+        )
+    }
+
+    /// Returns `true` if the operation ignores `rs2` (unary shuffles and
+    /// conversions).
+    pub const fn is_unary(self) -> bool {
+        matches!(
+            self,
+            VfOp::CvtHBLo | VfOp::CvtHBHi | VfOp::CvtBH | VfOp::SwapH | VfOp::SwapB
+        )
+    }
+}
+
+/// Xpulpimg integer MAC and SIMD operations (custom-3 space, `funct3 = 1`).
+///
+/// Operations marked *accumulating* read `rd` as a third source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvOp {
+    /// `pv.add.h` — lanewise 2×i16 wrapping add.
+    AddH,
+    /// `pv.add.b` — lanewise 4×i8 wrapping add.
+    AddB,
+    /// `pv.sub.h` — lanewise 2×i16 wrapping subtract.
+    SubH,
+    /// `pv.sub.b` — lanewise 4×i8 wrapping subtract.
+    SubB,
+    /// `p.mac` — integer multiply-accumulate, `rd += rs1 * rs2`
+    /// (accumulating).
+    Mac,
+    /// `p.msu` — integer multiply-subtract, `rd -= rs1 * rs2`
+    /// (accumulating).
+    Msu,
+    /// `pv.dotsp.h` — signed 2×i16 dot product into a 32-bit result.
+    DotspH,
+    /// `pv.sdotsp.h` — as [`PvOp::DotspH`], accumulating into `rd`.
+    SdotspH,
+}
+
+impl PvOp {
+    /// Returns `true` if the operation reads `rd` as an accumulator.
+    pub const fn accumulates(self) -> bool {
+        matches!(self, PvOp::Mac | PvOp::Msu | PvOp::SdotspH)
+    }
+}
+
+/// A decoded Snitch instruction.
+///
+/// This is the unit both simulator backends execute and the output of
+/// [`decode`](crate::decode). Offsets and immediates are stored
+/// sign-extended; `Lui`/`Auipc` store the already-shifted 32-bit immediate.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_riscv::{decode, Inst, Reg};
+///
+/// // addi a0, a0, 1
+/// let word = 0x0015_0513;
+/// assert!(matches!(
+///     decode(word)?,
+///     Inst::OpImm { rd: Reg::A0, rs1: Reg::A0, imm: 1, .. }
+/// ));
+/// # Ok::<(), terasim_riscv::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // fields follow standard RISC-V operand naming
+pub enum Inst {
+    Lui { rd: Reg, imm: i32 },
+    Auipc { rd: Reg, imm: i32 },
+    Jal { rd: Reg, offset: i32 },
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Loads; `post_inc` selects the Xpulpimg post-increment form
+    /// (`p.lw rd, offset(rs1!)`: address is `rs1`, then `rs1 += offset`).
+    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i32, post_inc: bool },
+    /// Stores; `post_inc` as for loads.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i32, post_inc: bool },
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    LrW { rd: Reg, rs1: Reg },
+    ScW { rd: Reg, rs1: Reg, rs2: Reg },
+    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Csr { op: CsrOp, rd: Reg, src: CsrSrc, csr: u16 },
+    FpArith { op: FpOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg },
+    FpUn { op: FpUnOp, fmt: FpFmt, rd: Reg, rs1: Reg },
+    FpFma { op: FmaOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg },
+    FpCmp { op: FpCmpOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg },
+    Vf { op: VfOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Pv { op: PvOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Fence,
+    Ecall,
+    Ebreak,
+    Wfi,
+}
+
+impl Inst {
+    /// The destination register, if the instruction writes one.
+    ///
+    /// `x0` destinations are reported as `None` (writes to `zero` are
+    /// architectural no-ops and must not create scoreboard dependencies).
+    pub fn dst(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::MulDiv { rd, .. }
+            | Inst::LrW { rd, .. }
+            | Inst::ScW { rd, .. }
+            | Inst::Amo { rd, .. }
+            | Inst::Csr { rd, .. }
+            | Inst::FpArith { rd, .. }
+            | Inst::FpUn { rd, .. }
+            | Inst::FpFma { rd, .. }
+            | Inst::FpCmp { rd, .. }
+            | Inst::Vf { rd, .. }
+            | Inst::Pv { rd, .. } => rd,
+            Inst::Branch { .. }
+            | Inst::Store { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::Wfi => return None,
+        };
+        (rd != Reg::Zero).then_some(rd)
+    }
+
+    /// The address-base register updated by a post-increment access, if any.
+    pub fn post_inc_dst(&self) -> Option<Reg> {
+        match *self {
+            Inst::Load { rs1, post_inc: true, .. } | Inst::Store { rs1, post_inc: true, .. } => {
+                (rs1 != Reg::Zero).then_some(rs1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Source registers read by the instruction (up to three), for RAW
+    /// dependency tracking. Reads of `x0` are omitted.
+    pub fn srcs(&self) -> impl Iterator<Item = Reg> {
+        let mut regs = [None::<Reg>; 3];
+        match *self {
+            Inst::Jalr { rs1, .. } | Inst::Load { rs1, .. } | Inst::OpImm { rs1, .. } | Inst::LrW { rs1, .. } => {
+                regs[0] = Some(rs1);
+            }
+            Inst::Branch { rs1, rs2, .. }
+            | Inst::Store { rs1, rs2, .. }
+            | Inst::Op { rs1, rs2, .. }
+            | Inst::MulDiv { rs1, rs2, .. }
+            | Inst::ScW { rs1, rs2, .. }
+            | Inst::Amo { rs1, rs2, .. }
+            | Inst::FpArith { rs1, rs2, .. }
+            | Inst::FpCmp { rs1, rs2, .. } => {
+                regs[0] = Some(rs1);
+                regs[1] = Some(rs2);
+            }
+            Inst::Csr { src, .. } => {
+                if let CsrSrc::Reg(rs1) = src {
+                    regs[0] = Some(rs1);
+                }
+            }
+            Inst::FpUn { rs1, .. } => regs[0] = Some(rs1),
+            Inst::FpFma { rs1, rs2, rs3, .. } => {
+                regs = [Some(rs1), Some(rs2), Some(rs3)];
+            }
+            Inst::Vf { op, rd, rs1, rs2 } => {
+                regs[0] = Some(rs1);
+                if !op.is_unary() {
+                    regs[1] = Some(rs2);
+                }
+                if op.accumulates() {
+                    regs[2] = Some(rd);
+                }
+            }
+            Inst::Pv { op, rd, rs1, rs2 } => {
+                regs[0] = Some(rs1);
+                regs[1] = Some(rs2);
+                if op.accumulates() {
+                    regs[2] = Some(rd);
+                }
+            }
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::Jal { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::Wfi => {}
+        }
+        regs.into_iter().flatten().filter(|&r| r != Reg::Zero)
+    }
+
+    /// Returns `true` for loads, stores and atomics (instructions that
+    /// access data memory).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::LrW { .. } | Inst::ScW { .. } | Inst::Amo { .. }
+        )
+    }
+
+    /// Returns `true` for control-flow instructions.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_destination_is_hidden() {
+        let nop = Inst::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 0 };
+        assert_eq!(nop.dst(), None);
+        assert_eq!(nop.srcs().count(), 0);
+    }
+
+    #[test]
+    fn fma_reads_three_sources() {
+        let fma = Inst::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFmt::H,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            rs3: Reg::A3,
+        };
+        let srcs: Vec<_> = fma.srcs().collect();
+        assert_eq!(srcs, vec![Reg::A1, Reg::A2, Reg::A3]);
+        assert_eq!(fma.dst(), Some(Reg::A0));
+    }
+
+    #[test]
+    fn accumulating_vf_reads_rd() {
+        let dotp = Inst::Vf { op: VfOp::DotpExSH, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let srcs: Vec<_> = dotp.srcs().collect();
+        assert!(srcs.contains(&Reg::A0), "accumulator must be a RAW source");
+        let swap = Inst::Vf { op: VfOp::SwapH, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::Zero };
+        assert_eq!(swap.srcs().collect::<Vec<_>>(), vec![Reg::A1]);
+    }
+
+    #[test]
+    fn post_increment_updates_base() {
+        let load = Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A1, offset: 4, post_inc: true };
+        assert_eq!(load.post_inc_dst(), Some(Reg::A1));
+        let plain = Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A1, offset: 4, post_inc: false };
+        assert_eq!(plain.post_inc_dst(), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Instruction-set model of the TeraPool Snitch cores.
+//!
+//! The paper's DUT executes RV32IMAF binaries where floating-point operands
+//! live in the *integer* register file (`zfinx`/`zhinx`), extended with the
+//! PULP `Xpulpimg` integer/DSP set and the SmallFloat/MiniFloat SIMD sets.
+//! This crate models that ISA as data:
+//!
+//! * [`Inst`] — the decoded instruction, the unit the simulator executes.
+//! * [`Inst::encode`] / [`decode`] — 32-bit machine-word round-tripping.
+//!   Standard extensions use the ratified RISC-V encodings; the PULP custom
+//!   extensions use the custom-0/1/3 opcode spaces with the layouts
+//!   documented in [`encoding`].
+//! * [`Assembler`] — a label-aware programmatic assembler producing flat
+//!   binary images ([`Image`]) that the ISS loads; this replaces the
+//!   cross-compilation toolchain of the original flow.
+//! * A disassembler via [`core::fmt::Display`] on [`Inst`].
+//!
+//! # Examples
+//!
+//! Assemble a tiny countdown loop:
+//!
+//! ```
+//! use terasim_riscv::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new(0x8000_0000);
+//! let top = a.new_label();
+//! a.bind(top);
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, top);
+//! a.ret();
+//! let words = a.finish()?;
+//! assert_eq!(words.len(), 3);
+//! # Ok::<(), terasim_riscv::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod decode;
+mod disasm;
+pub mod encoding;
+mod image;
+mod inst;
+mod reg;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use decode::{decode, DecodeError};
+pub use image::{Image, Segment};
+pub use inst::{
+    AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, LoadOp,
+    MulDivOp, PvOp, StoreOp, VfOp,
+};
+pub use reg::Reg;
+
+/// Well-known CSR addresses used by the DUT runtime.
+pub mod csr {
+    /// Hart (core) ID — each Snitch reads this to find its role.
+    pub const MHARTID: u16 = 0xf14;
+    /// Cycle counter (read-only view of the timing model).
+    pub const MCYCLE: u16 = 0xb00;
+    /// Retired-instruction counter.
+    pub const MINSTRET: u16 = 0xb02;
+}

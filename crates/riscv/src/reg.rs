@@ -1,0 +1,148 @@
+//! Integer register file names.
+
+use core::fmt;
+
+/// One of the 32 RV32 integer registers.
+///
+/// Under `zfinx`/`zhinx` the same registers hold floating-point operands, so
+/// there is no separate FP register type. The enum discriminants equal the
+/// architectural register numbers.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_riscv::Reg;
+///
+/// assert_eq!(Reg::A0 as u32, 10);
+/// assert_eq!(Reg::from_num(10), Reg::A0);
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // the ABI mnemonics are self-describing
+pub enum Reg {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+const NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+const ALL: [Reg; 32] = [
+    Reg::Zero,
+    Reg::Ra,
+    Reg::Sp,
+    Reg::Gp,
+    Reg::Tp,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::S0,
+    Reg::S1,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+];
+
+impl Reg {
+    /// All 32 registers in architectural order.
+    pub const ALL: [Reg; 32] = ALL;
+
+    /// Returns the register with the given architectural number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num >= 32`.
+    pub const fn from_num(num: u32) -> Reg {
+        assert!(num < 32, "register number out of range");
+        ALL[num as usize]
+    }
+
+    /// Architectural register number (0..=31).
+    pub const fn num(self) -> u32 {
+        self as u32
+    }
+
+    /// Register file index as `usize`, for state arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(NAMES[self.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for n in 0..32 {
+            assert_eq!(Reg::from_num(n).num(), n);
+        }
+    }
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::Zero.to_string(), "zero");
+        assert_eq!(Reg::Sp.to_string(), "sp");
+        assert_eq!(Reg::T6.to_string(), "t6");
+        assert_eq!(Reg::S11.to_string(), "s11");
+    }
+}

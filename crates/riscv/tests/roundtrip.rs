@@ -1,0 +1,205 @@
+//! Encode/decode round-trip property tests over the whole ISA.
+
+use proptest::prelude::*;
+use terasim_riscv::{
+    decode, AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst,
+    LoadOp, MulDivOp, PvOp, Reg, StoreOp, VfOp,
+};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::from_num)
+}
+
+fn i_imm() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn b_off() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn j_off() -> impl Strategy<Value = i32> {
+    ((-(1 << 19))..(1 << 19)).prop_map(|x: i32| x * 2)
+}
+
+fn fp_fmt() -> impl Strategy<Value = FpFmt> {
+    prop_oneof![Just(FpFmt::S), Just(FpFmt::H)]
+}
+
+fn pv_op() -> impl Strategy<Value = PvOp> {
+    prop_oneof![
+        Just(PvOp::AddH),
+        Just(PvOp::AddB),
+        Just(PvOp::SubH),
+        Just(PvOp::SubB),
+        Just(PvOp::Mac),
+        Just(PvOp::Msu),
+        Just(PvOp::DotspH),
+        Just(PvOp::SdotspH),
+    ]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    let alu_imm = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ];
+    let alu = prop_oneof![
+        alu_imm.clone(),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+    ];
+    let shift_op = prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)];
+    let muldiv = prop_oneof![
+        Just(MulDivOp::Mul),
+        Just(MulDivOp::Mulh),
+        Just(MulDivOp::Mulhsu),
+        Just(MulDivOp::Mulhu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+        Just(MulDivOp::Rem),
+        Just(MulDivOp::Remu),
+    ];
+    let branch = prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ];
+    let load = prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+    ];
+    let store = prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)];
+    let amo = prop_oneof![
+        Just(AmoOp::Swap),
+        Just(AmoOp::Add),
+        Just(AmoOp::Xor),
+        Just(AmoOp::And),
+        Just(AmoOp::Or),
+        Just(AmoOp::Min),
+        Just(AmoOp::Max),
+        Just(AmoOp::Minu),
+        Just(AmoOp::Maxu),
+    ];
+    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
+    let csr_src = prop_oneof![
+        reg().prop_map(CsrSrc::Reg),
+        (0u8..32).prop_map(CsrSrc::Imm),
+    ];
+    let fp_op = prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+        Just(FpOp::SgnJ),
+        Just(FpOp::SgnJN),
+        Just(FpOp::SgnJX),
+    ];
+    let fma_op = prop_oneof![
+        Just(FmaOp::Madd),
+        Just(FmaOp::Msub),
+        Just(FmaOp::Nmadd),
+        Just(FmaOp::Nmsub),
+    ];
+    let fp_cmp = prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)];
+    let vf_op = prop_oneof![
+        Just(VfOp::AddH),
+        Just(VfOp::SubH),
+        Just(VfOp::MulH),
+        Just(VfOp::MacH),
+        Just(VfOp::DotpExSH),
+        Just(VfOp::NDotpExSH),
+        Just(VfOp::CdotpExSH),
+        Just(VfOp::CdotpExCSH),
+        Just(VfOp::DotpExHB),
+        Just(VfOp::NDotpExHB),
+        Just(VfOp::CpkAHS),
+        Just(VfOp::CvtHBLo),
+        Just(VfOp::CvtHBHi),
+        Just(VfOp::CvtBH),
+        Just(VfOp::SwapH),
+        Just(VfOp::SwapB),
+        Just(VfOp::CmacB),
+        Just(VfOp::CmacConjB),
+    ];
+
+    prop_oneof![
+        (reg(), any::<i32>()).prop_map(|(rd, v)| Inst::Lui { rd, imm: v & !0xfffi32 }),
+        (reg(), any::<i32>()).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v & !0xfffi32 }),
+        (reg(), j_off()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (reg(), reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (branch, reg(), reg(), b_off())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (load, reg(), reg(), i_imm(), any::<bool>())
+            .prop_map(|(op, rd, rs1, offset, post_inc)| Inst::Load { op, rd, rs1, offset, post_inc }),
+        (store, reg(), reg(), i_imm(), any::<bool>())
+            .prop_map(|(op, rs1, rs2, offset, post_inc)| Inst::Store { op, rs1, rs2, offset, post_inc }),
+        (alu_imm, reg(), reg(), i_imm()).prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (shift_op, reg(), reg(), 0i32..32).prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (alu, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (muldiv, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Inst::LrW { rd, rs1 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::ScW { rd, rs1, rs2 }),
+        (amo, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Amo { op, rd, rs1, rs2 }),
+        (csr_op, reg(), csr_src, 0u16..0x1000).prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),
+        (fp_op, fp_fmt(), reg(), reg(), reg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpArith { op, fmt, rd, rs1, rs2 }),
+        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::Sqrt, fmt, rd, rs1 }),
+        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::CvtWFromFp, fmt, rd, rs1 }),
+        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::CvtFpFromW, fmt, rd, rs1 }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Inst::FpUn { op: FpUnOp::CvtSFromH, fmt: FpFmt::S, rd, rs1 }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Inst::FpUn { op: FpUnOp::CvtHFromS, fmt: FpFmt::H, rd, rs1 }),
+        (fma_op, fp_fmt(), reg(), reg(), reg(), reg())
+            .prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 }),
+        (fp_cmp, fp_fmt(), reg(), reg(), reg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpCmp { op, fmt, rd, rs1, rs2 }),
+        (vf_op, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Vf { op, rd, rs1, rs2 }),
+        (pv_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Pv { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Wfi),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Every constructible instruction encodes to a word that decodes back
+    /// to itself.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = inst.encode();
+        let back = decode(word);
+        prop_assert_eq!(back, Ok(inst), "word {:#010x}", word);
+    }
+
+    /// Disassembly is total and non-empty for every instruction.
+    #[test]
+    fn disassembly_is_nonempty(inst in any_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    /// Decoding is a function: the same word never decodes differently, and
+    /// re-encoding a decoded word reproduces the canonical word.
+    #[test]
+    fn decode_encode_is_canonical(inst in any_inst()) {
+        let word = inst.encode();
+        let decoded = decode(word).unwrap();
+        prop_assert_eq!(decoded.encode(), word);
+    }
+}

@@ -1,0 +1,310 @@
+//! Generic IEEE-754-style minifloat packing/unpacking with RNE rounding.
+//!
+//! Both [`F16`](crate::F16) and [`F8`](crate::F8) are thin wrappers over
+//! these routines; keeping a single conversion kernel means a single place
+//! to test subnormals, overflow and tie-breaking.
+
+/// Static description of a binary interchange format: 1 sign bit,
+/// `exp_bits` exponent bits, `man_bits` mantissa bits.
+///
+/// The format follows IEEE 754 conventions: biased exponent with
+/// `bias = 2^(exp_bits-1) - 1`, gradual underflow (subnormals), signed
+/// zeros, infinities and NaNs (all-ones exponent).
+///
+/// # Examples
+///
+/// ```
+/// use terasim_softfloat::FloatFormat;
+///
+/// const HALF: FloatFormat = FloatFormat::new(5, 10);
+/// assert_eq!(HALF.total_bits(), 16);
+/// assert_eq!(HALF.bias(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    exp_bits: u32,
+    man_bits: u32,
+}
+
+impl FloatFormat {
+    /// Creates a format with the given exponent and mantissa widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits < 2`, `man_bits < 1`, or the total width
+    /// (including the sign bit) exceeds 16 bits — wider formats should use
+    /// native `f32`/`f64`.
+    pub const fn new(exp_bits: u32, man_bits: u32) -> Self {
+        assert!(exp_bits >= 2 && man_bits >= 1 && 1 + exp_bits + man_bits <= 16);
+        Self { exp_bits, man_bits }
+    }
+
+    /// Number of exponent bits.
+    pub const fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of explicit mantissa bits.
+    pub const fn man_bits(self) -> u32 {
+        self.man_bits
+    }
+
+    /// Total storage width including the sign bit.
+    pub const fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias (`2^(exp_bits-1) - 1`).
+    pub const fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest unbiased exponent of a normal number.
+    pub const fn emax(self) -> i32 {
+        self.bias()
+    }
+
+    /// Smallest unbiased exponent of a normal number.
+    pub const fn emin(self) -> i32 {
+        1 - self.bias()
+    }
+
+    const fn exp_mask(self) -> u32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// Bit pattern of positive infinity.
+    pub const fn inf_bits(self) -> u32 {
+        self.exp_mask() << self.man_bits
+    }
+
+    /// Bit pattern of the canonical quiet NaN.
+    pub const fn nan_bits(self) -> u32 {
+        self.inf_bits() | (1 << (self.man_bits - 1))
+    }
+
+    /// Bit pattern of the largest finite value.
+    pub const fn max_finite_bits(self) -> u32 {
+        self.inf_bits() - 1
+    }
+}
+
+/// Converts `x` to the packed representation of `fmt`, rounding to nearest
+/// with ties to even. Overflow produces infinity; NaN payloads collapse to
+/// the canonical quiet NaN (sign preserved).
+pub fn mini_from_f32_bits(x: f32, fmt: FloatFormat) -> u32 {
+    let bits = x.to_bits();
+    let sign = bits >> 31;
+    let aexp = ((bits >> 23) & 0xff) as i32;
+    let aman = bits & 0x7f_ffff;
+
+    if aexp == 0xff {
+        let s = sign << (fmt.exp_bits + fmt.man_bits);
+        return if aman != 0 { s | fmt.nan_bits() } else { s | fmt.inf_bits() };
+    }
+    // Express |x| exactly as sig * 2^pow2 with sig a non-negative integer.
+    let (sig, pow2): (u64, i32) = if aexp == 0 {
+        (u64::from(aman), -149)
+    } else {
+        (u64::from(aman | 0x80_0000), aexp - 150)
+    };
+    round_exact(sign, sig, pow2, fmt)
+}
+
+/// Converts `x` to the packed representation of `fmt` with a *single* RNE
+/// rounding (no intermediate `f32` step, so no double rounding).
+pub fn mini_from_f64_bits(x: f64, fmt: FloatFormat) -> u32 {
+    let bits = x.to_bits();
+    let sign = (bits >> 63) as u32;
+    let aexp = ((bits >> 52) & 0x7ff) as i32;
+    let aman = bits & 0xf_ffff_ffff_ffff;
+
+    if aexp == 0x7ff {
+        let s = sign << (fmt.exp_bits + fmt.man_bits);
+        return if aman != 0 { s | fmt.nan_bits() } else { s | fmt.inf_bits() };
+    }
+    let (sig, pow2): (u64, i32) = if aexp == 0 {
+        (aman, -1074)
+    } else {
+        (aman | (1 << 52), aexp - 1075)
+    };
+    round_exact(sign, sig, pow2, fmt)
+}
+
+/// Rounds the exact value `(-1)^sign * sig * 2^pow2` to `fmt` with RNE.
+fn round_exact(sign_bit: u32, sig: u64, pow2: i32, fmt: FloatFormat) -> u32 {
+    let m = fmt.man_bits;
+    let sign = sign_bit << (fmt.exp_bits + m);
+    if sig == 0 {
+        return sign; // signed zero
+    }
+    let msb = 63 - i32::try_from(sig.leading_zeros()).expect("sig is nonzero");
+    let e_val = msb + pow2; // floor(log2 |x|)
+
+    if e_val > fmt.emax() {
+        // |x| >= 2^(emax+1) > max_finite + ulp/2: rounds to infinity.
+        return sign | fmt.inf_bits();
+    }
+
+    // Quantum of the destination grid around |x|.
+    let q = if e_val < fmt.emin() { fmt.emin() - m as i32 } else { e_val - m as i32 };
+    let shift = q - pow2;
+    let rounded: u64 = if shift <= 0 {
+        // Exactly representable on the grid; widen to avoid shift overflow.
+        let wide = u128::from(sig) << u32::try_from(-shift).expect("shift fits in u32");
+        u64::try_from(wide).expect("on-grid significand fits 64 bits")
+    } else if shift > msb + 1 {
+        0 // |x| < quantum/2
+    } else {
+        let shift = u32::try_from(shift).expect("shift is positive");
+        let keep = sig >> shift;
+        let rem = sig & ((1u64 << shift) - 1);
+        let half = 1u64 << (shift - 1);
+        keep + u64::from(rem > half || (rem == half && keep & 1 == 1))
+    };
+
+    if rounded == 0 {
+        return sign; // underflow to zero
+    }
+    let msb2 = 63 - i32::try_from(rounded.leading_zeros()).expect("rounded is nonzero");
+    let e2 = msb2 + q;
+    if e2 > fmt.emax() {
+        return sign | fmt.inf_bits(); // rounding carried past the top
+    }
+    if e2 < fmt.emin() {
+        // Subnormal: biased exponent 0, mantissa is the scaled significand.
+        debug_assert!(q == fmt.emin() - m as i32);
+        return sign | u32::try_from(rounded).expect("subnormal mantissa fits");
+    }
+    // Normal: strip the implicit leading one. A rounding carry can leave a
+    // power-of-two significand one bit wider (mantissa zero, exponent +1).
+    debug_assert!(
+        msb2 == m as i32 || (msb2 == m as i32 + 1 && rounded.is_power_of_two()),
+        "normal significand is m+1 bits (or a carried power of two)"
+    );
+    let man = u32::try_from(rounded - (1 << msb2)).expect("mantissa fits") >> (msb2 - m as i32).max(0);
+    let biased = u32::try_from(e2 + fmt.bias()).expect("biased exponent is positive");
+    sign | (biased << m) | man
+}
+
+/// Converts a packed `fmt` value to `f32` exactly (every minifloat value is
+/// representable in `f32`).
+pub fn mini_to_f32_bits(packed: u32, fmt: FloatFormat) -> f32 {
+    let e = fmt.exp_bits;
+    let m = fmt.man_bits;
+    let sign = ((packed >> (e + m)) & 1) << 31;
+    let exp = (packed >> m) & fmt.exp_mask();
+    let man = packed & ((1 << m) - 1);
+
+    if exp == fmt.exp_mask() {
+        return f32::from_bits(sign | 0x7f80_0000 | if man != 0 { 0x40_0000 } else { 0 });
+    }
+    if exp == 0 {
+        if man == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: man * 2^(emin - m); renormalize into f32.
+        let leading = 31 - man.leading_zeros(); // position of the top set bit, < m
+        let shift = m - leading;
+        let norm_man = (man << shift) & ((1 << m) - 1);
+        let norm_exp = fmt.emin() - shift as i32;
+        let f32_exp = u32::try_from(norm_exp + 127).expect("in f32 normal range");
+        return f32::from_bits(sign | (f32_exp << 23) | (norm_man << (23 - m)));
+    }
+    let unbiased = exp as i32 - fmt.bias();
+    let f32_exp = u32::try_from(unbiased + 127).expect("in f32 normal range");
+    f32::from_bits(sign | (f32_exp << 23) | (man << (23 - m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HALF: FloatFormat = FloatFormat::new(5, 10);
+    const E4M3: FloatFormat = FloatFormat::new(4, 3);
+
+    #[test]
+    fn half_known_values() {
+        assert_eq!(mini_from_f32_bits(1.0, HALF), 0x3c00);
+        assert_eq!(mini_from_f32_bits(-2.0, HALF), 0xc000);
+        assert_eq!(mini_from_f32_bits(65504.0, HALF), 0x7bff);
+        assert_eq!(mini_from_f32_bits(65520.0, HALF), 0x7c00, "midpoint ties to even -> inf");
+        assert_eq!(mini_from_f32_bits(65519.9, HALF), 0x7bff);
+        assert_eq!(mini_from_f32_bits(f32::INFINITY, HALF), 0x7c00);
+        assert_eq!(mini_from_f32_bits(f32::NEG_INFINITY, HALF), 0xfc00);
+        assert_eq!(mini_from_f32_bits(5.960_464_5e-8, HALF), 0x0001, "smallest subnormal");
+        assert_eq!(mini_from_f32_bits(2.980_232_2e-8, HALF), 0x0000, "tie at half-subnormal rounds to even zero");
+        assert_eq!(mini_from_f32_bits(2.981e-8, HALF), 0x0001);
+    }
+
+    #[test]
+    fn half_roundtrip_exhaustive() {
+        for bits in 0..=u16::MAX {
+            let f = mini_to_f32_bits(u32::from(bits), HALF);
+            if f.is_nan() {
+                let back = mini_from_f32_bits(f, HALF);
+                assert_eq!(back & 0x7c00, 0x7c00);
+                assert_ne!(back & 0x3ff, 0);
+                continue;
+            }
+            assert_eq!(
+                mini_from_f32_bits(f, HALF),
+                u32::from(bits),
+                "roundtrip failed for {bits:#06x} ({f})"
+            );
+        }
+    }
+
+    #[test]
+    fn e4m3_roundtrip_exhaustive() {
+        for bits in 0..=u8::MAX {
+            let f = mini_to_f32_bits(u32::from(bits), E4M3);
+            if f.is_nan() {
+                continue;
+            }
+            assert_eq!(mini_from_f32_bits(f, E4M3), u32::from(bits));
+        }
+    }
+
+    #[test]
+    fn e4m3_range() {
+        // E4M3 (IEEE-style, with inf): max finite = 1.875 * 2^7 = 240.
+        assert_eq!(mini_to_f32_bits(E4M3.max_finite_bits(), E4M3), 240.0);
+        assert_eq!(mini_from_f32_bits(240.0, E4M3), E4M3.max_finite_bits());
+        assert_eq!(mini_from_f32_bits(260.0, E4M3), E4M3.inf_bits());
+        // Smallest subnormal = 2^(-6-3) = 2^-9.
+        assert_eq!(mini_to_f32_bits(1, E4M3), 2f32.powi(-9));
+    }
+
+    #[test]
+    fn rne_ties() {
+        // 1 + 1/2048 is exactly between 1.0 (0x3c00) and nextafter (0x3c01): ties to even.
+        let tie = 1.0 + 2f32.powi(-11);
+        assert_eq!(mini_from_f32_bits(tie, HALF), 0x3c00);
+        let tie_up = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(mini_from_f32_bits(tie_up, HALF), 0x3c02);
+    }
+
+    #[test]
+    fn signed_zero_and_nan_sign() {
+        assert_eq!(mini_from_f32_bits(-0.0, HALF), 0x8000);
+        let neg_nan = f32::from_bits(0xffc0_0000);
+        assert_eq!(mini_from_f32_bits(neg_nan, HALF), 0x8000 | HALF.nan_bits());
+    }
+
+    #[test]
+    fn monotonic_on_grid_neighbours() {
+        // Conversion of consecutive f32 values never decreases (as u16 order on positives).
+        let mut prev = mini_from_f32_bits(0.0, E4M3);
+        let mut x = 0.0f32;
+        for _ in 0..10_000 {
+            x = f32::from_bits(x.to_bits() + 97);
+            if !x.is_finite() {
+                break;
+            }
+            let cur = mini_from_f32_bits(x, E4M3);
+            assert!(cur >= prev, "non-monotonic at {x}");
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the softfloat formats.
+
+use proptest::prelude::*;
+use terasim_softfloat::{mini_from_f32_bits, mini_to_f32_bits, FloatFormat, F16, F8};
+
+const HALF: FloatFormat = FloatFormat::new(5, 10);
+const E4M3: FloatFormat = FloatFormat::new(4, 3);
+const E5M2: FloatFormat = FloatFormat::new(5, 2);
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    any::<f32>().prop_filter("finite", |x| x.is_finite())
+}
+
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_map(F16::from_bits).prop_filter("finite", |x| x.is_finite())
+}
+
+fn finite_f8() -> impl Strategy<Value = F8> {
+    any::<u8>().prop_map(F8::from_bits).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    /// Conversion through the generic kernel is monotone: x <= y implies
+    /// mini(x) <= mini(y) as real values.
+    #[test]
+    fn conversion_is_monotone(x in finite_f32(), y in finite_f32()) {
+        for fmt in [HALF, E4M3, E5M2] {
+            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+            let flo = mini_to_f32_bits(mini_from_f32_bits(lo, fmt), fmt);
+            let fhi = mini_to_f32_bits(mini_from_f32_bits(hi, fmt), fmt);
+            prop_assert!(flo <= fhi, "monotonicity violated for {lo} <= {hi} in {fmt:?}");
+        }
+    }
+
+    /// Rounding never moves by more than one ulp: the converted value is one
+    /// of the two grid values bracketing x.
+    #[test]
+    fn conversion_is_faithful(x in finite_f32()) {
+        for fmt in [HALF, E4M3, E5M2] {
+            let packed = mini_from_f32_bits(x, fmt);
+            let back = mini_to_f32_bits(packed, fmt);
+            if back.is_finite() {
+                // Neighbouring representable values (same sign handling via ±1 on magnitude).
+                let mag = packed & !(1 << (fmt.total_bits() - 1));
+                let down = if mag == 0 {
+                    // crossing zero: neighbour is smallest value of opposite sign
+                    mini_to_f32_bits((packed ^ (1 << (fmt.total_bits() - 1))) | 1, fmt)
+                } else {
+                    mini_to_f32_bits(packed - 1, fmt)
+                };
+                let up = mini_to_f32_bits(packed + 1, fmt);
+                let lo = back.min(down.min(up));
+                let hi = back.max(down.max(up));
+                prop_assert!(
+                    (lo <= x && x <= hi) || back == x,
+                    "{x} converted to {back}, neighbours [{down}, {up}] in {fmt:?}"
+                );
+            }
+        }
+    }
+
+    /// f16 addition via f32 equals a single rounding of the exact sum
+    /// (computed in f64, which is exact for binary16 operands).
+    #[test]
+    fn f16_add_correctly_rounded(a in finite_f16(), b in finite_f16()) {
+        let via_op = a + b;
+        let exact = a.to_f64() + b.to_f64(); // exact: 11-bit significands
+        let single = F16::from_f64(exact);
+        prop_assert_eq!(via_op, single);
+    }
+
+    /// f16 multiplication via f32 equals a single rounding of the exact
+    /// product.
+    #[test]
+    fn f16_mul_correctly_rounded(a in finite_f16(), b in finite_f16()) {
+        let via_op = a * b;
+        let exact = a.to_f64() * b.to_f64(); // exact: 22-bit product
+        let single = F16::from_f64(exact);
+        prop_assert_eq!(via_op, single);
+    }
+
+    /// Same for E4M3.
+    #[test]
+    fn f8_ops_correctly_rounded(a in finite_f8(), b in finite_f8()) {
+        prop_assert_eq!(a + b, F8::from_f64(a.to_f64() + b.to_f64()));
+        prop_assert_eq!(a * b, F8::from_f64(a.to_f64() * b.to_f64()));
+        prop_assert_eq!(a - b, F8::from_f64(a.to_f64() - b.to_f64()));
+    }
+
+    /// Negation is an exact involution and matches subtraction from zero
+    /// except for the IEEE -0 edge case.
+    #[test]
+    fn neg_involution(a in finite_f16()) {
+        prop_assert_eq!(-(-a), a);
+        prop_assert_eq!((-a).to_f32(), -(a.to_f32()));
+    }
+
+    /// Widening F8 -> F16 preserves the value exactly; narrowing back is the
+    /// identity on representable values.
+    #[test]
+    fn f8_widen_narrow_roundtrip(a in finite_f8()) {
+        let wide = F16::from(a);
+        prop_assert_eq!(wide.to_f32(), a.to_f32());
+        prop_assert_eq!(F8::from_f16(wide), a);
+    }
+
+    /// from_f64 never double-rounds: it agrees with exhaustive neighbour
+    /// comparison on the f16 grid.
+    #[test]
+    fn from_f64_nearest(x in any::<f64>().prop_filter("finite", |x| x.is_finite() && x.abs() < 1e6)) {
+        let r = F16::from_f64(x);
+        if r.is_finite() {
+            let err = (r.to_f64() - x).abs();
+            let up = F16::from_bits(r.to_bits().wrapping_add(1));
+            let down = F16::from_bits(r.to_bits().wrapping_sub(1));
+            for n in [up, down] {
+                if n.is_finite() {
+                    let nerr = (n.to_f64() - x).abs();
+                    prop_assert!(err <= nerr, "{x}: chose {r:?} but {n:?} is closer");
+                }
+            }
+        }
+    }
+
+    /// The complex MAC primitives agree with exact arithmetic whenever the
+    /// values involved are small integers (no rounding in any path).
+    #[test]
+    fn cmac_exact_on_small_ints(
+        ar in -8i32..8, ai in -8i32..8,
+        br in -8i32..8, bi in -8i32..8,
+        cr in -8i32..8, ci in -8i32..8,
+    ) {
+        use terasim_softfloat::ops;
+        let a = [F16::from_f32(ar as f32), F16::from_f32(ai as f32)];
+        let b = [F16::from_f32(br as f32), F16::from_f32(bi as f32)];
+        let acc = [F16::from_f32(cr as f32), F16::from_f32(ci as f32)];
+        let want_re = (cr + ar * br - ai * bi) as f32;
+        let want_im = (ci + ar * bi + ai * br) as f32;
+
+        let m = ops::cmac_h(acc, a, b);
+        prop_assert_eq!([m[0].to_f32(), m[1].to_f32()], [want_re, want_im]);
+        let c = ops::vfcdotpex_s_h(acc, a, b);
+        prop_assert_eq!([c[0].to_f32(), c[1].to_f32()], [want_re, want_im]);
+        let re = ops::vfndotpex_s_h(acc[0].to_f32(), a, b);
+        let im = ops::vfdotpex_s_h(acc[1].to_f32(), a, ops::swap_h(b));
+        prop_assert_eq!([re, im], [want_re, want_im]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The Banshee-style fast mode: parallel per-hart emulation with
+//! cooperative barrier parking.
+//!
+//! Each hart runs to completion (or to a `wfi` barrier park) with the
+//! static-latency scoreboard of [`terasim-iss`]. Harts are distributed over
+//! host threads; because barrier arrival *parks* instead of spinning, any
+//! host thread count is deadlock-free. Barrier idle time is accounted as
+//! the paper's `stall-wfi`: when a barrier releases, every parked hart's
+//! local clock advances to the release time.
+
+use std::sync::Arc;
+
+use terasim_iss::{resume_core, Cpu, Program, RunConfig, RunStats, Scoreboard, StopReason, Trap};
+use terasim_riscv::Image;
+
+use crate::mem::{ClusterMem, CoreMem};
+use crate::topology::Topology;
+
+/// Aggregate result of a fast-mode cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-hart statistics, indexed by position in the simulated core
+    /// range. `stats.wfi_stalls` carries barrier idle time.
+    pub per_core: Vec<RunStats>,
+    /// Cluster makespan estimate: the slowest hart's cycle count.
+    pub cycles: u64,
+}
+
+impl ClusterResult {
+    /// Total retired instructions across the cluster.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|s| s.retired).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HartState {
+    Runnable,
+    Parked,
+    Done,
+}
+
+struct Hart {
+    cpu: Cpu,
+    mem: CoreMem,
+    sb: Scoreboard,
+    stats: RunStats,
+    state: HartState,
+}
+
+/// The fast (Banshee-equivalent) cluster simulator.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub struct FastSim {
+    topo: Topology,
+    program: Arc<Program>,
+    mem: ClusterMem,
+    config: RunConfig,
+}
+
+impl std::fmt::Debug for FastSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastSim")
+            .field("cores", &self.topo.num_cores())
+            .field("text_insts", &self.program.len())
+            .finish()
+    }
+}
+
+impl FastSim {
+    /// Builds a simulator: translates the image and loads all segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the translation error if the image's text cannot be decoded.
+    pub fn new(topo: Topology, image: &Image) -> Result<Self, terasim_iss::TranslateError> {
+        let program = Arc::new(Program::translate(image)?);
+        let mem = ClusterMem::new(topo);
+        mem.load_image(image);
+        Ok(Self { topo, program, mem, config: RunConfig::default() })
+    }
+
+    /// Replaces the run configuration (latency model, budgets).
+    pub fn set_config(&mut self, config: RunConfig) {
+        self.config = config;
+    }
+
+    /// The shared cluster memory (for operand setup and result readback).
+    pub fn memory(&self) -> &ClusterMem {
+        &self.mem
+    }
+
+    /// The cluster geometry.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The translated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs every hart to completion using `host_threads` worker threads.
+    ///
+    /// Harts that execute `wfi` park until another hart stores to the
+    /// wake-all control register (the TeraPool barrier protocol); parked
+    /// harts consume pending wakes and continue. The run ends when all
+    /// harts exit via `ecall` (or no progress is possible).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart.
+    pub fn run_all(&mut self, host_threads: usize) -> Result<ClusterResult, Trap> {
+        self.run_cores(0..self.topo.num_cores(), host_threads)
+    }
+
+    /// Runs a contiguous subset of harts (single-core and batching
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_threads == 0` or the range exceeds the core count.
+    pub fn run_cores(
+        &mut self,
+        cores: std::ops::Range<u32>,
+        host_threads: usize,
+    ) -> Result<ClusterResult, Trap> {
+        assert!(host_threads > 0, "need at least one host thread");
+        assert!(cores.end <= self.topo.num_cores(), "core range out of bounds");
+
+        let mut harts: Vec<Hart> = cores
+            .map(|core| {
+                let mut cpu = Cpu::new(core);
+                cpu.set_pc(self.program.entry());
+                Hart {
+                    cpu,
+                    mem: self.mem.core_view(core),
+                    sb: Scoreboard::new(),
+                    stats: RunStats::default(),
+                    state: HartState::Runnable,
+                }
+            })
+            .collect();
+
+        // Round-based cooperative scheduling: run every runnable hart until
+        // it exits or parks, then release barriers. Because parked harts
+        // yield their host thread, any thread count is deadlock-free.
+        loop {
+            {
+                let mut runnable: Vec<&mut Hart> =
+                    harts.iter_mut().filter(|h| h.state == HartState::Runnable).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let program = Arc::clone(&self.program);
+                let config = &self.config;
+                let chunk = runnable.len().div_ceil(host_threads).max(1);
+                let first_trap = crossbeam::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for batch in runnable.chunks_mut(chunk) {
+                        let program = Arc::clone(&program);
+                        handles.push(s.spawn(move |_| -> Result<(), Trap> {
+                            for hart in batch.iter_mut() {
+                                let stop = resume_core(
+                                    &mut hart.cpu,
+                                    &program,
+                                    &mut hart.mem,
+                                    config,
+                                    &mut hart.sb,
+                                    &mut hart.stats,
+                                )?;
+                                hart.state = match stop {
+                                    StopReason::Exit { .. } | StopReason::Budget => HartState::Done,
+                                    StopReason::Wfi => HartState::Parked,
+                                };
+                            }
+                            Ok(())
+                        }));
+                    }
+                    let mut first: Option<Trap> = None;
+                    for h in handles {
+                        if let Err(trap) = h.join().expect("simulation thread panicked") {
+                            first.get_or_insert(trap);
+                        }
+                    }
+                    first
+                })
+                .expect("crossbeam scope");
+                if let Some(trap) = first_trap {
+                    return Err(trap);
+                }
+            }
+
+            // Barrier release: wake parked harts that have a pending wake.
+            // The release time is the latest hart clock (the releaser was
+            // the last arrival); idle time becomes stall-wfi.
+            let release_time = harts.iter().map(|h| h.sb.cycles()).max().unwrap_or(0);
+            let mut woke_any = false;
+            for hart in harts.iter_mut() {
+                if hart.state == HartState::Parked && self.mem.take_wake(hart.cpu.hart_id()) {
+                    let idle = hart.sb.advance_to(release_time);
+                    hart.stats.wfi_stalls += idle;
+                    hart.stats.est_cycles = hart.sb.cycles();
+                    hart.state = HartState::Runnable;
+                    woke_any = true;
+                }
+            }
+            if !woke_any && harts.iter().any(|h| h.state == HartState::Parked) {
+                // Guest deadlock: no runnable harts and nobody issued a
+                // wake. Report partial results (an RTL run would hang here).
+                break;
+            }
+        }
+
+        let per_core: Vec<RunStats> = harts.iter().map(|h| h.stats.clone()).collect();
+        let cycles = per_core.iter().map(|s| s.est_cycles).max().unwrap_or(0);
+        Ok(ClusterResult { per_core, cycles })
+    }
+}

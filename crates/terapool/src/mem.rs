@@ -1,0 +1,396 @@
+//! The shared cluster memory: banked L1 (both views), L2, control region.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use terasim_iss::{MemError, Memory};
+use terasim_riscv::{AmoOp, Image};
+
+use crate::topology::Topology;
+
+/// Applies an AMO to `old`.
+fn amo_apply(op: AmoOp, old: u32, value: u32) -> u32 {
+    match op {
+        AmoOp::Swap => value,
+        AmoOp::Add => old.wrapping_add(value),
+        AmoOp::Xor => old ^ value,
+        AmoOp::And => old & value,
+        AmoOp::Or => old | value,
+        AmoOp::Min => (old as i32).min(value as i32) as u32,
+        AmoOp::Max => (old as i32).max(value as i32) as u32,
+        AmoOp::Minu => old.min(value),
+        AmoOp::Maxu => old.max(value),
+    }
+}
+
+/// Allocates a zeroed `Vec<AtomicU32>` through the `calloc` fast path
+/// (element-wise construction of multi-MiB atomic arrays dominates
+/// simulator start-up otherwise).
+fn zeroed_atomics(words: usize) -> Vec<AtomicU32> {
+    let zeroed: Vec<u32> = vec![0; words];
+    // SAFETY: `AtomicU32` is documented to have "the same size and bit
+    // validity as the underlying integer type, u32", and the same
+    // alignment on all supported platforms; an all-zero bit pattern is a
+    // valid `AtomicU32`. Length/capacity are preserved.
+    unsafe {
+        let mut v = std::mem::ManuallyDrop::new(zeroed);
+        Vec::from_raw_parts(v.as_mut_ptr().cast::<AtomicU32>(), v.len(), v.capacity())
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    topo: Topology,
+    /// L1 physical words, `bank * bank_words + offset`.
+    l1: Vec<AtomicU32>,
+    /// L2 words.
+    l2: Vec<AtomicU32>,
+    /// Per-hart pending wake bits (barrier release).
+    wake: Vec<AtomicBool>,
+    /// End-of-computation register.
+    eoc: AtomicU32,
+    dma_src: AtomicU32,
+    dma_dst: AtomicU32,
+}
+
+/// The cluster's shared memory, cheaply cloneable (an [`Arc`] inside).
+///
+/// All harts see the same bytes; sub-word stores are implemented with
+/// atomic read-modify-write so concurrent access to *different* bytes of a
+/// word is safe. The DUT software is data-race-free by construction (each
+/// subcarrier problem is core-private, paper §IV), so `SeqCst` atomics give
+/// deterministic results.
+///
+/// # Examples
+///
+/// ```
+/// use terasim_terapool::{ClusterMem, Topology};
+///
+/// let mem = ClusterMem::new(Topology::scaled(8));
+/// mem.write_u32(0x40, 7);
+/// assert_eq!(mem.read_u32(0x40), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterMem {
+    inner: Arc<Inner>,
+}
+
+impl ClusterMem {
+    /// Allocates zeroed cluster memory for `topo`.
+    pub fn new(topo: Topology) -> Self {
+        let l1_words = (topo.num_banks() * topo.bank_words()) as usize;
+        let l2_words = (Topology::L2_SIZE / 4) as usize;
+        let inner = Inner {
+            topo,
+            l1: zeroed_atomics(l1_words),
+            l2: zeroed_atomics(l2_words),
+            wake: (0..topo.num_cores()).map(|_| AtomicBool::new(false)).collect(),
+            eoc: AtomicU32::new(0),
+            dma_src: AtomicU32::new(0),
+            dma_dst: AtomicU32::new(0),
+        };
+        Self { inner: Arc::new(inner) }
+    }
+
+    /// The cluster geometry.
+    pub fn topology(&self) -> Topology {
+        self.inner.topo
+    }
+
+    /// Creates the hart-local view used by simulation drivers.
+    pub fn core_view(&self, core: u32) -> CoreMem {
+        assert!(core < self.inner.topo.num_cores(), "core {core} out of range");
+        CoreMem { mem: self.clone(), core }
+    }
+
+    /// Loads every segment of an image: L2 addresses go to L2, L1 addresses
+    /// (either view) to the banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment falls outside the modelled regions.
+    pub fn load_image(&self, image: &Image) {
+        for seg in image.segments() {
+            for (i, chunk) in seg.bytes.chunks(4).enumerate() {
+                let addr = seg.base + 4 * u32::try_from(i).expect("segment fits");
+                let mut word = [0u8; 4];
+                word[..chunk.len()].copy_from_slice(chunk);
+                self.write_u32(addr, u32::from_le_bytes(word));
+            }
+        }
+    }
+
+    fn word_slot(&self, addr: u32) -> Option<&AtomicU32> {
+        let inner = &*self.inner;
+        if let Some((bank, off)) = inner.topo.l1_slot(addr & !3) {
+            return Some(&inner.l1[(bank * inner.topo.bank_words() + off) as usize]);
+        }
+        if addr >= Topology::L2_BASE {
+            let off = (addr - Topology::L2_BASE) & !3;
+            if off < Topology::L2_SIZE {
+                return Some(&inner.l2[(off / 4) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Host-side aligned word read.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped addresses — host inspection of unmapped memory is
+    /// a test bug.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.word_slot(addr).unwrap_or_else(|| panic!("read_u32: unmapped {addr:#010x}")).load(Ordering::SeqCst)
+    }
+
+    /// Host-side aligned word write.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped addresses.
+    pub fn write_u32(&self, addr: u32, value: u32) {
+        self.word_slot(addr)
+            .unwrap_or_else(|| panic!("write_u32: unmapped {addr:#010x}"))
+            .store(value, Ordering::SeqCst);
+    }
+
+    /// Host-side u16 read (little-endian within the word).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        let word = self.read_u32(addr & !3);
+        if addr & 2 == 0 {
+            word as u16
+        } else {
+            (word >> 16) as u16
+        }
+    }
+
+    /// Host-side u16 write.
+    pub fn write_u16(&self, addr: u32, value: u16) {
+        let slot = self
+            .word_slot(addr & !3)
+            .unwrap_or_else(|| panic!("write_u16: unmapped {addr:#010x}"));
+        let shift = (addr & 2) * 8;
+        let mask = 0xffffu32 << shift;
+        let _ = slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| {
+            Some((old & !mask) | (u32::from(value) << shift))
+        });
+    }
+
+    /// Value of the end-of-computation register (0 while running).
+    pub fn eoc(&self) -> u32 {
+        self.inner.eoc.load(Ordering::SeqCst)
+    }
+
+    /// Consumes a pending wake for `core`; returns whether one was pending.
+    pub fn take_wake(&self, core: u32) -> bool {
+        self.inner.wake[core as usize].swap(false, Ordering::SeqCst)
+    }
+
+    /// Returns whether a wake is pending without consuming it.
+    pub fn wake_pending(&self, core: u32) -> bool {
+        self.inner.wake[core as usize].load(Ordering::SeqCst)
+    }
+
+    fn wake_all_except(&self, writer: u32) {
+        for (i, w) in self.inner.wake.iter().enumerate() {
+            if i as u32 != writer {
+                w.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn dma_copy(&self, len: u32) {
+        let src = self.inner.dma_src.load(Ordering::SeqCst);
+        let dst = self.inner.dma_dst.load(Ordering::SeqCst);
+        for off in (0..len).step_by(4) {
+            let w = self.read_u32(src + off);
+            self.write_u32(dst + off, w);
+        }
+    }
+
+    fn ctrl_load(&self, addr: u32) -> u32 {
+        match addr {
+            Topology::CTRL_EOC => self.inner.eoc.load(Ordering::SeqCst),
+            Topology::CTRL_NUM_CORES => self.inner.topo.num_cores(),
+            Topology::CTRL_DMA_SRC => self.inner.dma_src.load(Ordering::SeqCst),
+            Topology::CTRL_DMA_DST => self.inner.dma_dst.load(Ordering::SeqCst),
+            // The model's DMA completes synchronously: never busy.
+            Topology::CTRL_DMA_BUSY => 0,
+            _ => 0,
+        }
+    }
+
+    fn ctrl_store(&self, addr: u32, value: u32, core: u32) {
+        match addr {
+            Topology::CTRL_EOC => self.inner.eoc.store(value, Ordering::SeqCst),
+            Topology::CTRL_WAKE_ALL => self.wake_all_except(core),
+            Topology::CTRL_DMA_SRC => self.inner.dma_src.store(value, Ordering::SeqCst),
+            Topology::CTRL_DMA_DST => self.inner.dma_dst.store(value, Ordering::SeqCst),
+            Topology::CTRL_DMA_LEN => self.dma_copy(value),
+            _ => {}
+        }
+    }
+
+    fn is_ctrl(addr: u32) -> bool {
+        (Topology::CTRL_BASE..Topology::CTRL_BASE + Topology::CTRL_SIZE).contains(&addr)
+    }
+}
+
+/// One hart's view of the cluster memory; implements
+/// [`Memory`](terasim_iss::Memory) with topology-aware latencies.
+#[derive(Debug, Clone)]
+pub struct CoreMem {
+    mem: ClusterMem,
+    core: u32,
+}
+
+impl CoreMem {
+    /// The hart this view belongs to.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// The underlying shared memory.
+    pub fn cluster(&self) -> &ClusterMem {
+        &self.mem
+    }
+}
+
+impl Memory for CoreMem {
+    fn load(&mut self, addr: u32, size: u32) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(size) {
+            return Err(MemError::Misaligned { addr, size });
+        }
+        if ClusterMem::is_ctrl(addr) {
+            return Ok(self.mem.ctrl_load(addr));
+        }
+        let slot = self.mem.word_slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let word = slot.load(Ordering::SeqCst);
+        let shift = (addr & 3) * 8;
+        Ok(match size {
+            4 => word,
+            2 => (word >> shift) & 0xffff,
+            _ => (word >> shift) & 0xff,
+        })
+    }
+
+    fn store(&mut self, addr: u32, size: u32, value: u32) -> Result<(), MemError> {
+        if !addr.is_multiple_of(size) {
+            return Err(MemError::Misaligned { addr, size });
+        }
+        if ClusterMem::is_ctrl(addr) {
+            self.mem.ctrl_store(addr, value, self.core);
+            return Ok(());
+        }
+        let slot = self.mem.word_slot(addr).ok_or(MemError::Unmapped { addr })?;
+        if size == 4 {
+            slot.store(value, Ordering::SeqCst);
+        } else {
+            let shift = (addr & 3) * 8;
+            let mask = (if size == 2 { 0xffffu32 } else { 0xffu32 }) << shift;
+            let _ = slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| {
+                Some((old & !mask) | ((value << shift) & mask))
+            });
+        }
+        Ok(())
+    }
+
+    fn amo(&mut self, op: AmoOp, addr: u32, value: u32) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, size: 4 });
+        }
+        let slot = self.mem.word_slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let old = slot
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| Some(amo_apply(op, old, value)))
+            .expect("fetch_update closure never fails");
+        Ok(old)
+    }
+
+    fn latency(&self, addr: u32) -> u32 {
+        self.mem.topology().access_latency(self.core, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_alias_physical_banks() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        // Interleaved word 0 is bank 0 offset 0; sequential tile 0 word 0 too.
+        mem.write_u32(0, 0xabcd_1234);
+        assert_eq!(mem.read_u32(Topology::SEQ_BASE), 0xabcd_1234);
+    }
+
+    #[test]
+    fn subword_stores_are_isolated() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        let mut a = mem.core_view(0);
+        let mut b = mem.core_view(1);
+        a.store(0x100, 2, 0x1111).unwrap();
+        b.store(0x102, 2, 0x2222).unwrap();
+        assert_eq!(mem.read_u32(0x100), 0x2222_1111);
+    }
+
+    #[test]
+    fn ctrl_region() {
+        let topo = Topology::scaled(16);
+        let mem = ClusterMem::new(topo);
+        let mut v = mem.core_view(3);
+        assert_eq!(v.load(Topology::CTRL_NUM_CORES, 4).unwrap(), 16);
+        v.store(Topology::CTRL_EOC, 4, 0x55).unwrap();
+        assert_eq!(mem.eoc(), 0x55);
+        // Wake-all from core 3: everyone except 3 has a pending wake.
+        v.store(Topology::CTRL_WAKE_ALL, 4, 1).unwrap();
+        assert!(!mem.wake_pending(3));
+        assert!(mem.take_wake(7));
+        assert!(!mem.take_wake(7), "wake is one-shot");
+    }
+
+    #[test]
+    fn dma_copies_l2_to_l1() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        for i in 0..8u32 {
+            mem.write_u32(Topology::L2_BASE + 0x1000 + i * 4, 100 + i);
+        }
+        let mut v = mem.core_view(0);
+        v.store(Topology::CTRL_DMA_SRC, 4, Topology::L2_BASE + 0x1000).unwrap();
+        v.store(Topology::CTRL_DMA_DST, 4, 0x200).unwrap();
+        v.store(Topology::CTRL_DMA_LEN, 4, 32).unwrap();
+        assert_eq!(v.load(Topology::CTRL_DMA_BUSY, 4).unwrap(), 0);
+        for i in 0..8u32 {
+            assert_eq!(mem.read_u32(0x200 + i * 4), 100 + i);
+        }
+    }
+
+    #[test]
+    fn latency_matches_topology() {
+        let topo = Topology::terapool();
+        let mem = ClusterMem::new(topo);
+        let near = mem.core_view(0);
+        assert_eq!(near.latency(Topology::SEQ_BASE), 1);
+        assert_eq!(near.latency(Topology::SEQ_BASE + 64 * Topology::SEQ_STRIDE), 9);
+        assert_eq!(near.latency(Topology::L2_BASE), 16);
+    }
+
+    #[test]
+    fn amo_is_atomic_across_views() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        let n = 64;
+        crossbeam::thread::scope(|s| {
+            for core in 0..8 {
+                let mem = mem.clone();
+                s.spawn(move |_| {
+                    let mut v = mem.core_view(core);
+                    for _ in 0..n {
+                        v.amo(AmoOp::Add, 0x80, 1).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(mem.read_u32(0x80), 8 * n);
+    }
+}
