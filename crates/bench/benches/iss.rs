@@ -52,9 +52,7 @@ fn bench_translation(c: &mut Criterion) {
     image.push_segment(Segment::from_words(0x8000_0000, &a.finish().unwrap()));
     let mut group = c.benchmark_group("iss");
     group.throughput(Throughput::Elements(4096));
-    group.bench_function("translate", |bencher| {
-        bencher.iter(|| Program::translate(&image).unwrap())
-    });
+    group.bench_function("translate", |bencher| bencher.iter(|| Program::translate(&image).unwrap()));
     group.finish();
 }
 

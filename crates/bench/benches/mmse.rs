@@ -7,15 +7,10 @@ use terasim_phy::{ChannelKind, Mimo, Modulation, TxGenerator};
 use terasim_terapool::{FastSim, Topology};
 
 fn transmission(n: usize, seed: u64) -> (Vec<C64>, Vec<C64>, f64) {
-    let scenario =
-        Mimo { n_tx: n, n_rx: n, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
+    let scenario = Mimo { n_tx: n, n_rx: n, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
     let mut generator = TxGenerator::new(scenario, 12.0, seed);
     let t = generator.next_transmission();
-    (
-        t.h.iter().map(|z| (*z).into()).collect(),
-        t.y.iter().map(|z| (*z).into()).collect(),
-        t.sigma,
-    )
+    (t.h.iter().map(|z| (*z).into()).collect(), t.y.iter().map(|z| (*z).into()).collect(), t.sigma)
 }
 
 fn bench_native(c: &mut Criterion) {
@@ -23,11 +18,9 @@ fn bench_native(c: &mut Criterion) {
     for n in [4usize, 8, 16] {
         let (h, y, sigma) = transmission(n, 11);
         for precision in [Precision::Half16, Precision::CDotp16, Precision::WDotp8] {
-            group.bench_with_input(
-                BenchmarkId::new(precision.paper_name(), n),
-                &n,
-                |bencher, &n| bencher.iter(|| native::detect(precision, n, &h, &y, sigma)),
-            );
+            group.bench_with_input(BenchmarkId::new(precision.paper_name(), n), &n, |bencher, &n| {
+                bencher.iter(|| native::detect(precision, n, &h, &y, sigma))
+            });
         }
     }
     group.finish();

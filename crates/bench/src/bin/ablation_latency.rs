@@ -11,7 +11,7 @@
 //! Run: `cargo run -p terasim-bench --release --bin ablation_latency [--full]`
 
 use terasim::experiments::{self, ParallelConfig};
-use terasim_bench::{host_threads, Scale};
+use terasim_bench::{par_map, Scale};
 use terasim_iss::{LatencyModel, RunConfig};
 use terasim_kernels::Precision;
 
@@ -20,36 +20,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", scale.banner("Ablation D2 — fast-mode memory latency model"));
     println!("cluster: {} cores\n", scale.cores());
     println!(" MIMO  | precision | reference | uniform-9 (err)     | per-address (err)   | uniform-1 (err)");
-    println!(" ------+-----------+-----------+---------------------+---------------------+--------------------");
+    println!(
+        " ------+-----------+-----------+---------------------+---------------------+--------------------"
+    );
+    let mut configs = Vec::new();
     for &n in scale.mimo_sizes() {
         for precision in [Precision::Half16, Precision::CDotp16] {
-            let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 7, unroll: 2 };
-            let reference = experiments::parallel_cycle(&config)?.cycles;
-
-            let run = |per_address: bool, load: u32| -> Result<u64, Box<dyn std::error::Error>> {
-                let rc = RunConfig {
-                    per_address_latency: per_address,
-                    latency: LatencyModel { load, ..LatencyModel::default() },
-                    ..RunConfig::default()
-                };
-                Ok(experiments::parallel_fast_configured(&config, host_threads(), rc)?.cluster_cycles)
-            };
-            let conservative = run(false, 9)?;
-            let topo_aware = run(true, 9)?;
-            let optimistic = run(false, 1)?;
-            let err = |x: u64| 100.0 * (x as f64 - reference as f64) / reference as f64;
-            println!(
-                " {n:>2}x{n:<2} | {:<9} | {:>9} | {:>9} ({:>+6.1}%) | {:>9} ({:>+6.1}%) | {:>8} ({:>+6.1}%)",
-                precision.paper_name(),
-                reference,
-                conservative,
-                err(conservative),
-                topo_aware,
-                err(topo_aware),
-                optimistic,
-                err(optimistic),
-            );
+            configs.push((n, precision));
         }
+    }
+    // One configuration per worker; the fast-mode runs inside each task are
+    // single-threaded (results are host-thread-invariant anyway).
+    let rows = par_map(configs, |(n, precision)| -> Result<_, String> {
+        let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 7, unroll: 2 };
+        let reference = experiments::parallel_cycle(&config).map_err(|e| e.to_string())?.cycles;
+        let run = |per_address: bool, load: u32| -> Result<u64, String> {
+            let rc = RunConfig {
+                per_address_latency: per_address,
+                latency: LatencyModel { load, ..LatencyModel::default() },
+                ..RunConfig::default()
+            };
+            Ok(experiments::parallel_fast_configured(&config, 1, rc)
+                .map_err(|e| e.to_string())?
+                .cluster_cycles)
+        };
+        Ok((n, precision, reference, run(false, 9)?, run(true, 9)?, run(false, 1)?))
+    });
+    for row in rows {
+        let (n, precision, reference, conservative, topo_aware, optimistic) = row?;
+        let err = |x: u64| 100.0 * (x as f64 - reference as f64) / reference as f64;
+        println!(
+            " {n:>2}x{n:<2} | {:<9} | {:>9} | {:>9} ({:>+6.1}%) | {:>9} ({:>+6.1}%) | {:>8} ({:>+6.1}%)",
+            precision.paper_name(),
+            reference,
+            conservative,
+            err(conservative),
+            topo_aware,
+            err(topo_aware),
+            optimistic,
+            err(optimistic),
+        );
     }
     println!("\nReading: uniform-9 over-charges local accesses but absorbs some contention — the paper's");
     println!("\"conservative\" trade-off; per-address tracks topology but misses contention entirely.");

@@ -16,33 +16,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cluster: {} cores; cycle-accurate backend\n", scale.cores());
     println!(" MIMO  | precision | unroll | cycles     | raw stalls | raw%  ");
     println!(" ------+-----------+--------+------------+------------+-------");
+    let mut configs = Vec::new();
     for &n in scale.mimo_sizes() {
         for precision in [Precision::Half16, Precision::WDotp16] {
-            let mut baseline = 0u64;
-            for unroll in [1u32, 2] {
-                let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 8, unroll };
-                let out = experiments::parallel_cycle(&config)?;
-                assert!(out.verified);
-                let b = out.breakdown;
-                if unroll == 1 {
-                    baseline = out.cycles;
-                }
-                let delta = if unroll == 1 {
-                    String::new()
-                } else {
-                    format!("  ({:+.1}% vs unroll 1)", 100.0 * (out.cycles as f64 - baseline as f64) / baseline as f64)
-                };
-                println!(
-                    " {n:>2}x{n:<2} | {:<9} | {unroll:>6} | {:>10} | {:>10} | {:>4.1}%{delta}",
-                    precision.paper_name(),
-                    out.cycles,
-                    b.stall_raw,
-                    100.0 * b.stall_raw as f64 / b.total() as f64,
-                );
-            }
+            configs.push((n, precision));
         }
-        println!();
     }
+    // Both unroll factors of one configuration per worker (independent
+    // cycle-accurate simulations; printed in input order).
+    let rows = terasim_bench::par_map(configs, |(n, precision)| -> Result<_, String> {
+        let run = |unroll: u32| {
+            let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 8, unroll };
+            let out = experiments::parallel_cycle(&config).map_err(|e| e.to_string())?;
+            assert!(out.verified);
+            Ok::<_, String>(out)
+        };
+        Ok((n, precision, run(1)?, run(2)?))
+    });
+    let mut last_n = 0;
+    for row in rows {
+        let (n, precision, base, unrolled) = row?;
+        if last_n != 0 && n != last_n {
+            println!();
+        }
+        last_n = n;
+        for (unroll, out) in [(1u32, &base), (2, &unrolled)] {
+            let b = out.breakdown;
+            let delta = if unroll == 1 {
+                String::new()
+            } else {
+                format!(
+                    "  ({:+.1}% vs unroll 1)",
+                    100.0 * (out.cycles as f64 - base.cycles as f64) / base.cycles as f64
+                )
+            };
+            println!(
+                " {n:>2}x{n:<2} | {:<9} | {unroll:>6} | {:>10} | {:>10} | {:>4.1}%{delta}",
+                precision.paper_name(),
+                out.cycles,
+                b.stall_raw,
+                100.0 * b.stall_raw as f64 / b.total() as f64,
+            );
+        }
+    }
+    println!();
     println!("Note: unrolling removes loop-counter overhead; the dual accumulation chains that break");
     println!("RAW dependences are present at every unroll factor (kernel design, DESIGN.md D3).");
     Ok(())

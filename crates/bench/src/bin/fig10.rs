@@ -38,7 +38,8 @@ fn main() {
             println!();
             for kind in detectors {
                 print!("{:<14}", kind.label());
-                for p in ber_curve(scenario, &snrs, kind, scale.target_errors(), scale.max_iterations(), 100) {
+                for p in ber_curve(scenario, &snrs, kind, scale.target_errors(), scale.max_iterations(), 100)
+                {
                     print!(" | {:>8.2e}", p.ber());
                 }
                 println!();

@@ -16,11 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let threads = host_threads();
     println!("{}", scale.banner("Figure 5 — parallel MMSE: fast-sim CPU-time and speedup vs cycle-accurate"));
-    println!(
-        "cluster: {} cores, {} host threads; CPU-time(fast) ~ wall x threads\n",
-        scale.cores(),
-        threads
-    );
+    println!("cluster: {} cores, {} host threads; CPU-time(fast) ~ wall x threads\n", scale.cores(), threads);
     println!(" MIMO  | precision | fast wall | fast CPU-time | cycle wall | speedup (CPU) | speedup (wall)");
     println!(" ------+-----------+-----------+---------------+------------+---------------+---------------");
     for &n in scale.mimo_sizes() {

@@ -16,10 +16,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = host_threads();
     let nsc = scale.nsc();
     println!("{}", scale.banner("Figure 6 — OFDM-symbol Monte-Carlo iteration runtime"));
-    println!("NSC = {nsc} subcarrier problems on one Snitch; {threads} host threads for the parallel sweep\n");
+    println!(
+        "NSC = {nsc} subcarrier problems on one Snitch; {threads} host threads for the parallel sweep\n"
+    );
 
-    println!(" MIMO  | precision | 1-symbol 1-thread | Snitch cycles | MIPS   | {}-symbols {}-threads | speedup", threads, threads);
-    println!(" ------+-----------+-------------------+---------------+--------+----------------------+--------");
+    println!(
+        " MIMO  | precision | 1-symbol 1-thread | Snitch cycles | MIPS   | {}-symbols {}-threads | speedup",
+        threads, threads
+    );
+    println!(
+        " ------+-----------+-------------------+---------------+--------+----------------------+--------"
+    );
     for &n in scale.mimo_sizes() {
         for precision in Precision::TIMED {
             let config = BatchConfig { n, precision, nsc, seed: 60, unroll: 2 };
@@ -43,6 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("Expected shape (paper): near-linear thread scaling; absolute runtime grows ~N^3 with MIMO size.");
+    println!(
+        "Expected shape (paper): near-linear thread scaling; absolute runtime grows ~N^3 with MIMO size."
+    );
     Ok(())
 }

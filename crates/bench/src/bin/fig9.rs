@@ -29,8 +29,7 @@ fn main() {
 
     for &n in sizes {
         for modulation in [Modulation::Qam16, Modulation::Qam64] {
-            let scenario =
-                Mimo { n_tx: n, n_rx: n, modulation, channel: ChannelKind::Awgn };
+            let scenario = Mimo { n_tx: n, n_rx: n, modulation, channel: ChannelKind::Awgn };
             println!("\n--- {n}x{n} {} AWGN ---", modulation.name());
             print!("{:<14}", "detector");
             for snr in snrs {
@@ -46,5 +45,7 @@ fn main() {
             }
         }
     }
-    println!("\nExpected shape (paper): 16b curves overlap 64bDouble; 8b curves flatten ~10x worse at high SNR.");
+    println!(
+        "\nExpected shape (paper): 16b curves overlap 64bDouble; 8b curves flatten ~10x worse at high SNR."
+    );
 }

@@ -1,22 +1,71 @@
 //! Simulator-speed measurement (paper §V-A): single-thread emulation
 //! speed in MIPS and the per-iteration runtime quoted in the abstract
-//! ("9.5 s – 3 min per OFDM symbol, 3.57 MIPS peak").
+//! ("9.5 s – 3 min per OFDM symbol, 3.57 MIPS peak"), plus the
+//! cycle-accurate engine benchmark: event-driven scheduler vs the seed's
+//! naive full-scan, recorded machine-readably in `BENCH_cycle.json`.
 //!
-//! Run: `cargo run -p terasim-bench --release --bin mips [--full]`
+//! Run: `cargo run -p terasim-bench --release --bin mips [--full|--smoke]`
 
-use terasim::experiments::{self, BatchConfig};
+use std::time::Duration;
+
+use terasim::experiments::{self, BatchConfig, CycleEngine, ParallelConfig};
 use terasim_bench::{min_sec, Scale};
 use terasim_kernels::Precision;
 
+/// One measured cycle-engine run (best wall time of `reps`).
+struct EngineRun {
+    label: &'static str,
+    wall: Duration,
+    cycles: u64,
+    instructions: u64,
+}
+
+impl EngineRun {
+    fn sim_mips(&self) -> f64 {
+        self.instructions as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+fn measure_engine(
+    label: &'static str,
+    config: &ParallelConfig,
+    engine: CycleEngine,
+    reps: u32,
+) -> Result<EngineRun, Box<dyn std::error::Error>> {
+    let mut best: Option<EngineRun> = None;
+    for _ in 0..reps {
+        let out = experiments::parallel_cycle_with_engine(config, engine)?;
+        assert!(out.verified, "cycle run diverged from the native model");
+        if best.as_ref().is_none_or(|b| out.wall < b.wall) {
+            best =
+                Some(EngineRun { label, wall: out.wall, cycles: out.cycles, instructions: out.instructions });
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+fn json_run(run: &EngineRun) -> String {
+    format!(
+        "    {{\"engine\": \"{}\", \"wall_s\": {:.6}, \"simulated_cycles\": {}, \"instructions\": {}, \"sim_mips\": {:.3}}}",
+        run.label,
+        run.wall.as_secs_f64(),
+        run.cycles,
+        run.instructions,
+        run.sim_mips()
+    )
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("{}", scale.banner("Simulator speed — single-thread MIPS"));
-    let nsc = scale.nsc();
+    let nsc = if smoke { 16 } else { scale.nsc() };
     println!("one MC iteration = NSC {nsc} problems on one Snitch, one host thread\n");
     println!(" MIMO  | precision | instructions | wall      | MIPS");
     println!(" ------+-----------+--------------+-----------+-------");
     let mut best = 0.0f64;
-    for &n in scale.mimo_sizes() {
+    let sizes: &[u32] = if smoke { &[4] } else { scale.mimo_sizes() };
+    for &n in sizes {
         for precision in [Precision::Half16, Precision::CDotp16] {
             let out = experiments::mc_symbol_single(&BatchConfig { n, precision, nsc, seed: 1, unroll: 2 })?;
             best = best.max(out.mips);
@@ -30,5 +79,123 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\npeak single-thread speed: {best:.2} MIPS (paper: 3.57 MIPS on EPYC-7742 with LLVM SBT)");
+
+    // --- Cycle-accurate engine: event-driven vs the seed's naive scan ---
+    let cores = if scale == Scale::Full { 1024 } else { 64 };
+    let reps = if smoke { 1 } else { 3 };
+    let precision = Precision::CDotp16;
+    let n = 4;
+    println!("\n=== Cycle engine — event-driven ready queue vs naive full scan ===");
+    println!("workload: parallel MMSE, {cores} cores, {n}x{n} {}, best of {reps}\n", precision.paper_name());
+    let config = ParallelConfig { cores, n, precision, seed: 50, unroll: 2 };
+    let event = measure_engine("event_driven", &config, CycleEngine::EventDriven, reps)?;
+    let naive = measure_engine("naive_scan", &config, CycleEngine::NaiveScan, reps)?;
+    assert_eq!(
+        (event.cycles, event.instructions),
+        (naive.cycles, naive.instructions),
+        "schedulers must agree bit-exactly"
+    );
+    let speedup = naive.wall.as_secs_f64() / event.wall.as_secs_f64().max(1e-9);
+    for run in [&event, &naive] {
+        println!(
+            " {:<13} | wall {:>9} | {:>12} cycles | sim speed {:>8.2} MIPS",
+            run.label,
+            min_sec(run.wall),
+            run.cycles,
+            run.sim_mips()
+        );
+    }
+    println!(
+        "\nevent-driven speedup vs seed engine (MMSE, full occupancy): {speedup:.2}x (identical CycleStats)"
+    );
+
+    // --- Barrier-skew workload: the parked-core pathology the event engine
+    // removes (naive rescans every context per step; parked harts here are
+    // re-queued by the wake channel instead). ---
+    println!("\n=== Cycle engine — barrier-skew (N-1 harts parked in wfi) ===");
+    let spin = if smoke { 20_000 } else { 200_000 };
+    let (skew_event, skew_naive, skew_cycles) = measure_skew(cores, spin, reps);
+    let skew_speedup = skew_naive.as_secs_f64() / skew_event.as_secs_f64().max(1e-9);
+    println!(
+        " event_driven  | wall {:>9} | {skew_cycles:>12} cycles\n naive_scan    | wall {:>9} | {skew_cycles:>12} cycles",
+        min_sec(skew_event),
+        min_sec(skew_naive),
+    );
+    println!("\nevent-driven speedup vs seed engine (barrier skew): {skew_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }}\n  ]\n}}\n",
+        // `--smoke` wins the label: it overrides the workload parameters
+        // even when `--full` is also passed.
+        if smoke {
+            "smoke"
+        } else if scale == Scale::Full {
+            "full"
+        } else {
+            "reduced"
+        },
+        precision.paper_name(),
+        json_run(&event),
+        json_run(&naive),
+        skew_event.as_secs_f64(),
+        skew_naive.as_secs_f64(),
+    );
+    std::fs::write("BENCH_cycle.json", &json)?;
+    println!("wrote BENCH_cycle.json");
     Ok(())
+}
+
+/// Builds and times the barrier-skew guest: hart 0 spins `spin` loop
+/// iterations while every other hart parks in `wfi`, then wakes them.
+/// Returns (event wall, naive wall, simulated cycles), best of `reps`,
+/// after asserting both engines report identical stats.
+fn measure_skew(cores: u32, spin: i32, reps: u32) -> (Duration, Duration, u64) {
+    use terasim_riscv::{Assembler, Image, Reg, Segment};
+    use terasim_terapool::{CycleSim, Topology};
+
+    let topo = Topology::scaled(cores);
+    let mut a = Assembler::new(Topology::L2_BASE);
+    a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
+    let waker = a.new_label();
+    a.beqz(Reg::T0, waker);
+    a.wfi();
+    let done = a.new_label();
+    a.j(done);
+    a.bind(waker);
+    a.li(Reg::T1, spin);
+    let top = a.new_label();
+    a.bind(top);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bnez(Reg::T1, top);
+    a.li(Reg::T2, Topology::CTRL_WAKE_ALL as i32);
+    a.li(Reg::T3, 1);
+    a.sw(Reg::T3, 0, Reg::T2);
+    a.bind(done);
+    a.ecall();
+    let mut image = Image::new(Topology::L2_BASE);
+    image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().expect("skew guest assembles")));
+
+    let mut best = (Duration::MAX, Duration::MAX, 0u64);
+    let mut reference: Option<Vec<terasim_terapool::CycleStats>> = None;
+    for _ in 0..reps {
+        for naive in [false, true] {
+            let mut sim = CycleSim::new(topo, &image).expect("skew guest translates");
+            let start = std::time::Instant::now();
+            let result =
+                if naive { sim.run_naive(cores).expect("runs") } else { sim.run(cores).expect("runs") };
+            let wall = start.elapsed();
+            assert!(!result.deadlocked, "skew guest must finish");
+            match &reference {
+                Some(stats) => assert_eq!(*stats, result.per_core, "engines diverged on skew guest"),
+                None => reference = Some(result.per_core.clone()),
+            }
+            best.2 = result.cycles;
+            if naive {
+                best.1 = best.1.min(wall);
+            } else {
+                best.0 = best.0.min(wall);
+            }
+        }
+    }
+    best
 }

@@ -167,14 +167,7 @@ fn cmd_ber(args: &Args) -> ExitCode {
     }
     let scenario = Mimo { n_tx: n, n_rx: n, modulation, channel };
     let errors = u64::from(args.u32("--errors", 500));
-    println!(
-        "BER {}x{} {} {} — {}",
-        n,
-        n,
-        modulation.name(),
-        channel.name(),
-        detector.label()
-    );
+    println!("BER {}x{} {} {} — {}", n, n, modulation.name(), channel.name(), detector.label());
     for p in experiments::ber_curve(scenario, &snrs, detector, errors, 50_000, 1) {
         println!(
             "  {:>5.1} dB: BER {:.3e}  ({} errors / {} bits, {} iterations)",

@@ -10,7 +10,8 @@
 //! * [`IssDetector`] — actual hardware-in-the-loop: every detection runs
 //!   the generated RISC-V kernel on a simulated Snitch core.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use terasim_kernels::{data, native, MmseKernel, Precision};
 use terasim_phy::{Cplx, Detector, MmseF64};
 use terasim_terapool::{FastSim, Topology};
@@ -29,10 +30,13 @@ pub enum DetectorKind {
 impl DetectorKind {
     /// Instantiates the detector for `n × n` problems.
     ///
+    /// The box is `Sync` so BER sweeps can share one detector across the
+    /// parallel SNR workers ([`terasim_phy::sweep`]).
+    ///
     /// # Panics
     ///
     /// Panics if the ISS kernel cannot be built for `n` (invalid size).
-    pub fn instantiate(self, n: usize) -> Box<dyn Detector + Send> {
+    pub fn instantiate(self, n: usize) -> Box<dyn Detector + Send + Sync> {
         match self {
             DetectorKind::Reference64 => Box::new(MmseF64),
             DetectorKind::Native(p) => Box::new(NativeDut::new(p)),
@@ -120,7 +124,7 @@ impl Detector for IssDetector {
         assert_eq!(n_tx as u32, self.n, "detector built for n = {}", self.n);
         let h64: Vec<(f64, f64)> = h.iter().map(|z| (*z).into()).collect();
         let y64: Vec<(f64, f64)> = y.iter().map(|z| (*z).into()).collect();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("ISS detector lock");
         let IssInner { sim, layout } = &mut *inner;
         data::write_problem(sim.memory(), layout, 0, &h64, &y64, sigma);
         // Reset the barrier counter: the image is re-run for every call.

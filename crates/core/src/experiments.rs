@@ -8,7 +8,6 @@
 use std::error::Error;
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
 use terasim_iss::RunConfig;
 use terasim_kernels::{data, native, MmseKernel, Precision, ProblemLayout, C64};
 use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
@@ -34,10 +33,9 @@ pub struct ParallelConfig {
 }
 
 /// Result of a fast-mode (Banshee-equivalent) parallel run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FastOutcome {
     /// Host wall-clock time of the emulation.
-    #[serde(skip)]
     pub wall: Duration,
     /// Estimated cluster cycles (slowest hart).
     pub cluster_cycles: u64,
@@ -54,15 +52,13 @@ pub struct FastOutcome {
 }
 
 /// Result of a cycle-accurate (RTL-equivalent) parallel run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CycleOutcome {
     /// Host wall-clock time of the simulation.
-    #[serde(skip)]
     pub wall: Duration,
     /// Cluster makespan in cycles.
     pub cycles: u64,
     /// Aggregated per-class breakdown (instructions and stalls).
-    #[serde(skip)]
     pub breakdown: CycleStats,
     /// Total retired instructions.
     pub instructions: u64,
@@ -74,24 +70,24 @@ pub struct CycleOutcome {
 /// `cores`, with banks deepened (larger tile SPM) when the operand set of
 /// big MIMO sizes exceeds the 32 KiB/tile of the taped-out design — the
 /// capacity substitution recorded in `DESIGN.md`.
-pub fn topology_for(cores: u32, active: u32, n: u32, precision: Precision, problems_per_core: u32) -> Topology {
+pub fn topology_for(
+    cores: u32,
+    active: u32,
+    n: u32,
+    precision: Precision,
+    problems_per_core: u32,
+) -> Topology {
     let mut topo = Topology::scaled(cores);
     let kernel = kernel_for(n, precision, problems_per_core, active, 2);
     while kernel.layout(&topo).is_err() && topo.tile_spm_bytes < (1 << 19) {
         topo.tile_spm_bytes *= 2;
     }
-    assert!(
-        topo.tile_spm_bytes <= Topology::SEQ_STRIDE,
-        "tile SPM outgrew the sequential-view stride"
-    );
+    assert!(topo.tile_spm_bytes <= Topology::SEQ_STRIDE, "tile SPM outgrew the sequential-view stride");
     topo
 }
 
 fn kernel_for(n: u32, precision: Precision, ppc: u32, active: u32, unroll: u32) -> MmseKernel {
-    MmseKernel::new(n, precision)
-        .with_problems_per_core(ppc)
-        .with_active_cores(active)
-        .with_unroll(unroll)
+    MmseKernel::new(n, precision).with_problems_per_core(ppc).with_active_cores(active).with_unroll(unroll)
 }
 
 /// Generated operands for verification.
@@ -122,7 +118,9 @@ fn verify(mem: &ClusterMem, layout: &ProblemLayout, set: &ProblemSet) -> bool {
     set.problems.iter().enumerate().all(|(p, (h, y, sigma))| {
         let got = data::read_xhat(mem, layout, p as u32);
         let want = native::detect(layout.precision, layout.n as usize, h, y, *sigma);
-        got.iter().zip(&want).all(|(a, b)| a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits())
+        got.iter()
+            .zip(&want)
+            .all(|(a, b)| a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits())
     })
 }
 
@@ -177,6 +175,15 @@ pub fn parallel_fast_configured(
     })
 }
 
+/// Which cycle-accurate scheduler to drive (see [`CycleSim`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleEngine {
+    /// The event-driven ready-queue scheduler (`CycleSim::run`).
+    EventDriven,
+    /// The retained full-scan reference scheduler (`CycleSim::run_naive`).
+    NaiveScan,
+}
+
 /// Runs the parallel MMSE on the cycle-accurate backend (the RTL-simulation
 /// stand-in).
 ///
@@ -184,6 +191,20 @@ pub fn parallel_fast_configured(
 ///
 /// Propagates kernel build, translation and guest traps.
 pub fn parallel_cycle(config: &ParallelConfig) -> Result<CycleOutcome, Box<dyn Error>> {
+    parallel_cycle_with_engine(config, CycleEngine::EventDriven)
+}
+
+/// As [`parallel_cycle`] with an explicit scheduler — the hook the `mips`
+/// bench and the differential tests use to compare the event-driven engine
+/// against the retained naive scan on identical workloads.
+///
+/// # Errors
+///
+/// Propagates kernel build, translation and guest traps.
+pub fn parallel_cycle_with_engine(
+    config: &ParallelConfig,
+    engine: CycleEngine,
+) -> Result<CycleOutcome, Box<dyn Error>> {
     let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
     let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
     let layout = kernel.layout(&topo)?;
@@ -192,7 +213,10 @@ pub fn parallel_cycle(config: &ParallelConfig) -> Result<CycleOutcome, Box<dyn E
     let set = generate_problems(sim.memory(), &layout, config.seed);
 
     let start = Instant::now();
-    let result = sim.run(topo.num_cores())?;
+    let result = match engine {
+        CycleEngine::EventDriven => sim.run(topo.num_cores())?,
+        CycleEngine::NaiveScan => sim.run_naive(topo.num_cores())?,
+    };
     let wall = start.elapsed();
 
     let breakdown = result.aggregate();
@@ -223,10 +247,9 @@ pub struct BatchConfig {
 }
 
 /// Result of one batched symbol simulation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// Host wall-clock time.
-    #[serde(skip)]
     pub wall: Duration,
     /// Estimated Snitch cycles for the whole symbol.
     pub cycles: u64,
@@ -281,16 +304,18 @@ pub fn mc_symbols_parallel(
     host_threads: usize,
 ) -> Result<(Duration, Vec<BatchOutcome>), Box<dyn Error>> {
     let start = Instant::now();
-    let outcomes: Vec<Result<BatchOutcome, String>> = crossbeam::thread::scope(|s| {
+    let outcomes: Vec<Result<BatchOutcome, String>> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         let chunk = (symbols as usize).div_ceil(host_threads).max(1);
         for batch in (0..symbols).collect::<Vec<_>>().chunks(chunk) {
             let batch = batch.to_vec();
             let config = *config;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 batch
                     .into_iter()
                     .map(|sym| {
+                        // Per-symbol seed: results are independent of the
+                        // host thread count and batch assignment.
                         let mut c = config;
                         c.seed = config.seed.wrapping_add(u64::from(sym));
                         mc_symbol_single(&c).map_err(|e| e.to_string())
@@ -299,8 +324,7 @@ pub fn mc_symbols_parallel(
             }));
         }
         handles.into_iter().flat_map(|h| h.join().expect("symbol thread")).collect()
-    })
-    .expect("scope");
+    });
     let wall = start.elapsed();
     let outcomes: Result<Vec<_>, String> = outcomes.into_iter().collect();
     Ok((wall, outcomes.map_err(|e| -> Box<dyn Error> { e.into() })?))
@@ -353,13 +377,9 @@ mod tests {
 
     #[test]
     fn ber_curve_with_native_dut() {
-        let scenario = Mimo {
-            n_tx: 4,
-            n_rx: 4,
-            modulation: Modulation::Qam16,
-            channel: ChannelKind::Awgn,
-        };
-        let points = ber_curve(scenario, &[8.0, 16.0], DetectorKind::Native(Precision::CDotp16), 100, 1_000, 3);
+        let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Awgn };
+        let points =
+            ber_curve(scenario, &[8.0, 16.0], DetectorKind::Native(Precision::CDotp16), 100, 1_000, 3);
         assert_eq!(points.len(), 2);
         assert!(points[0].ber() > points[1].ber());
     }

@@ -3,8 +3,7 @@
 use core::fmt;
 
 use terasim_riscv::{
-    csr, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, MulDivOp, PvOp,
-    Reg, VfOp,
+    csr, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, MulDivOp, PvOp, Reg, VfOp,
 };
 use terasim_softfloat::{ops, F16, F8};
 
@@ -360,8 +359,24 @@ impl Cpu {
                     FpOp::Sub => a - b,
                     FpOp::Mul => a * b,
                     FpOp::Div => a / b,
-                    FpOp::Min => if a.is_nan() { b } else if b.is_nan() { a } else { a.min(b) },
-                    FpOp::Max => if a.is_nan() { b } else if b.is_nan() { a } else { a.max(b) },
+                    FpOp::Min => {
+                        if a.is_nan() {
+                            b
+                        } else if b.is_nan() {
+                            a
+                        } else {
+                            a.min(b)
+                        }
+                    }
+                    FpOp::Max => {
+                        if a.is_nan() {
+                            b
+                        } else if b.is_nan() {
+                            a
+                        } else {
+                            a.max(b)
+                        }
+                    }
                     FpOp::SgnJ => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000)),
                     FpOp::SgnJN => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000)),
                     FpOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
@@ -717,8 +732,8 @@ mod tests {
         let (cpu, _) = run_asm(|a| {
             // acc = 0; a = 1+2j, b = 3+4j -> acc = -5+10j
             let pack = |re: f32, im: f32| {
-                (u32::from(F16::from_f32(re).to_bits())
-                    | (u32::from(F16::from_f32(im).to_bits()) << 16)) as i32
+                (u32::from(F16::from_f32(re).to_bits()) | (u32::from(F16::from_f32(im).to_bits()) << 16))
+                    as i32
             };
             a.li(Reg::A0, 0);
             a.li(Reg::T0, pack(1.0, 2.0));

@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn unmapped_entry_is_an_error() {
         let image = Image::new(0x1000);
-        assert_eq!(
-            Program::translate(&image).unwrap_err(),
-            TranslateError::EntryNotMapped { entry: 0x1000 }
-        );
+        assert_eq!(Program::translate(&image).unwrap_err(), TranslateError::EntryNotMapped { entry: 0x1000 });
     }
 
     #[test]

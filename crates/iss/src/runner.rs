@@ -23,11 +23,7 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self {
-            latency: LatencyModel::default(),
-            max_instructions: u64::MAX,
-            per_address_latency: false,
-        }
+        Self { latency: LatencyModel::default(), max_instructions: u64::MAX, per_address_latency: false }
     }
 }
 

@@ -85,9 +85,11 @@ impl InstClass {
     /// Classifies a decoded instruction.
     pub fn of(inst: &Inst) -> Self {
         match inst {
-            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::OpImm { .. } | Inst::Op { .. } | Inst::Csr { .. } => {
-                InstClass::Alu
-            }
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::OpImm { .. }
+            | Inst::Op { .. }
+            | Inst::Csr { .. } => InstClass::Alu,
             Inst::MulDiv { op, .. } => match op {
                 terasim_riscv::MulDivOp::Mul
                 | terasim_riscv::MulDivOp::Mulh
@@ -359,7 +361,14 @@ mod tests {
         assert_eq!(InstClass::of(&add(Reg::A0, Reg::A0, Reg::A0)), InstClass::Alu);
         assert_eq!(InstClass::of(&load(Reg::A0)), InstClass::Load);
         assert_eq!(
-            InstClass::of(&Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0, rs3: Reg::A0 }),
+            InstClass::of(&Inst::FpFma {
+                op: FmaOp::Madd,
+                fmt: FpFmt::H,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A0,
+                rs3: Reg::A0
+            }),
             InstClass::Fp
         );
         assert_eq!(

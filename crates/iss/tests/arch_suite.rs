@@ -22,10 +22,7 @@ fn run(build: impl FnOnce(&mut Assembler)) -> (Cpu, DenseMemory) {
     let mut cpu = Cpu::new(0);
     let mut mem = DenseMemory::new(0, 0x1000);
     let stats = run_core(&mut cpu, &program, &mut mem, &RunConfig::default()).expect("runs");
-    assert!(
-        matches!(stats.stop, terasim_iss::StopReason::Exit { .. }),
-        "program must exit via ecall"
-    );
+    assert!(matches!(stats.stop, terasim_iss::StopReason::Exit { .. }), "program must exit via ecall");
     (cpu, mem)
 }
 
@@ -96,7 +93,7 @@ fn jal_jalr_link_and_jump() {
         a.li(Reg::A1, 111); // skipped
         a.bind(target);
         a.mv(Reg::A0, Reg::Ra); // link value
-        // jalr back over the dead instruction via a register target.
+                                // jalr back over the dead instruction via a register target.
         a.li(Reg::T0, (BASE + 4 * 6) as i32);
         a.inst(Inst::Jalr { rd: Reg::A2, rs1: Reg::T0, offset: 4 });
         a.li(Reg::A1, 222); // skipped (jalr lands past it)
@@ -331,10 +328,20 @@ fn fp_compare_and_convert() {
         a.inst(Inst::FpCmp { op: FpCmpOp::Eq, fmt: FpFmt::H, rd: Reg::A2, rs1: Reg::T0, rs2: Reg::T1 });
         // fcvt.w.h truncates toward zero.
         a.li(Reg::T2, F16::from_f32(-2.75).to_bits() as i32);
-        a.inst(Inst::FpUn { op: terasim_riscv::FpUnOp::CvtWFromFp, fmt: FpFmt::H, rd: Reg::A3, rs1: Reg::T2 });
+        a.inst(Inst::FpUn {
+            op: terasim_riscv::FpUnOp::CvtWFromFp,
+            fmt: FpFmt::H,
+            rd: Reg::A3,
+            rs1: Reg::T2,
+        });
         // int -> half -> single roundtrip.
         a.li(Reg::T3, 77);
-        a.inst(Inst::FpUn { op: terasim_riscv::FpUnOp::CvtFpFromW, fmt: FpFmt::H, rd: Reg::A4, rs1: Reg::T3 });
+        a.inst(Inst::FpUn {
+            op: terasim_riscv::FpUnOp::CvtFpFromW,
+            fmt: FpFmt::H,
+            rd: Reg::A4,
+            rs1: Reg::T3,
+        });
         a.fcvt_s_h(Reg::A5, Reg::A4);
     });
     assert_eq!(cpu.reg(Reg::A0), 1);
@@ -507,12 +514,12 @@ fn xpulpimg_integer_mac_and_simd() {
         a.li(Reg::T1, 7);
         a.p_mac(Reg::A0, Reg::T0, Reg::T1); // 100 + 42
         a.p_msu(Reg::A0, Reg::T0, Reg::T0); // 142 - 36
-        // Lanewise i16 add with independent wrap-around.
+                                            // Lanewise i16 add with independent wrap-around.
         a.li(Reg::T2, 0x7fff_0001u32 as i32); // lanes [1, 32767]
         a.li(Reg::T3, 0x0001_0002u32 as i32); // lanes [2, 1]
         a.pv_add_h(Reg::A1, Reg::T2, Reg::T3); // [3, -32768]
         a.pv_sub_h(Reg::A2, Reg::T2, Reg::T3); // [-1, 32766]
-        // Signed dot product with accumulation.
+                                               // Signed dot product with accumulation.
         a.li(Reg::A3, 1000);
         a.li(Reg::T4, 0xfffe_0003u32 as i32); // lanes [3, -2]
         a.li(Reg::T5, 0x0004_0005u32 as i32); // lanes [5, 4]

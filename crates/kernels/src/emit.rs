@@ -123,10 +123,7 @@ impl MmseKernel {
     /// fails, or an assembly error (which would be a generator bug).
     pub fn build(&self, topo: &Topology) -> Result<Image, BuildError> {
         let layout = self.layout(topo)?;
-        assert!(
-            topo.cores_per_tile == 8,
-            "the generated prologue hard-codes 8 cores per tile (TeraPool)"
-        );
+        assert!(topo.cores_per_tile == 8, "the generated prologue hard-codes 8 cores per tile (TeraPool)");
         let mut a = Assembler::new(Topology::L2_BASE);
         self.emit_program(&mut a, &layout);
         let words = a.finish()?;
@@ -481,7 +478,7 @@ impl MmseKernel {
                     a.p_lh(Reg::T3, 2, Reg::A6); // L[i][k].im
                     a.p_lh(Reg::T4, 2, Reg::A7); // L[j][k].re
                     a.p_lh(Reg::T6, 2, Reg::A7); // L[j][k].im
-                    // c -= L[i][k] * conj(L[j][k])
+                                                 // c -= L[i][k] * conj(L[j][k])
                     a.fnmsub_h(Reg::T0, Reg::T2, Reg::T4, Reg::T0);
                     a.fnmsub_h(Reg::T0, Reg::T3, Reg::T6, Reg::T0);
                     a.fnmsub_h(Reg::T1, Reg::T3, Reg::T4, Reg::T1);
@@ -538,7 +535,7 @@ impl MmseKernel {
             a.p_lh(Reg::T3, 2, Reg::A6); // L[i][k].im
             a.p_lh(Reg::T4, 2, Reg::A7); // w[k].re
             a.p_lh(Reg::T6, 2, Reg::A7); // w[k].im
-            // c -= L[i][k] * w[k]
+                                         // c -= L[i][k] * w[k]
             a.fnmsub_h(Reg::T0, Reg::T2, Reg::T4, Reg::T0);
             a.fmadd_h(Reg::T0, Reg::T3, Reg::T6, Reg::T0);
             a.fnmsub_h(Reg::T1, Reg::T2, Reg::T6, Reg::T1);
@@ -598,7 +595,7 @@ impl MmseKernel {
             a.addi(Reg::A7, Reg::A7, 4);
             a.p_lh(Reg::T4, 2, Reg::A5); // x̂[k].re
             a.p_lh(Reg::T6, 2, Reg::A5); // x̂[k].im
-            // c -= conj(L[k][i]) * x̂[k]
+                                         // c -= conj(L[k][i]) * x̂[k]
             a.fnmsub_h(Reg::T0, Reg::T2, Reg::T4, Reg::T0);
             a.fnmsub_h(Reg::T0, Reg::T3, Reg::T6, Reg::T0);
             a.fnmsub_h(Reg::T1, Reg::T2, Reg::T6, Reg::T1);

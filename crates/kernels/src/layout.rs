@@ -108,10 +108,7 @@ impl ProblemLayout {
         let eb = kernel.precision.element_bytes();
         let active_cores = kernel.active_cores.unwrap_or(topo.num_cores());
         if active_cores > topo.num_cores() {
-            return Err(LayoutError::TooManyCores {
-                requested: active_cores,
-                available: topo.num_cores(),
-            });
+            return Err(LayoutError::TooManyCores { requested: active_cores, available: topo.num_cores() });
         }
         let problems = active_cores * kernel.problems_per_core;
 
@@ -122,8 +119,7 @@ impl ProblemLayout {
         // the same banks (maximal conflicts); default packs them densely so
         // the interleaved view spreads traffic (paper Figure 4).
         let row = topo.num_banks() * 4;
-        let h_stride =
-            if kernel.bank_aligned_inputs { align(n * n * eb, row) } else { n * n * eb };
+        let h_stride = if kernel.bank_aligned_inputs { align(n * n * eb, row) } else { n * n * eb };
         let y_base = align(h_base + problems * h_stride, 4);
         let y_stride = if kernel.bank_aligned_inputs { align(n * eb, row) } else { n * eb };
         let sigma_base = align(y_base + problems * y_stride, 4);
@@ -203,10 +199,7 @@ impl ProblemLayout {
     pub fn core_scratch_base(&self, topo: &Topology, core: u32) -> u32 {
         let tile = topo.tile_of_core(core);
         let within = core % topo.cores_per_tile;
-        Topology::SEQ_BASE
-            + tile * Topology::SEQ_STRIDE
-            + self.seq_scratch_off
-            + within * self.core_scratch
+        Topology::SEQ_BASE + tile * Topology::SEQ_STRIDE + self.seq_scratch_off + within * self.core_scratch
     }
 
     /// Address of triangle entry `(i, j)` (`j <= i`) in `core`'s `G`.

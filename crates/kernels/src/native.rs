@@ -146,7 +146,8 @@ fn dot_conj(
             let mut im = [[F16::ZERO; 2]; 2];
             for s in 0..n / 2 {
                 let (k0, k1) = (2 * s, 2 * s + 1);
-                let a = [h[col_a * n + k0][0], h[col_a * n + k0][1], h[col_a * n + k1][0], h[col_a * n + k1][1]];
+                let a =
+                    [h[col_a * n + k0][0], h[col_a * n + k0][1], h[col_a * n + k1][0], h[col_a * n + k1][1]];
                 let bv0 = if b_is_y { y[k0] } else { h[col_b * n + k0] };
                 let bv1 = if b_is_y { y[k1] } else { h[col_b * n + k1] };
                 let b = [bv0[0], bv0[1], bv1[0], bv1[1]];
@@ -399,12 +400,7 @@ mod tests {
         for precision in [Precision::Half16, Precision::WDotp16, Precision::CDotp16] {
             let x = detect(precision, n, &h, &y, 0.01);
             for (xi, gi) in x.iter().zip(&gold) {
-                assert!(
-                    (xi[0].to_f64() - gi.0).abs() < 0.05,
-                    "{precision}: {} vs {}",
-                    xi[0].to_f64(),
-                    gi.0
-                );
+                assert!((xi[0].to_f64() - gi.0).abs() < 0.05, "{precision}: {} vs {}", xi[0].to_f64(), gi.0);
             }
         }
     }

@@ -27,13 +27,8 @@ pub enum Precision {
 
 impl Precision {
     /// All precisions in the paper's presentation order.
-    pub const ALL: [Precision; 5] = [
-        Precision::Half16,
-        Precision::WDotp16,
-        Precision::CDotp16,
-        Precision::Quarter8,
-        Precision::WDotp8,
-    ];
+    pub const ALL: [Precision; 5] =
+        [Precision::Half16, Precision::WDotp16, Precision::CDotp16, Precision::Quarter8, Precision::WDotp8];
 
     /// The four precisions used in the cycle/runtime figures (Figures 5-8
     /// omit `8bQuarter`).

@@ -5,39 +5,31 @@
 //! valid because this test pins them to the ISS (the paper's Banshee
 //! "bit-true functional modeling").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use terasim_kernels::{data, native, MmseKernel, Precision, C64};
+use terasim_phy::rng::Rng64;
 use terasim_terapool::{FastSim, Topology};
 
-/// Standard-normal sampler (Box-Muller) — keeps `rand` usage minimal.
-fn randn(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random();
+/// Standard-normal sampler (Box-Muller).
+fn randn(rng: &mut Rng64) -> f64 {
+    let u1: f64 = rng.next_f64().max(1e-12);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-fn random_channel(rng: &mut StdRng, n: usize) -> Vec<C64> {
+fn random_channel(rng: &mut Rng64, n: usize) -> Vec<C64> {
     let scale = 1.0 / (2.0 * n as f64).sqrt();
     (0..n * n).map(|_| (randn(rng) * scale, randn(rng) * scale)).collect()
 }
 
-fn random_symbols(rng: &mut StdRng, n: usize) -> Vec<C64> {
+fn random_symbols(rng: &mut Rng64, n: usize) -> Vec<C64> {
     // 16QAM-like alphabet, unit average power.
     let levels = [-3.0, -1.0, 1.0, 3.0];
     let norm = (10.0f64).sqrt().recip();
-    (0..n)
-        .map(|_| {
-            (
-                levels[rng.random_range(0..4)] * norm,
-                levels[rng.random_range(0..4)] * norm,
-            )
-        })
-        .collect()
+    (0..n).map(|_| (levels[rng.below(4)] * norm, levels[rng.below(4)] * norm)).collect()
 }
 
 fn run_case(precision: Precision, n: u32, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let cores = 8u32;
     let mut topo = Topology::scaled(cores);
     let kernel = MmseKernel::new(n, precision).with_active_cores(cores);
@@ -130,7 +122,7 @@ fn detection_quality_tracks_reference() {
     // The 16-bit kernels should detect the same symbols as the f64
     // reference on a well-conditioned channel (qualitative check used by
     // the BER experiments).
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng64::seed_from_u64(42);
     let n = 4usize;
     let mut agree = 0;
     let mut total = 0;
@@ -149,9 +141,7 @@ fn detection_quality_tracks_reference() {
         let fx = native::detect(Precision::CDotp16, n, &h, &y, 0.001);
         for i in 0..n {
             total += 1;
-            if (fx[i][0].to_f64() - gold[i].0).abs() < 0.25
-                && (fx[i][1].to_f64() - gold[i].1).abs() < 0.25
-            {
+            if (fx[i][0].to_f64() - gold[i].0).abs() < 0.25 && (fx[i][1].to_f64() - gold[i].1).abs() < 0.25 {
                 agree += 1;
             }
         }

@@ -49,8 +49,7 @@ impl BerRun {
     /// Simulates until `target_errors` bit errors or `max_iterations`
     /// channel uses, whichever comes first.
     pub fn run(&mut self, detector: &dyn Detector, target_errors: u64, max_iterations: u64) -> BerPoint {
-        let mut point =
-            BerPoint { snr_db: self.snr_db, bits: 0, errors: 0, iterations: 0 };
+        let mut point = BerPoint { snr_db: self.snr_db, bits: 0, errors: 0, iterations: 0 };
         let bps = self.scenario.modulation.bits_per_symbol();
         while point.errors < target_errors && point.iterations < max_iterations {
             let t = self.generator.next_transmission();
@@ -67,27 +66,49 @@ impl BerRun {
     }
 }
 
-/// Sweeps a detector over a list of SNR points (one [`BerRun`] each,
-/// seeds derived from `seed`).
+/// Sweeps a detector over a list of SNR points (one [`BerRun`] each, seeds
+/// derived from `seed`), parallelized over the host's available cores.
+///
+/// Every SNR point is an independent Monte-Carlo run whose seed derives
+/// from the *point index* — never from the executing thread — so the
+/// returned points are identical for any host thread count (the paper's
+/// determinism requirement; pinned by the workspace determinism tests).
 pub fn sweep(
     scenario: Mimo,
     snrs_db: &[f64],
-    detector: &dyn Detector,
+    detector: &(dyn Detector + Sync),
     target_errors: u64,
     max_iterations: u64,
     seed: u64,
 ) -> Vec<BerPoint> {
-    snrs_db
-        .iter()
-        .enumerate()
-        .map(|(i, &snr)| {
-            BerRun::new(scenario, snr, seed.wrapping_add(i as u64)).run(
-                detector,
-                target_errors,
-                max_iterations,
-            )
-        })
-        .collect()
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    sweep_with_threads(scenario, snrs_db, detector, target_errors, max_iterations, seed, threads)
+}
+
+/// As [`sweep`], with an explicit host worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `host_threads == 0`.
+pub fn sweep_with_threads(
+    scenario: Mimo,
+    snrs_db: &[f64],
+    detector: &(dyn Detector + Sync),
+    target_errors: u64,
+    max_iterations: u64,
+    seed: u64,
+    host_threads: usize,
+) -> Vec<BerPoint> {
+    // Dynamic work distribution (points near the error target finish at
+    // very different speeds); seeds derive from the point index, so
+    // scheduling order never affects the result.
+    crate::par::par_map((0..snrs_db.len()).collect(), host_threads, |i| {
+        BerRun::new(scenario, snrs_db[i], seed.wrapping_add(i as u64)).run(
+            detector,
+            target_errors,
+            max_iterations,
+        )
+    })
 }
 
 #[cfg(test)]

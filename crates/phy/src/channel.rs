@@ -1,9 +1,7 @@
 //! MIMO uplink transmission generation: bits → QAM → channel → noise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::qam::Modulation;
+use crate::rng::Rng64;
 use crate::Cplx;
 
 /// Wireless channel model between the UEs and the basestation.
@@ -68,14 +66,14 @@ pub struct Transmission {
 pub struct TxGenerator {
     scenario: Mimo,
     snr_db: f64,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl TxGenerator {
     /// Creates a generator for `scenario` at the given SNR (dB, per
     /// receive antenna), seeded for reproducibility.
     pub fn new(scenario: Mimo, snr_db: f64, seed: u64) -> Self {
-        Self { scenario, snr_db, rng: StdRng::seed_from_u64(seed) }
+        Self { scenario, snr_db, rng: Rng64::seed_from_u64(seed) }
     }
 
     /// Noise power used for this SNR (`σ² = 10^(-SNR/10)`, unit receive
@@ -86,8 +84,8 @@ impl TxGenerator {
 
     /// Standard normal sample (Box-Muller).
     fn randn(&mut self) -> f64 {
-        let u1: f64 = self.rng.random::<f64>().max(1e-300);
-        let u2: f64 = self.rng.random();
+        let u1: f64 = self.rng.next_f64().max(1e-300);
+        let u2: f64 = self.rng.next_f64();
         (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
     }
 
@@ -101,7 +99,7 @@ impl TxGenerator {
     pub fn next_transmission(&mut self) -> Transmission {
         let Mimo { n_tx, n_rx, modulation, channel } = self.scenario;
         let bps = modulation.bits_per_symbol();
-        let bits: Vec<bool> = (0..n_tx * bps).map(|_| self.rng.random()).collect();
+        let bits: Vec<bool> = (0..n_tx * bps).map(|_| self.rng.next_bool()).collect();
         let x: Vec<Cplx> = (0..n_tx).map(|u| modulation.map(&bits[u * bps..(u + 1) * bps])).collect();
 
         let h: Vec<Cplx> = match channel {
@@ -113,9 +111,7 @@ impl TxGenerator {
                 h
             }
             // E|h|² = 1/n_tx keeps unit receive power per antenna.
-            ChannelKind::Rayleigh => {
-                (0..n_rx * n_tx).map(|_| self.randcn(1.0 / n_tx as f64)).collect()
-            }
+            ChannelKind::Rayleigh => (0..n_rx * n_tx).map(|_| self.randcn(1.0 / n_tx as f64)).collect(),
         };
 
         let sigma = self.sigma();

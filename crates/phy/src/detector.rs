@@ -111,12 +111,7 @@ mod tests {
     #[test]
     fn solves_known_system() {
         // H = [[1, 1], [0, 1]], x = [1, 2]: y = [3, 2]; zero noise recovers x.
-        let h = vec![
-            Cplx::new(1.0, 0.0),
-            Cplx::new(1.0, 0.0),
-            Cplx::new(0.0, 0.0),
-            Cplx::new(1.0, 0.0),
-        ];
+        let h = vec![Cplx::new(1.0, 0.0), Cplx::new(1.0, 0.0), Cplx::new(0.0, 0.0), Cplx::new(1.0, 0.0)];
         let y = vec![Cplx::new(3.0, 0.0), Cplx::new(2.0, 0.0)];
         let x = MmseF64.detect(2, &h, &y, 0.0);
         assert!((x[0].re - 1.0).abs() < 1e-10 && (x[1].re - 2.0).abs() < 1e-10);
@@ -125,12 +120,7 @@ mod tests {
     #[test]
     fn complex_channel_roundtrip() {
         // Random-ish fixed unitary-like channel.
-        let h = vec![
-            Cplx::new(0.6, 0.2),
-            Cplx::new(-0.3, 0.5),
-            Cplx::new(0.1, -0.7),
-            Cplx::new(0.8, 0.1),
-        ];
+        let h = vec![Cplx::new(0.6, 0.2), Cplx::new(-0.3, 0.5), Cplx::new(0.1, -0.7), Cplx::new(0.8, 0.1)];
         let x_true = [Cplx::new(1.0, -1.0), Cplx::new(-0.5, 0.25)];
         let mut y = vec![Cplx::ZERO; 2];
         for k in 0..2 {

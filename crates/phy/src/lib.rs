@@ -38,11 +38,14 @@ mod channel;
 mod complex;
 mod detector;
 mod nr;
+mod par;
 mod qam;
+pub mod rng;
 
-pub use ber::{sweep, BerPoint, BerRun};
+pub use ber::{sweep, sweep_with_threads, BerPoint, BerRun};
 pub use channel::{ChannelKind, Mimo, Transmission, TxGenerator};
 pub use complex::Cplx;
 pub use detector::{Detector, MmseF64};
 pub use nr::{NrCarrier, Scs};
+pub use par::par_map;
 pub use qam::Modulation;

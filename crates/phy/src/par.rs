@@ -1,0 +1,57 @@
+//! Order-preserving parallel map over scoped threads.
+//!
+//! The single work-distribution helper shared by the Monte-Carlo layers:
+//! the SNR sweep in this crate and the experiment binaries in
+//! `terasim-bench`. Work is handed out dynamically (items differ in
+//! runtime by orders of magnitude) and results return in input order, so
+//! output never depends on the thread count or scheduling.
+
+/// Maps `f` over `items` using up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn par_map<I: Send, T: Send>(items: Vec<I>, threads: usize, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect::<std::collections::VecDeque<_>>());
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || loop {
+                let item = queue.lock().expect("work queue").pop_front();
+                let Some((i, item)) = item else { break };
+                let _ = tx.send((i, f(item)));
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("every item mapped")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        for threads in [1, 2, 7, 64] {
+            let out = par_map((0..100u64).collect(), threads, |x| x * x);
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>(), "threads = {threads}");
+        }
+        assert!(par_map(Vec::<u32>::new(), 4, |x| x).is_empty());
+    }
+}

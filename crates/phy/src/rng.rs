@@ -1,0 +1,131 @@
+//! Self-contained deterministic RNG for Monte-Carlo generation.
+//!
+//! The workspace builds offline, so the crates.io `rand` stack is not
+//! available; this module provides the small surface the PHY needs: a
+//! seedable, portable, fast generator with uniform `u64`/`f64`/`bool`
+//! draws. The implementation is xoshiro256++ with a splitmix64 seed
+//! expander — the same construction `rand`'s small RNGs use — so streams
+//! are well distributed even for adjacent seeds (the sweep layers derive
+//! per-point seeds by adding the point index).
+
+/// A seedable xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (any value, including 0).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit: xoshiro++'s low bits are its weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform index in `0..n` (`n > 0`) — unbiased via rejection
+    /// sampling (no-op for powers of two, so those draw exactly one
+    /// `next_u64`).
+    pub fn below(&mut self, n: usize) -> usize {
+        let n = n as u64;
+        // Reject draws below `2^64 mod n`: the remaining range is an
+        // exact multiple of n.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return (x % n) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        let mut c = Rng64::seed_from_u64(8);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc, "adjacent seeds must diverge immediately");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng64::seed_from_u64(123);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_fair_enough() {
+        let mut rng = Rng64::seed_from_u64(55);
+        let heads = (0..10_000).filter(|_| rng.next_bool()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.below(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_is_roughly_uniform_for_non_power_of_two() {
+        let mut rng = Rng64::seed_from_u64(31);
+        let mut buckets = [0u32; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            buckets[rng.below(3)] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            let expected = n / 3;
+            assert!(count.abs_diff(expected) < expected / 10, "bucket {i}: {count} of {n}");
+        }
+    }
+}

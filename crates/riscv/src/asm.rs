@@ -682,7 +682,22 @@ mod tests {
 
     #[test]
     fn li_covers_full_range() {
-        for value in [0, 1, -1, 2047, -2048, 2048, -2049, 0x1234_5678, -0x1234_5678, i32::MIN, i32::MAX, 0x7ff, 0x800, 0xfffff000u32 as i32] {
+        for value in [
+            0,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            -2049,
+            0x1234_5678,
+            -0x1234_5678,
+            i32::MIN,
+            i32::MAX,
+            0x7ff,
+            0x800,
+            0xfffff000u32 as i32,
+        ] {
             let mut a = Assembler::new(0);
             a.li(Reg::T0, value);
             let words = a.finish().unwrap();

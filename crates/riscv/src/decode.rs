@@ -52,7 +52,6 @@ fn imm_s(word: u32) -> i32 {
 }
 
 fn imm_b(word: u32) -> i32 {
-    
     (((word as i32) >> 31) << 12)
         | ((((word >> 7) & 1) as i32) << 11)
         | ((((word >> 25) & 0x3f) as i32) << 5)
@@ -174,9 +173,7 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         OP_LUI => Inst::Lui { rd: rd(word), imm: imm_u(word) },
         OP_AUIPC => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
         OP_JAL => Inst::Jal { rd: rd(word), offset: imm_j(word) },
-        OP_JALR if funct3(word) == 0 => {
-            Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
-        }
+        OP_JALR if funct3(word) == 0 => Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) },
         OP_BRANCH => Inst::Branch {
             op: branch_op(funct3(word)).ok_or(err)?,
             rs1: rs1(word),
@@ -365,18 +362,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 rs3: Reg::from_num(word >> 27),
             }
         }
-        OP_CUSTOM3 if funct3(word) == 0 => Inst::Vf {
-            op: vf_op(funct7(word)).ok_or(err)?,
-            rd: rd(word),
-            rs1: rs1(word),
-            rs2: rs2(word),
-        },
-        OP_CUSTOM3 if funct3(word) == 1 => Inst::Pv {
-            op: pv_op(funct7(word)).ok_or(err)?,
-            rd: rd(word),
-            rs1: rs1(word),
-            rs2: rs2(word),
-        },
+        OP_CUSTOM3 if funct3(word) == 0 => {
+            Inst::Vf { op: vf_op(funct7(word)).ok_or(err)?, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
+        OP_CUSTOM3 if funct3(word) == 1 => {
+            Inst::Pv { op: pv_op(funct7(word)).ok_or(err)?, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
         _ => return Err(err),
     };
     Ok(inst)
@@ -389,14 +380,35 @@ mod tests {
     #[test]
     fn decodes_canonical_words() {
         // Canonical encodings cross-checked against the RISC-V spec.
-        assert_eq!(decode(0x0000_0013).unwrap(), Inst::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }); // nop
-        assert_eq!(decode(0x0080_0093).unwrap(), Inst::OpImm { op: AluOp::Add, rd: Reg::Ra, rs1: Reg::Zero, imm: 8 });
+        assert_eq!(
+            decode(0x0000_0013).unwrap(),
+            Inst::OpImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }
+        ); // nop
+        assert_eq!(
+            decode(0x0080_0093).unwrap(),
+            Inst::OpImm { op: AluOp::Add, rd: Reg::Ra, rs1: Reg::Zero, imm: 8 }
+        );
         assert_eq!(decode(0x0000_8067).unwrap(), Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }); // ret
-        assert_eq!(decode(0xfe52_8ae3).unwrap(), Inst::Branch { op: BranchOp::Eq, rs1: Reg::T0, rs2: Reg::T0, offset: -12 });
-        assert_eq!(decode(0x0005_2503).unwrap(), Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A0, offset: 0, post_inc: false });
-        assert_eq!(decode(0x00b5_2023).unwrap(), Inst::Store { op: StoreOp::Sw, rs1: Reg::A0, rs2: Reg::A1, offset: 0, post_inc: false });
-        assert_eq!(decode(0x02b5_0533).unwrap(), Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
-        assert_eq!(decode(0xf140_2573).unwrap(), Inst::Csr { op: CsrOp::Rs, rd: Reg::A0, src: CsrSrc::Reg(Reg::Zero), csr: 0xf14 }); // csrr a0, mhartid
+        assert_eq!(
+            decode(0xfe52_8ae3).unwrap(),
+            Inst::Branch { op: BranchOp::Eq, rs1: Reg::T0, rs2: Reg::T0, offset: -12 }
+        );
+        assert_eq!(
+            decode(0x0005_2503).unwrap(),
+            Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::A0, offset: 0, post_inc: false }
+        );
+        assert_eq!(
+            decode(0x00b5_2023).unwrap(),
+            Inst::Store { op: StoreOp::Sw, rs1: Reg::A0, rs2: Reg::A1, offset: 0, post_inc: false }
+        );
+        assert_eq!(
+            decode(0x02b5_0533).unwrap(),
+            Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }
+        );
+        assert_eq!(
+            decode(0xf140_2573).unwrap(),
+            Inst::Csr { op: CsrOp::Rs, rd: Reg::A0, src: CsrSrc::Reg(Reg::Zero), csr: 0xf14 }
+        ); // csrr a0, mhartid
         assert_eq!(decode(0x1050_0073).unwrap(), Inst::Wfi);
     }
 
@@ -405,7 +417,9 @@ mod tests {
         assert!(decode(0xffff_ffff).is_err());
         assert!(decode(0x0000_0000).is_err());
         // OP-FP with quad fmt (0b11) is not implemented.
-        let bad_fmt = Inst::FpArith { op: FpOp::Add, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }.encode() | (0b01 << 25);
+        let bad_fmt = Inst::FpArith { op: FpOp::Add, fmt: FpFmt::H, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }
+            .encode()
+            | (0b01 << 25);
         assert!(decode(bad_fmt).is_err());
     }
 

@@ -226,10 +226,29 @@ mod tests {
     fn renders_common_instructions() {
         let cases: [(Inst, &str); 6] = [
             (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -16 }, "addi a0, sp, -16"),
-            (Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 8, post_inc: false }, "lw t0, 8(a1)"),
-            (Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 4, post_inc: true }, "p.lw t0, 4(a1!)"),
-            (Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::H, rd: Reg::A2, rs1: Reg::A3, rs2: Reg::A4, rs3: Reg::A2 }, "fmadd.h a2, a3, a4, a2"),
-            (Inst::Vf { op: VfOp::CdotpExSH, rd: Reg::S0, rs1: Reg::S1, rs2: Reg::S2 }, "vfcdotpex.s.h s0, s1, s2"),
+            (
+                Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 8, post_inc: false },
+                "lw t0, 8(a1)",
+            ),
+            (
+                Inst::Load { op: LoadOp::Lw, rd: Reg::T0, rs1: Reg::A1, offset: 4, post_inc: true },
+                "p.lw t0, 4(a1!)",
+            ),
+            (
+                Inst::FpFma {
+                    op: FmaOp::Madd,
+                    fmt: FpFmt::H,
+                    rd: Reg::A2,
+                    rs1: Reg::A3,
+                    rs2: Reg::A4,
+                    rs3: Reg::A2,
+                },
+                "fmadd.h a2, a3, a4, a2",
+            ),
+            (
+                Inst::Vf { op: VfOp::CdotpExSH, rd: Reg::S0, rs1: Reg::S1, rs2: Reg::S2 },
+                "vfcdotpex.s.h s0, s1, s2",
+            ),
             (Inst::Vf { op: VfOp::SwapH, rd: Reg::S0, rs1: Reg::S1, rs2: Reg::Zero }, "pv.swap.h s0, s1"),
         ];
         for (inst, want) in cases {

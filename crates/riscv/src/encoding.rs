@@ -174,12 +174,7 @@ fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i32) -> u32 {
 fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
     assert!((-2048..=2047).contains(&imm), "S-type immediate {imm} out of range");
     let imm = imm as u32 & 0xfff;
-    opcode
-        | ((imm & 0x1f) << 7)
-        | (funct3 << 12)
-        | (rs1.num() << 15)
-        | (rs2.num() << 20)
-        | ((imm >> 5) << 25)
+    opcode | ((imm & 0x1f) << 7) | (funct3 << 12) | (rs1.num() << 15) | (rs2.num() << 20) | ((imm >> 5) << 25)
 }
 
 fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
@@ -231,9 +226,7 @@ impl Inst {
             Inst::Auipc { rd, imm } => u_type(OP_AUIPC, rd, imm),
             Inst::Jal { rd, offset } => j_type(OP_JAL, rd, offset),
             Inst::Jalr { rd, rs1, offset } => i_type(OP_JALR, 0, rd, rs1, offset),
-            Inst::Branch { op, rs1, rs2, offset } => {
-                b_type(OP_BRANCH, branch_funct3(op), rs1, rs2, offset)
-            }
+            Inst::Branch { op, rs1, rs2, offset } => b_type(OP_BRANCH, branch_funct3(op), rs1, rs2, offset),
             Inst::Load { op, rd, rs1, offset, post_inc } => {
                 let opcode = if post_inc { OP_CUSTOM0 } else { OP_LOAD };
                 i_type(opcode, load_funct3(op), rd, rs1, offset)
@@ -262,14 +255,10 @@ impl Inst {
                 let (f3, f7) = alu_functs(op);
                 r_type(OP_OP, f3, f7, rd, rs1, rs2)
             }
-            Inst::MulDiv { op, rd, rs1, rs2 } => {
-                r_type(OP_OP, muldiv_funct3(op), 0b000_0001, rd, rs1, rs2)
-            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => r_type(OP_OP, muldiv_funct3(op), 0b000_0001, rd, rs1, rs2),
             Inst::LrW { rd, rs1 } => r_type(OP_AMO, 0b010, AMO_LR << 2, rd, rs1, Reg::Zero),
             Inst::ScW { rd, rs1, rs2 } => r_type(OP_AMO, 0b010, AMO_SC << 2, rd, rs1, rs2),
-            Inst::Amo { op, rd, rs1, rs2 } => {
-                r_type(OP_AMO, 0b010, amo_funct5(op) << 2, rd, rs1, rs2)
-            }
+            Inst::Amo { op, rd, rs1, rs2 } => r_type(OP_AMO, 0b010, amo_funct5(op) << 2, rd, rs1, rs2),
             Inst::Csr { op, rd, src, csr } => {
                 let (funct3, field) = match (op, src) {
                     (CsrOp::Rw, CsrSrc::Reg(r)) => (0b001, r.num()),

@@ -256,10 +256,7 @@ impl VfOp {
     /// Returns `true` if the operation ignores `rs2` (unary shuffles and
     /// conversions).
     pub const fn is_unary(self) -> bool {
-        matches!(
-            self,
-            VfOp::CvtHBLo | VfOp::CvtHBHi | VfOp::CvtBH | VfOp::SwapH | VfOp::SwapB
-        )
+        matches!(self, VfOp::CvtHBLo | VfOp::CvtHBHi | VfOp::CvtBH | VfOp::SwapH | VfOp::SwapB)
     }
 }
 
@@ -317,29 +314,125 @@ impl PvOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // fields follow standard RISC-V operand naming
 pub enum Inst {
-    Lui { rd: Reg, imm: i32 },
-    Auipc { rd: Reg, imm: i32 },
-    Jal { rd: Reg, offset: i32 },
-    Jalr { rd: Reg, rs1: Reg, offset: i32 },
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Loads; `post_inc` selects the Xpulpimg post-increment form
     /// (`p.lw rd, offset(rs1!)`: address is `rs1`, then `rs1 += offset`).
-    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i32, post_inc: bool },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+        post_inc: bool,
+    },
     /// Stores; `post_inc` as for loads.
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i32, post_inc: bool },
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
-    LrW { rd: Reg, rs1: Reg },
-    ScW { rd: Reg, rs1: Reg, rs2: Reg },
-    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg },
-    Csr { op: CsrOp, rd: Reg, src: CsrSrc, csr: u16 },
-    FpArith { op: FpOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg },
-    FpUn { op: FpUnOp, fmt: FpFmt, rd: Reg, rs1: Reg },
-    FpFma { op: FmaOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg },
-    FpCmp { op: FpCmpOp, fmt: FpFmt, rd: Reg, rs1: Reg, rs2: Reg },
-    Vf { op: VfOp, rd: Reg, rs1: Reg, rs2: Reg },
-    Pv { op: PvOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+        post_inc: bool,
+    },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    LrW {
+        rd: Reg,
+        rs1: Reg,
+    },
+    ScW {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Amo {
+        op: AmoOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        src: CsrSrc,
+        csr: u16,
+    },
+    FpArith {
+        op: FpOp,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FpUn {
+        op: FpUnOp,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: Reg,
+    },
+    FpFma {
+        op: FmaOp,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        rs3: Reg,
+    },
+    FpCmp {
+        op: FpCmpOp,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Vf {
+        op: VfOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Pv {
+        op: PvOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     Fence,
     Ecall,
     Ebreak,
@@ -396,7 +489,10 @@ impl Inst {
     pub fn srcs(&self) -> impl Iterator<Item = Reg> {
         let mut regs = [None::<Reg>; 3];
         match *self {
-            Inst::Jalr { rs1, .. } | Inst::Load { rs1, .. } | Inst::OpImm { rs1, .. } | Inst::LrW { rs1, .. } => {
+            Inst::Jalr { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::OpImm { rs1, .. }
+            | Inst::LrW { rs1, .. } => {
                 regs[0] = Some(rs1);
             }
             Inst::Branch { rs1, rs2, .. }

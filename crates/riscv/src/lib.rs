@@ -48,8 +48,8 @@ pub use asm::{AsmError, Assembler, Label};
 pub use decode::{decode, DecodeError};
 pub use image::{Image, Segment};
 pub use inst::{
-    AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, LoadOp,
-    MulDivOp, PvOp, StoreOp, VfOp,
+    AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, LoadOp, MulDivOp, PvOp,
+    StoreOp, VfOp,
 };
 pub use reg::Reg;
 

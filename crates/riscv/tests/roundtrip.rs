@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use terasim_riscv::{
-    decode, AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst,
-    LoadOp, MulDivOp, PvOp, Reg, StoreOp, VfOp,
+    decode, AluOp, AmoOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Inst, LoadOp,
+    MulDivOp, PvOp, Reg, StoreOp, VfOp,
 };
 
 fn reg() -> impl Strategy<Value = Reg> {
@@ -48,13 +48,8 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         Just(AluOp::Or),
         Just(AluOp::And),
     ];
-    let alu = prop_oneof![
-        alu_imm.clone(),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-    ];
+    let alu =
+        prop_oneof![alu_imm.clone(), Just(AluOp::Sub), Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra),];
     let shift_op = prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)];
     let muldiv = prop_oneof![
         Just(MulDivOp::Mul),
@@ -94,10 +89,7 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         Just(AmoOp::Maxu),
     ];
     let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
-    let csr_src = prop_oneof![
-        reg().prop_map(CsrSrc::Reg),
-        (0u8..32).prop_map(CsrSrc::Imm),
-    ];
+    let csr_src = prop_oneof![reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm),];
     let fp_op = prop_oneof![
         Just(FpOp::Add),
         Just(FpOp::Sub),
@@ -109,12 +101,7 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         Just(FpOp::SgnJN),
         Just(FpOp::SgnJX),
     ];
-    let fma_op = prop_oneof![
-        Just(FmaOp::Madd),
-        Just(FmaOp::Msub),
-        Just(FmaOp::Nmadd),
-        Just(FmaOp::Nmsub),
-    ];
+    let fma_op = prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmadd), Just(FmaOp::Nmsub),];
     let fp_cmp = prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)];
     let vf_op = prop_oneof![
         Just(VfOp::AddH),
@@ -142,10 +129,19 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (reg(), any::<i32>()).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v & !0xfffi32 }),
         (reg(), j_off()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
         (reg(), reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (branch, reg(), reg(), b_off())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
-        (load, reg(), reg(), i_imm(), any::<bool>())
-            .prop_map(|(op, rd, rs1, offset, post_inc)| Inst::Load { op, rd, rs1, offset, post_inc }),
+        (branch, reg(), reg(), b_off()).prop_map(|(op, rs1, rs2, offset)| Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset
+        }),
+        (load, reg(), reg(), i_imm(), any::<bool>()).prop_map(|(op, rd, rs1, offset, post_inc)| Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+            post_inc
+        }),
         (store, reg(), reg(), i_imm(), any::<bool>())
             .prop_map(|(op, rs1, rs2, offset, post_inc)| Inst::Store { op, rs1, rs2, offset, post_inc }),
         (alu_imm, reg(), reg(), i_imm()).prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
@@ -156,17 +152,43 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::ScW { rd, rs1, rs2 }),
         (amo, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Amo { op, rd, rs1, rs2 }),
         (csr_op, reg(), csr_src, 0u16..0x1000).prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),
-        (fp_op, fp_fmt(), reg(), reg(), reg())
-            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpArith { op, fmt, rd, rs1, rs2 }),
+        (fp_op, fp_fmt(), reg(), reg(), reg()).prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpArith {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2
+        }),
         (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::Sqrt, fmt, rd, rs1 }),
-        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::CvtWFromFp, fmt, rd, rs1 }),
-        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn { op: FpUnOp::CvtFpFromW, fmt, rd, rs1 }),
+        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn {
+            op: FpUnOp::CvtWFromFp,
+            fmt,
+            rd,
+            rs1
+        }),
+        (fp_fmt(), reg(), reg()).prop_map(|(fmt, rd, rs1)| Inst::FpUn {
+            op: FpUnOp::CvtFpFromW,
+            fmt,
+            rd,
+            rs1
+        }),
         (reg(), reg()).prop_map(|(rd, rs1)| Inst::FpUn { op: FpUnOp::CvtSFromH, fmt: FpFmt::S, rd, rs1 }),
         (reg(), reg()).prop_map(|(rd, rs1)| Inst::FpUn { op: FpUnOp::CvtHFromS, fmt: FpFmt::H, rd, rs1 }),
-        (fma_op, fp_fmt(), reg(), reg(), reg(), reg())
-            .prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 }),
-        (fp_cmp, fp_fmt(), reg(), reg(), reg())
-            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpCmp { op, fmt, rd, rs1, rs2 }),
+        (fma_op, fp_fmt(), reg(), reg(), reg(), reg()).prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3
+        }),
+        (fp_cmp, fp_fmt(), reg(), reg(), reg()).prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2
+        }),
         (vf_op, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Vf { op, rd, rs1, rs2 }),
         (pv_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Pv { op, rd, rs1, rs2 }),
         Just(Inst::Fence),

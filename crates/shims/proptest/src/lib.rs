@@ -1,0 +1,536 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! API subset used by this workspace.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This shim implements the pieces the
+//! workspace's property tests rely on — [`Strategy`] with `prop_map` /
+//! `prop_filter`, [`any`], [`Just`], tuple and range strategies,
+//! `collection::vec`, `prop_oneof!` and the `proptest!` / `prop_assert!`
+//! macro family — with a deterministic per-test RNG and **no shrinking**:
+//! a failing case reports its inputs and panics immediately.
+//!
+//! Semantics intentionally kept compatible so the test files compile
+//! unchanged against either implementation.
+
+pub mod test_runner {
+    //! Test execution plumbing: config, RNG and case errors.
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    /// Deterministic RNG (splitmix64) seeded from the test name, so every
+    /// run of a property explores the same sequence of cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from a test name (FNV-1a hash).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// `generate` returns `None` when a `prop_filter` rejects the draw;
+    /// the runner retries with fresh randomness.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value (or a rejection).
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `f`; `reason` is reported if rejection
+        /// starves the runner.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, reason: reason.into(), f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)]
+        reason: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// A shared generator closure, the element type of [`Union`].
+    pub type ArcGen<V> = Arc<dyn Fn(&mut TestRng) -> Option<V>>;
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<ArcGen<V>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union").field("options", &self.options.len()).finish()
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Self { options: self.options.clone() }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over the given generator closures.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<ArcGen<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Self { options }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<V> {
+            let idx = rng.below(self.options.len());
+            (self.options[idx])(rng)
+        }
+    }
+
+    /// Strategy produced by [`any`](crate::arbitrary::any).
+    #[derive(Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+
+    impl Strategy for Any<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+            Some(f32::from_bits(rng.next_u64() as u32))
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            Some(f64::from_bits(rng.next_u64()))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    Some((self.start as i128 + off) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    Some((lo + off) as $t)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(self.start + rng.next_f64() as $t * (self.end - self.start))
+                }
+            }
+        )*};
+    }
+    range_strategy_float!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    $(let $v = $s.generate(rng)?;)+
+                    Some(($($v,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/a)
+        (A/a, B/b)
+        (A/a, B/b, C/c)
+        (A/a, B/b, C/c, D/d)
+        (A/a, B/b, C/c, D/d, E/e)
+        (A/a, B/b, C/c, D/d, E/e, F/f)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::{Any, Strategy};
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for fixed-length vectors (see [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` generated inputs; failures report the inputs and panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut rejected: u64 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                        Some(v) => v,
+                        None => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 256 * u64::from(config.cases),
+                                "{}: too many prop_filter rejections", stringify!($name),
+                            );
+                            continue;
+                        }
+                    };
+                )*
+                case += 1;
+                let inputs = format!("({:?})", ($(&$arg,)*));
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name), case, config.cases, e.0, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// process, so the runner can attach the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        if left != right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if left != right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::sync::Arc::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::sync::Arc<dyn Fn(&mut $crate::test_runner::TestRng) -> Option<_>>
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng).unwrap();
+            assert!((3..17).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng).unwrap();
+            assert!((-5..=5).contains(&w));
+            let f = (-1.5f64..2.5).generate(&mut rng).unwrap();
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let s = (0u32..1000, any::<bool>()).prop_map(|(n, f)| (n, f));
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_plumbing_works(x in 0u32..50, v in crate::collection::vec(any::<bool>(), 4)) {
+            prop_assert!(x < 50, "x = {x}");
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn oneof_and_filter(x in prop_oneof![Just(1u32), Just(2u32), 5u32..8]) {
+            let even = any::<u32>().prop_filter("even", |v| v % 2 == 0);
+            let mut rng = TestRng::for_test("inner");
+            let e = loop {
+                if let Some(e) = even.generate(&mut rng) {
+                    break e;
+                }
+            };
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(x == 1 || x == 2 || (5u32..8).contains(&x));
+        }
+    }
+}

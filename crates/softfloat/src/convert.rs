@@ -103,11 +103,8 @@ pub fn mini_from_f32_bits(x: f32, fmt: FloatFormat) -> u32 {
         return if aman != 0 { s | fmt.nan_bits() } else { s | fmt.inf_bits() };
     }
     // Express |x| exactly as sig * 2^pow2 with sig a non-negative integer.
-    let (sig, pow2): (u64, i32) = if aexp == 0 {
-        (u64::from(aman), -149)
-    } else {
-        (u64::from(aman | 0x80_0000), aexp - 150)
-    };
+    let (sig, pow2): (u64, i32) =
+        if aexp == 0 { (u64::from(aman), -149) } else { (u64::from(aman | 0x80_0000), aexp - 150) };
     round_exact(sign, sig, pow2, fmt)
 }
 
@@ -123,11 +120,7 @@ pub fn mini_from_f64_bits(x: f64, fmt: FloatFormat) -> u32 {
         let s = sign << (fmt.exp_bits + fmt.man_bits);
         return if aman != 0 { s | fmt.nan_bits() } else { s | fmt.inf_bits() };
     }
-    let (sig, pow2): (u64, i32) = if aexp == 0 {
-        (aman, -1074)
-    } else {
-        (aman | (1 << 52), aexp - 1075)
-    };
+    let (sig, pow2): (u64, i32) = if aexp == 0 { (aman, -1074) } else { (aman | (1 << 52), aexp - 1075) };
     round_exact(sign, sig, pow2, fmt)
 }
 
@@ -233,7 +226,11 @@ mod tests {
         assert_eq!(mini_from_f32_bits(f32::INFINITY, HALF), 0x7c00);
         assert_eq!(mini_from_f32_bits(f32::NEG_INFINITY, HALF), 0xfc00);
         assert_eq!(mini_from_f32_bits(5.960_464_5e-8, HALF), 0x0001, "smallest subnormal");
-        assert_eq!(mini_from_f32_bits(2.980_232_2e-8, HALF), 0x0000, "tie at half-subnormal rounds to even zero");
+        assert_eq!(
+            mini_from_f32_bits(2.980_232_2e-8, HALF),
+            0x0000,
+            "tie at half-subnormal rounds to even zero"
+        );
         assert_eq!(mini_from_f32_bits(2.981e-8, HALF), 0x0001);
     }
 

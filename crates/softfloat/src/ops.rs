@@ -60,10 +60,7 @@ pub fn vfndotpex_s_h(acc: f32, a: [F16; 2], b: [F16; 2]) -> f32 {
 /// once to binary16.
 pub fn vfdotpex_h_b(acc: [F16; 2], a: [F8; 4], b: [F8; 4]) -> [F16; 2] {
     let pair = |i: usize| a[i].to_f32() * b[i].to_f32() + a[i + 1].to_f32() * b[i + 1].to_f32();
-    [
-        F16::from_f32(acc[0].to_f32() + pair(0)),
-        F16::from_f32(acc[1].to_f32() + pair(2)),
-    ]
+    [F16::from_f32(acc[0].to_f32() + pair(0)), F16::from_f32(acc[1].to_f32() + pair(2))]
 }
 
 /// Widening 4-lane dot product with negated second lane of each pair
@@ -73,10 +70,7 @@ pub fn vfdotpex_h_b(acc: [F16; 2], a: [F8; 4], b: [F8; 4]) -> [F16; 2] {
 /// accumulates the real parts of both complex products at once.
 pub fn vfndotpex_h_b(acc: [F16; 2], a: [F8; 4], b: [F8; 4]) -> [F16; 2] {
     let pair = |i: usize| a[i].to_f32() * b[i].to_f32() - a[i + 1].to_f32() * b[i + 1].to_f32();
-    [
-        F16::from_f32(acc[0].to_f32() + pair(0)),
-        F16::from_f32(acc[1].to_f32() + pair(2)),
-    ]
+    [F16::from_f32(acc[0].to_f32() + pair(0)), F16::from_f32(acc[1].to_f32() + pair(2))]
 }
 
 /// Complex 16-bit MAC with 32-bit internal precision (`vfcdotpex.s.h`,

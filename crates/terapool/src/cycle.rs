@@ -22,18 +22,36 @@
 //! [`CycleSim::run`]: values are read at issue time while timing uses the
 //! grant time, which is exact for data-race-free guests like the MMSE
 //! workload.
+//!
+//! # Scheduling
+//!
+//! Two schedulers drive the same per-instruction model:
+//!
+//! * [`CycleSim::run`] — the **event-driven** engine: a calendar-wheel
+//!   ready queue keyed on each core's `wake_at` cycle, so an event step
+//!   touches only the cores that can actually issue. Parked (`wfi`) cores leave
+//!   the queue entirely and are re-queued through the memory's wake
+//!   notification channel ([`ClusterMem::wake_epoch`]), never polled. The
+//!   hot path additionally runs from pre-decoded per-instruction metadata,
+//!   shift-based bank decoding and a tile-pair hop table.
+//! * [`CycleSim::run_naive`] — the original full-scan scheduler, retained
+//!   verbatim as the semantic reference: every core context is rescanned
+//!   on every event step. The `differential` integration test pins the two
+//!   engines to bit-identical [`CycleStats`] and memory contents.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use terasim_iss::{Cpu, InstClass, LatencyModel, Outcome, Program, Trap};
+use terasim_iss::{Cpu, InstClass, LatencyModel, Memory, Outcome, Program, Trap};
 use terasim_riscv::{Image, Inst};
 
-use crate::mem::{ClusterMem, CoreMem};
-use crate::topology::Topology;
+use crate::mem::{ClusterMem, CoreMem, TurboMem};
+use crate::topology::{L1Decode, Topology};
 
 /// Per-core counters of the cycle-accurate run, matching the Figure 8
 /// breakdown.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Retired instructions (each occupies one issue cycle).
     pub instructions: u64,
@@ -65,6 +83,12 @@ pub struct CycleResult {
     pub per_core: Vec<CycleStats>,
     /// Makespan: the cycle the last core finished.
     pub cycles: u64,
+    /// `true` if the run ended in a guest deadlock: the listed cores were
+    /// parked in `wfi` with nobody left to wake them. The per-core stats
+    /// are then partial (an RTL run would hang here).
+    pub deadlocked: bool,
+    /// Hart ids still parked when the run ended (empty on a clean finish).
+    pub parked: Vec<u32>,
 }
 
 impl CycleResult {
@@ -95,9 +119,9 @@ enum CoreState {
 /// back-pressures issue (`stall-lsu`).
 const LSU_DEPTH: usize = 4;
 
-struct CoreCtx {
+struct CoreCtx<M> {
     cpu: Cpu,
-    mem: CoreMem,
+    mem: M,
     reg_ready: [u64; 32],
     wake_at: u64,
     parked_at: u64,
@@ -106,9 +130,12 @@ struct CoreCtx {
     lsu_free: [u64; LSU_DEPTH],
     state: CoreState,
     stats: CycleStats,
+    /// Cached `topo.tile_of_core` (hot-path index).
+    tile: u32,
 }
 
-/// Direct-mapped, per-tile shared instruction cache model.
+/// Direct-mapped, per-tile shared instruction cache model (the seed
+/// implementation, kept for the naive reference scheduler).
 struct ICache {
     line: u32,
     sets: Vec<u32>,
@@ -128,6 +155,249 @@ impl ICache {
         } else {
             self.sets[idx] = line_addr;
             false
+        }
+    }
+}
+
+/// [`ICache`] with identical hit/miss behaviour, optimized for the event
+/// engine: shift/mask indexing (line size and set count are powers of two
+/// on every TeraPool configuration) and a last-line memo — the last line
+/// touched is always resident in a direct-mapped cache, so the common
+/// straight-line case skips the set lookup entirely.
+struct FastICache {
+    /// `log2(line)` when line and set count are powers of two.
+    shift: Option<(u32, usize)>,
+    line: u32,
+    sets: Vec<u32>,
+    last_line: u32,
+}
+
+impl FastICache {
+    fn new(bytes: u32, line: u32) -> Self {
+        let sets = (bytes / line) as usize;
+        let shift =
+            (line.is_power_of_two() && sets.is_power_of_two()).then(|| (line.trailing_zeros(), sets - 1));
+        Self { shift, line, sets: vec![u32::MAX; sets], last_line: u32::MAX }
+    }
+
+    /// Returns `true` on hit; installs the line on miss.
+    #[inline]
+    fn access(&mut self, pc: u32) -> bool {
+        let (line_addr, idx) = match self.shift {
+            Some((shift, mask)) => (pc >> shift, (pc >> shift) as usize & mask),
+            None => (pc / self.line, (pc / self.line) as usize % self.sets.len()),
+        };
+        if line_addr == self.last_line {
+            return true;
+        }
+        self.last_line = line_addr;
+        if self.sets[idx] == line_addr {
+            true
+        } else {
+            self.sets[idx] = line_addr;
+            false
+        }
+    }
+}
+
+/// Pre-decoded per-instruction facts, computed once per run so the issue
+/// hot path never re-classifies or re-scans operands.
+#[derive(Clone, Copy)]
+struct InstMeta {
+    inst: Inst,
+    /// Source register indices (`nsrcs` valid entries).
+    srcs: [u8; 3],
+    nsrcs: u8,
+    /// Destination register index, or `NO_REG`.
+    dst: u8,
+    /// Post-increment base register index, or `NO_REG`.
+    post_inc: u8,
+    /// Effective-address base register, or `NO_REG` for non-memory ops.
+    ea_base: u8,
+    /// `true` when the effective address ignores the offset (post-inc).
+    ea_no_offset: bool,
+    /// Effective-address immediate offset.
+    ea_offset: i32,
+    /// Static result latency of the class (before memory refinement).
+    result_lat: u64,
+    uses_fpu: bool,
+    is_mem: bool,
+    is_amo: bool,
+    is_div_sqrt: bool,
+    is_control_flow: bool,
+}
+
+const NO_REG: u8 = 32;
+
+/// Hot-path lookup tables derived from the topology and program.
+struct RunTables {
+    meta: Vec<Option<InstMeta>>,
+    text_base: u32,
+    /// `request_latency` for every (core tile, bank tile) pair.
+    hops: Vec<u8>,
+    num_tiles: u32,
+    /// Shared shift-based L1 decode (bit-identical to `Topology::l1_slot`).
+    decode: L1Decode,
+}
+
+impl RunTables {
+    fn new(topo: Topology, program: &Program, latency: &LatencyModel) -> Self {
+        let meta = (0..program.len())
+            .map(|i| {
+                let pc = program.text_base() + 4 * i as u32;
+                program.fetch(pc).map(|inst| {
+                    let class = InstClass::of(&inst);
+                    let mut srcs = [0u8; 3];
+                    let mut nsrcs = 0u8;
+                    for src in inst.srcs() {
+                        srcs[nsrcs as usize] = src.index() as u8;
+                        nsrcs += 1;
+                    }
+                    let (ea_base, ea_no_offset, ea_offset) = match inst {
+                        Inst::Load { rs1, offset, post_inc, .. }
+                        | Inst::Store { rs1, offset, post_inc, .. } => (rs1.index() as u8, post_inc, offset),
+                        Inst::LrW { rs1, .. } | Inst::ScW { rs1, .. } | Inst::Amo { rs1, .. } => {
+                            (rs1.index() as u8, true, 0)
+                        }
+                        _ => (NO_REG, true, 0),
+                    };
+                    InstMeta {
+                        inst,
+                        srcs,
+                        nsrcs,
+                        dst: inst.dst().map_or(NO_REG, |r| r.index() as u8),
+                        post_inc: inst.post_inc_dst().map_or(NO_REG, |r| r.index() as u8),
+                        ea_base,
+                        ea_no_offset,
+                        ea_offset,
+                        result_lat: u64::from(latency.result_latency(class)),
+                        uses_fpu: matches!(
+                            class,
+                            InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp
+                        ),
+                        is_mem: inst.is_mem(),
+                        is_amo: matches!(class, InstClass::Amo),
+                        is_div_sqrt: matches!(class, InstClass::FpDivSqrt),
+                        is_control_flow: inst.is_control_flow(),
+                    }
+                })
+            })
+            .collect();
+
+        let num_tiles = topo.num_tiles();
+        let mut hops = vec![0u8; (num_tiles * num_tiles) as usize];
+        for ct in 0..num_tiles {
+            for bt in 0..num_tiles {
+                let hop = if ct == bt {
+                    0
+                } else if topo.subgroup_of_tile(ct) == topo.subgroup_of_tile(bt) {
+                    1
+                } else if topo.group_of_tile(ct) == topo.group_of_tile(bt) {
+                    2
+                } else {
+                    4
+                };
+                hops[(ct * num_tiles + bt) as usize] = hop;
+            }
+        }
+
+        Self { meta, text_base: program.text_base(), hops, num_tiles, decode: L1Decode::new(topo) }
+    }
+
+    #[inline]
+    fn fetch(&self, pc: u32) -> Option<&InstMeta> {
+        if pc & 3 != 0 {
+            return None;
+        }
+        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
+        self.meta.get(idx).and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn hop(&self, core_tile: u32, bank_tile: u32) -> u64 {
+        u64::from(self.hops[(core_tile * self.num_tiles + bank_tile) as usize])
+    }
+
+    /// Bit-identical to [`Topology::l1_slot`], using shifts when possible.
+    #[inline]
+    fn l1_slot(&self, addr: u32) -> Option<(u32, u32)> {
+        self.decode.l1_slot(addr)
+    }
+
+    /// Tile hosting `bank` (shift-based when possible).
+    #[inline]
+    fn tile_of_bank(&self, bank: u32) -> u32 {
+        self.decode.tile_of_bank(bank)
+    }
+}
+
+/// Wheel size in one-cycle slots (power of two; covers every short
+/// latency in the model — longer delays take the overflow heap).
+const WHEEL_SLOTS: u64 = 256;
+const WHEEL_MASK: u64 = WHEEL_SLOTS - 1;
+
+/// The event engine's ready queue: a calendar wheel of [`WHEEL_SLOTS`]
+/// one-cycle slots, each a core-id bitmap (iteration yields ascending
+/// ids — the naive scan's issue order — with O(1) insertion). Each
+/// non-parked, non-done core has exactly one live entry. Wake times
+/// beyond the wheel horizon (rare: deep bank-contention queues) overflow
+/// into a heap and migrate back as time advances.
+struct Wheel {
+    /// `WHEEL_SLOTS × words` bitmap words.
+    slots: Vec<u64>,
+    /// Queued-core count per slot.
+    counts: Vec<u32>,
+    /// Total cores queued in the wheel.
+    pending: u32,
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Bitmap words per slot (`⌈cores / 64⌉`).
+    words: usize,
+}
+
+impl Wheel {
+    fn new(cores: u32) -> Self {
+        let words = (cores as usize).div_ceil(64);
+        Self {
+            slots: vec![0; WHEEL_SLOTS as usize * words],
+            counts: vec![0; WHEEL_SLOTS as usize],
+            pending: 0,
+            overflow: BinaryHeap::new(),
+            words,
+        }
+    }
+
+    /// Queues `core` to issue at cycle `at` (`at ≥ now`).
+    #[inline]
+    fn push(&mut self, now: u64, at: u64, core: u32) {
+        if at - now < WHEEL_SLOTS {
+            let slot = (at & WHEEL_MASK) as usize;
+            self.slots[slot * self.words + (core / 64) as usize] |= 1u64 << (core % 64);
+            self.counts[slot] += 1;
+            self.pending += 1;
+        } else {
+            self.overflow.push(Reverse((at, core)));
+        }
+    }
+
+    /// Moves overflow entries inside the `[now, now + WHEEL_SLOTS)` horizon
+    /// into the wheel.
+    fn migrate(&mut self, now: u64) {
+        while let Some(&Reverse((at, core))) = self.overflow.peek() {
+            if at >= now + WHEEL_SLOTS {
+                break;
+            }
+            self.overflow.pop();
+            self.push(now, at, core);
+        }
+    }
+
+    /// Empties the slot for cycle `now` into `scratch`.
+    fn take_slot(&mut self, now: u64, scratch: &mut [u64]) {
+        let slot = (now & WHEEL_MASK) as usize;
+        self.pending -= self.counts[slot];
+        self.counts[slot] = 0;
+        for (w, s) in scratch.iter_mut().enumerate() {
+            *s = std::mem::take(&mut self.slots[slot * self.words + w]);
         }
     }
 }
@@ -183,13 +453,49 @@ impl CycleSim {
         self.topo
     }
 
-    /// Runs harts `0..cores` to completion, cycle by cycle.
+    fn make_ctxs<M: Memory>(&self, cores: u32, view: impl Fn(u32) -> M) -> Vec<CoreCtx<M>> {
+        (0..cores)
+            .map(|core| {
+                let mut cpu = Cpu::new(core);
+                cpu.set_pc(self.program.entry());
+                CoreCtx {
+                    cpu,
+                    mem: view(core),
+                    reg_ready: [0; 32],
+                    wake_at: 0,
+                    lsu_free: [0; LSU_DEPTH],
+                    parked_at: 0,
+                    fpu_busy_until: 0,
+                    state: CoreState::Ready,
+                    stats: CycleStats::default(),
+                    tile: self.topo.tile_of_core(core),
+                }
+            })
+            .collect()
+    }
+
+    fn result_of<M>(ctxs: &[CoreCtx<M>]) -> CycleResult {
+        let per_core: Vec<CycleStats> = ctxs.iter().map(|c| c.stats).collect();
+        let cycles = per_core.iter().map(|s| s.done_at).max().unwrap_or(0);
+        let parked: Vec<u32> =
+            ctxs.iter().filter(|c| c.state == CoreState::Parked).map(|c| c.cpu.hart_id()).collect();
+        CycleResult { per_core, cycles, deadlocked: !parked.is_empty(), parked }
+    }
+
+    /// Runs harts `0..cores` to completion with the event-driven scheduler.
     ///
     /// Within a cycle, cores issue in core-id order (the RTL's round-robin
     /// arbitration collapsed to a fixed priority — deterministic and fair
     /// enough at our level of abstraction). Loads read memory at issue time
     /// but their *timing* uses the bank grant time; for data-race-free
     /// guests the two are indistinguishable.
+    ///
+    /// Only cores whose `wake_at` has arrived are touched on an event step:
+    /// a calendar-wheel ready queue keyed on `(wake_at, core)` replays the
+    /// naive scan's exact issue order, and parked cores re-enter the queue
+    /// through the memory wake channel instead of being polled. Produces
+    /// bit-identical [`CycleStats`] and memory contents to
+    /// [`CycleSim::run_naive`].
     ///
     /// # Errors
     ///
@@ -200,25 +506,113 @@ impl CycleSim {
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run(&mut self, cores: u32) -> Result<CycleResult, Trap> {
         assert!(cores <= self.topo.num_cores(), "core count out of range");
-        let mut ctxs: Vec<CoreCtx> = (0..cores)
-            .map(|core| {
-                let mut cpu = Cpu::new(core);
-                cpu.set_pc(self.program.entry());
-                CoreCtx {
-                    cpu,
-                    mem: self.mem.core_view(core),
-                    reg_ready: [0; 32],
-                    wake_at: 0,
-                    lsu_free: [0; LSU_DEPTH],
-                    parked_at: 0,
-                    fpu_busy_until: 0,
-                    state: CoreState::Ready,
-                    stats: CycleStats::default(),
-                }
-            })
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem.turbo_view(core));
+        let tables = RunTables::new(self.topo, &self.program, &self.latency);
+        let mut icaches: Vec<FastICache> = (0..self.topo.num_tiles())
+            .map(|_| FastICache::new(self.topo.icache_bytes, self.topo.icache_line))
             .collect();
-        let mut icaches: Vec<ICache> =
-            (0..self.topo.num_tiles()).map(|_| ICache::new(self.topo.icache_bytes, self.topo.icache_line)).collect();
+        let mut bank_free: Vec<u64> = vec![0; self.topo.num_banks() as usize];
+        let mut port_free: Vec<u64> = vec![0; self.topo.num_tiles() as usize];
+
+        let mut wheel = Wheel::new(cores);
+        let mut scratch: Vec<u64> = vec![0; wheel.words];
+        let mut parked: Vec<u32> = Vec::new();
+        let mut now: u64 = 0;
+        for core in 0..cores {
+            wheel.push(0, 0, core); // every core issues at cycle 0
+        }
+        let mut seen_epoch = self.mem.wake_epoch();
+
+        loop {
+            // Migrate overflow entries that entered the wheel horizon.
+            wheel.migrate(now);
+            // Advance to the next event time.
+            if wheel.pending == 0 {
+                match wheel.overflow.peek() {
+                    Some(&Reverse((at, _))) => {
+                        now = at;
+                        continue; // migrate, then process
+                    }
+                    // Wheel and overflow empty: all cores are done, or
+                    // only parked cores remain (guest deadlock, surfaced
+                    // via `CycleResult::deadlocked`).
+                    None => break,
+                }
+            }
+            while wheel.counts[(now & WHEEL_MASK) as usize] == 0 {
+                now += 1;
+            }
+
+            // Process every core scheduled for `now`, in ascending id.
+            wheel.take_slot(now, &mut scratch);
+            let mut min_waker: Option<u32> = None;
+            for (w, mut bits) in scratch.iter().copied().enumerate() {
+                while bits != 0 {
+                    let core = (w * 64) as u32 + bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let ctx = &mut ctxs[core as usize];
+                    self.issue_fast(ctx, &tables, &mut icaches, &mut bank_free, &mut port_free, now)?;
+                    match ctx.state {
+                        // `.max(now + 1)` mirrors the naive scan's
+                        // `next_event.max(now + 1)`: a degenerate model
+                        // (e.g. `icache_refill == 0`) may leave
+                        // `wake_at == now`, which must retry next cycle,
+                        // not alias into the just-drained wheel slot.
+                        CoreState::Ready => wheel.push(now, ctx.wake_at.max(now + 1), core),
+                        CoreState::Parked => parked.push(core),
+                        CoreState::Done => {}
+                    }
+                    if min_waker.is_none() && self.mem.wake_epoch() != seen_epoch {
+                        min_waker = Some(core);
+                    }
+                }
+            }
+
+            // Wake delivery. The naive scan observes a pending wake when
+            // its single pass reaches the parked core: cores *after* the
+            // waker see it in the same pass (cycle `now`), cores *before*
+            // it one pass later (`now + 1`). Replay exactly that.
+            if let Some(waker) = min_waker {
+                seen_epoch = self.mem.wake_epoch();
+                parked.retain(|&core| {
+                    if !self.mem.wake_pending(core) {
+                        return true;
+                    }
+                    let _ = self.mem.take_wake(core);
+                    let ctx = &mut ctxs[core as usize];
+                    let observed = if core > waker { now } else { now + 1 };
+                    ctx.stats.stall_wfi += observed.saturating_sub(ctx.parked_at);
+                    ctx.state = CoreState::Ready;
+                    ctx.wake_at = observed + 1;
+                    wheel.push(now, ctx.wake_at, core);
+                    false
+                });
+            }
+            now += 1;
+        }
+
+        Ok(Self::result_of(&ctxs))
+    }
+
+    /// Runs harts `0..cores` with the original full-scan scheduler.
+    ///
+    /// Retained as the semantic baseline: every event step rescans every
+    /// core context, exactly as the seed engine did. Use [`CycleSim::run`]
+    /// for anything but differential validation and speedup measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` exceeds the topology's core count.
+    pub fn run_naive(&mut self, cores: u32) -> Result<CycleResult, Trap> {
+        assert!(cores <= self.topo.num_cores(), "core count out of range");
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
+        let mut icaches: Vec<ICache> = (0..self.topo.num_tiles())
+            .map(|_| ICache::new(self.topo.icache_bytes, self.topo.icache_line))
+            .collect();
         let mut bank_free: Vec<u64> = vec![0; self.topo.num_banks() as usize];
         let mut port_free: Vec<u64> = vec![0; self.topo.num_tiles() as usize];
 
@@ -264,16 +658,15 @@ impl CycleSim {
             now = next_event.max(now + 1);
         }
 
-        let per_core: Vec<CycleStats> = ctxs.iter().map(|c| c.stats).collect();
-        let cycles = per_core.iter().map(|s| s.done_at).max().unwrap_or(0);
-        Ok(CycleResult { per_core, cycles })
+        Ok(Self::result_of(&ctxs))
     }
 
     /// Attempts to issue one instruction on `ctx` at cycle `now`; updates
-    /// `wake_at` to the next cycle the core can act.
+    /// `wake_at` to the next cycle the core can act. (Reference path used
+    /// by [`CycleSim::run_naive`].)
     fn issue_one(
         &self,
-        ctx: &mut CoreCtx,
+        ctx: &mut CoreCtx<CoreMem>,
         icaches: &mut [ICache],
         bank_free: &mut [u64],
         port_free: &mut [u64],
@@ -311,10 +704,8 @@ impl CycleSim {
         // 3. Structural hazard: the iterative div/sqrt unit is not
         // pipelined; FP-class ops wait while it drains.
         let class = InstClass::of(&inst);
-        let uses_fpu = matches!(
-            class,
-            InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp
-        );
+        let uses_fpu =
+            matches!(class, InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp);
         if uses_fpu && ctx.fpu_busy_until > now {
             ctx.stats.stall_acc += ctx.fpu_busy_until - now;
             ctx.wake_at = ctx.fpu_busy_until;
@@ -325,13 +716,8 @@ impl CycleSim {
         let mut result_latency = u64::from(self.latency.result_latency(class));
         if inst.is_mem() {
             // A full LSU queue back-pressures issue.
-            let (slot, slot_free) = ctx
-                .lsu_free
-                .iter()
-                .copied()
-                .enumerate()
-                .min_by_key(|&(_, t)| t)
-                .expect("LSU has slots");
+            let (slot, slot_free) =
+                ctx.lsu_free.iter().copied().enumerate().min_by_key(|&(_, t)| t).expect("LSU has slots");
             if slot_free > now {
                 ctx.stats.stall_lsu += slot_free - now;
                 ctx.wake_at = slot_free;
@@ -407,6 +793,132 @@ impl CycleSim {
         }
         Ok(())
     }
+
+    /// Hot-path issue used by the event-driven engine: identical semantics
+    /// to [`CycleSim::issue_one`], running from the pre-decoded [`InstMeta`]
+    /// table, the tile-pair hop table and shift-based bank decoding.
+    fn issue_fast(
+        &self,
+        ctx: &mut CoreCtx<TurboMem>,
+        tables: &RunTables,
+        icaches: &mut [FastICache],
+        bank_free: &mut [u64],
+        port_free: &mut [u64],
+        now: u64,
+    ) -> Result<(), Trap> {
+        if ctx.stats.instructions >= self.max_instructions {
+            ctx.state = CoreState::Done;
+            ctx.stats.done_at = now;
+            return Ok(());
+        }
+
+        let pc = ctx.cpu.pc();
+        let meta = tables.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let tile = ctx.tile as usize;
+
+        // 1. Instruction fetch through the shared tile I$.
+        if !icaches[tile].access(pc) {
+            ctx.stats.stall_ins += self.icache_refill;
+            ctx.wake_at = now + self.icache_refill;
+            return Ok(());
+        }
+
+        // 2. RAW: wait for source operands.
+        let mut ready_at = now;
+        for &src in &meta.srcs[..meta.nsrcs as usize] {
+            ready_at = ready_at.max(ctx.reg_ready[src as usize]);
+        }
+        if ready_at > now {
+            ctx.stats.stall_raw += ready_at - now;
+            ctx.wake_at = ready_at;
+            return Ok(());
+        }
+
+        // 3. Structural hazard: non-pipelined div/sqrt unit.
+        if meta.uses_fpu && ctx.fpu_busy_until > now {
+            ctx.stats.stall_acc += ctx.fpu_busy_until - now;
+            ctx.wake_at = ctx.fpu_busy_until;
+            return Ok(());
+        }
+
+        // 4. Memory: arbitrate for the target bank.
+        let mut result_latency = meta.result_lat;
+        if meta.is_mem {
+            // First-minimum slot, identical tie-break to `min_by_key`.
+            let mut slot = 0;
+            let mut slot_free = ctx.lsu_free[0];
+            for (i, &t) in ctx.lsu_free.iter().enumerate().skip(1) {
+                if t < slot_free {
+                    slot = i;
+                    slot_free = t;
+                }
+            }
+            if slot_free > now {
+                ctx.stats.stall_lsu += slot_free - now;
+                ctx.wake_at = slot_free;
+                return Ok(());
+            }
+            let base = ctx.cpu.reg(terasim_riscv::Reg::from_num(u32::from(meta.ea_base) & 31));
+            let addr = if meta.ea_no_offset { base } else { base.wrapping_add(meta.ea_offset as u32) };
+            if let Some((bank, _)) = tables.l1_slot(addr & !3) {
+                let hop = tables.hop(ctx.tile, tables.tile_of_bank(bank));
+                let depart = if hop > 0 {
+                    let d = now.max(port_free[tile]);
+                    port_free[tile] = d + 1;
+                    d
+                } else {
+                    now
+                };
+                let arrive = depart + hop;
+                let busy = if meta.is_amo { 2 } else { 1 };
+                let grant = arrive.max(bank_free[bank as usize]);
+                bank_free[bank as usize] = grant + busy;
+                ctx.stats.stall_lsu += grant - (now + hop);
+                result_latency = (grant + busy - now) + hop;
+            } else {
+                result_latency = 16;
+            }
+            ctx.lsu_free[slot] = now + result_latency;
+        }
+
+        // 5. Architectural execution.
+        let outcome = ctx.cpu.execute(meta.inst, &mut ctx.mem)?;
+        ctx.stats.instructions += 1;
+        ctx.cpu.set_mcycle(now);
+
+        if meta.dst != NO_REG {
+            ctx.reg_ready[meta.dst as usize] = now + result_latency;
+        }
+        if meta.post_inc != NO_REG {
+            ctx.reg_ready[meta.post_inc as usize] = now + 1;
+        }
+        if meta.is_div_sqrt {
+            ctx.fpu_busy_until = now + meta.result_lat;
+        }
+
+        ctx.wake_at = now + 1;
+        if meta.is_control_flow && ctx.cpu.pc() != pc.wrapping_add(4) {
+            ctx.wake_at = now + 1 + u64::from(self.latency.taken_branch_penalty);
+        }
+
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::Exit { .. } => {
+                ctx.state = CoreState::Done;
+                ctx.stats.done_at = now + 1;
+            }
+            Outcome::Wfi => {
+                if self.mem.take_wake(ctx.cpu.hart_id()) {
+                    // Wake already pending: fall through immediately.
+                } else {
+                    ctx.state = CoreState::Parked;
+                    ctx.parked_at = now + 1;
+                    ctx.wake_at = u64::MAX;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 fn effective_address(cpu: &Cpu, inst: &Inst) -> u32 {
@@ -460,6 +972,8 @@ mod tests {
         let result = sim.run(1).unwrap();
         assert_eq!(result.per_core[0].instructions, 12);
         assert!(result.cycles > 12, "cycles include stalls and penalties");
+        assert!(!result.deadlocked);
+        assert!(result.parked.is_empty());
     }
 
     #[test]
@@ -525,14 +1039,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn wfi_barrier_wakes_all() {
+    fn barrier_image(cores: u32) -> Image {
         // amoadd-counting barrier: the last arrival wakes everyone.
-        let image = image_of(|a| {
+        image_of(|a| {
             a.li(Reg::A1, 0x10); // barrier counter in L1
             a.li(Reg::T1, 1);
             a.amoadd_w(Reg::T0, Reg::T1, Reg::A1);
-            a.li(Reg::T2, 7); // N-1 for 8 cores
+            a.li(Reg::T2, (cores - 1) as i32);
             let last = a.new_label();
             a.beq(Reg::T0, Reg::T2, last);
             a.wfi();
@@ -542,12 +1055,72 @@ mod tests {
             a.li(Reg::T3, Topology::CTRL_WAKE_ALL as i32);
             a.sw(Reg::T1, 0, Reg::T3);
             a.bind(done);
-        });
-        let mut sim = CycleSim::new(Topology::scaled(8), &image).unwrap();
+        })
+    }
+
+    #[test]
+    fn wfi_barrier_wakes_all() {
+        let mut sim = CycleSim::new(Topology::scaled(8), &barrier_image(8)).unwrap();
         let result = sim.run(8).unwrap();
         assert_eq!(sim.memory().read_u32(0x10), 8, "all cores arrived");
         let wfi: u64 = result.per_core.iter().map(|s| s.stall_wfi).sum();
         assert!(wfi > 0, "early arrivals idled in wfi");
         assert!(result.per_core.iter().all(|s| s.done_at > 0), "all cores finished");
+        assert!(!result.deadlocked);
+    }
+
+    #[test]
+    fn event_and_naive_schedulers_agree_on_barrier_program() {
+        let topo = Topology::scaled(8);
+        let mut a = CycleSim::new(topo, &barrier_image(8)).unwrap();
+        let mut b = CycleSim::new(topo, &barrier_image(8)).unwrap();
+        let event = a.run(8).unwrap();
+        let naive = b.run_naive(8).unwrap();
+        assert_eq!(event.per_core, naive.per_core, "bit-identical per-core stats");
+        assert_eq!(event.cycles, naive.cycles);
+        assert_eq!(a.memory().read_u32(0x10), b.memory().read_u32(0x10));
+    }
+
+    #[test]
+    fn zero_refill_latency_engines_agree() {
+        // Degenerate model: `icache_refill == 0` leaves `wake_at == now`
+        // on a miss. The event engine must retry next cycle exactly like
+        // the naive scan instead of mis-scheduling the core a full wheel
+        // revolution into the future.
+        let image = image_of(|a| {
+            for _ in 0..256 {
+                a.nop();
+            }
+        });
+        let topo = Topology::scaled(8);
+        let mut event = CycleSim::new(topo, &image).unwrap();
+        let mut naive = CycleSim::new(topo, &image).unwrap();
+        event.icache_refill = 0;
+        naive.icache_refill = 0;
+        let re = event.run(8).unwrap();
+        let rn = naive.run_naive(8).unwrap();
+        assert_eq!(re.per_core, rn.per_core);
+        assert_eq!(re.cycles, rn.cycles);
+    }
+
+    #[test]
+    fn deadlock_is_surfaced() {
+        // Everyone parks; nobody ever wakes them.
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
+            let skip = a.new_label();
+            a.bnez(Reg::T0, skip);
+            a.wfi(); // hart 0 sleeps forever
+            a.bind(skip);
+        });
+        let topo = Topology::scaled(8);
+        for naive in [false, true] {
+            let mut sim = CycleSim::new(topo, &image).unwrap();
+            let result = if naive { sim.run_naive(8).unwrap() } else { sim.run(8).unwrap() };
+            assert!(result.deadlocked, "naive={naive}: wfi with no waker must deadlock");
+            assert_eq!(result.parked, vec![0], "naive={naive}");
+            // The other seven harts finished cleanly.
+            assert_eq!(result.per_core.iter().filter(|s| s.done_at > 0).count(), 7);
+        }
     }
 }

@@ -161,11 +161,11 @@ impl FastSim {
                 let program = Arc::clone(&self.program);
                 let config = &self.config;
                 let chunk = runnable.len().div_ceil(host_threads).max(1);
-                let first_trap = crossbeam::thread::scope(|s| {
+                let first_trap = std::thread::scope(|s| {
                     let mut handles = Vec::new();
                     for batch in runnable.chunks_mut(chunk) {
                         let program = Arc::clone(&program);
-                        handles.push(s.spawn(move |_| -> Result<(), Trap> {
+                        handles.push(s.spawn(move || -> Result<(), Trap> {
                             for hart in batch.iter_mut() {
                                 let stop = resume_core(
                                     &mut hart.cpu,
@@ -190,8 +190,7 @@ impl FastSim {
                         }
                     }
                     first
-                })
-                .expect("crossbeam scope");
+                });
                 if let Some(trap) = first_trap {
                     return Err(trap);
                 }

@@ -16,7 +16,11 @@
 //! * [`CycleSim`] — the QuestaSim stand-in: a cycle-stepped model with
 //!   per-bank arbitration, NUMA pipeline latencies, shared-I$ refills, a
 //!   non-pipelined FP divide/sqrt unit and `wfi` sleep — the reference
-//!   timing the paper's Figures 7–8 are measured against.
+//!   timing the paper's Figures 7–8 are measured against. Scheduling is
+//!   event-driven (a calendar-wheel ready queue keyed on per-core wake
+//!   cycles); the original full-scan scheduler is retained as
+//!   [`CycleSim::run_naive`] and pinned bit-identical by the workspace's
+//!   differential tests.
 //!
 //! Both backends execute the *same* pre-decoded program through the same
 //! [`Cpu`](terasim_iss::Cpu) semantics, so results are bit-identical and

@@ -1,12 +1,12 @@
 //! The shared cluster memory: banked L1 (both views), L2, control region.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use terasim_iss::{MemError, Memory};
 use terasim_riscv::{AmoOp, Image};
 
-use crate::topology::Topology;
+use crate::topology::{L1Decode, Topology};
 
 /// Applies an AMO to `old`.
 fn amo_apply(op: AmoOp, old: u32, value: u32) -> u32 {
@@ -47,6 +47,10 @@ struct Inner {
     l2: Vec<AtomicU32>,
     /// Per-hart pending wake bits (barrier release).
     wake: Vec<AtomicBool>,
+    /// Wake notification channel: bumped on every wake-all publication so
+    /// event-driven drivers can re-queue parked harts without polling
+    /// every per-hart bit on every step.
+    wake_epoch: AtomicU64,
     /// End-of-computation register.
     eoc: AtomicU32,
     dma_src: AtomicU32,
@@ -85,6 +89,7 @@ impl ClusterMem {
             l1: zeroed_atomics(l1_words),
             l2: zeroed_atomics(l2_words),
             wake: (0..topo.num_cores()).map(|_| AtomicBool::new(false)).collect(),
+            wake_epoch: AtomicU64::new(0),
             eoc: AtomicU32::new(0),
             dma_src: AtomicU32::new(0),
             dma_dst: AtomicU32::new(0),
@@ -141,7 +146,9 @@ impl ClusterMem {
     /// Panics on unmapped addresses — host inspection of unmapped memory is
     /// a test bug.
     pub fn read_u32(&self, addr: u32) -> u32 {
-        self.word_slot(addr).unwrap_or_else(|| panic!("read_u32: unmapped {addr:#010x}")).load(Ordering::SeqCst)
+        self.word_slot(addr)
+            .unwrap_or_else(|| panic!("read_u32: unmapped {addr:#010x}"))
+            .load(Ordering::SeqCst)
     }
 
     /// Host-side aligned word write.
@@ -167,9 +174,7 @@ impl ClusterMem {
 
     /// Host-side u16 write.
     pub fn write_u16(&self, addr: u32, value: u16) {
-        let slot = self
-            .word_slot(addr & !3)
-            .unwrap_or_else(|| panic!("write_u16: unmapped {addr:#010x}"));
+        let slot = self.word_slot(addr & !3).unwrap_or_else(|| panic!("write_u16: unmapped {addr:#010x}"));
         let shift = (addr & 2) * 8;
         let mask = 0xffffu32 << shift;
         let _ = slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| {
@@ -192,12 +197,21 @@ impl ClusterMem {
         self.inner.wake[core as usize].load(Ordering::SeqCst)
     }
 
+    /// Monotonic count of wake-all publications. An event-driven driver
+    /// snapshots this and, when it changes, re-checks only its *parked*
+    /// harts — the notification path that replaces per-step
+    /// [`wake_pending`](Self::wake_pending) polling.
+    pub fn wake_epoch(&self) -> u64 {
+        self.inner.wake_epoch.load(Ordering::SeqCst)
+    }
+
     fn wake_all_except(&self, writer: u32) {
         for (i, w) in self.inner.wake.iter().enumerate() {
             if i as u32 != writer {
                 w.store(true, Ordering::SeqCst);
             }
         }
+        self.inner.wake_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     fn dma_copy(&self, len: u32) {
@@ -312,9 +326,144 @@ impl Memory for CoreMem {
     }
 }
 
+/// Single-threaded fast view of the cluster memory, used by the
+/// event-driven cycle engine only.
+///
+/// Same bytes and bit-identical values as [`CoreMem`], with two
+/// engine-local optimizations that are sound because the cycle engine
+/// runs every hart on one host thread:
+///
+/// * **Relaxed atomic orderings** (and plain read-modify-write instead of
+///   CAS loops for sub-word stores and AMOs) — program order is the only
+///   order there is.
+/// * **Shift-based bank decoding** when the topology's divisors are
+///   powers of two (they are for every TeraPool configuration), instead
+///   of the division/modulo chain in [`Topology::l1_slot`].
+///
+/// Never hand this to code that shares the memory across host threads —
+/// use [`ClusterMem::core_view`] there.
+#[derive(Debug, Clone)]
+pub(crate) struct TurboMem {
+    mem: ClusterMem,
+    core: u32,
+    decode: L1Decode,
+}
+
+impl ClusterMem {
+    /// Creates the single-threaded fast view for the cycle engine.
+    pub(crate) fn turbo_view(&self, core: u32) -> TurboMem {
+        assert!(core < self.inner.topo.num_cores(), "core {core} out of range");
+        TurboMem { mem: self.clone(), core, decode: L1Decode::new(self.inner.topo) }
+    }
+}
+
+impl TurboMem {
+    /// Word slot lookup, bit-identical to [`ClusterMem::word_slot`].
+    #[inline]
+    fn slot(&self, addr: u32) -> Option<&AtomicU32> {
+        let inner = &*self.mem.inner;
+        if let Some((bank, off)) = self.decode.l1_slot(addr & !3) {
+            return Some(&inner.l1[self.decode.phys_index(bank, off)]);
+        }
+        if addr >= Topology::L2_BASE {
+            let off = (addr - Topology::L2_BASE) & !3;
+            if off < Topology::L2_SIZE {
+                return Some(&inner.l2[(off / 4) as usize]);
+            }
+        }
+        None
+    }
+}
+
+impl Memory for TurboMem {
+    fn load(&mut self, addr: u32, size: u32) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(size) {
+            return Err(MemError::Misaligned { addr, size });
+        }
+        if ClusterMem::is_ctrl(addr) {
+            return Ok(self.mem.ctrl_load(addr));
+        }
+        let slot = self.slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let word = slot.load(Ordering::Relaxed);
+        let shift = (addr & 3) * 8;
+        Ok(match size {
+            4 => word,
+            2 => (word >> shift) & 0xffff,
+            _ => (word >> shift) & 0xff,
+        })
+    }
+
+    fn store(&mut self, addr: u32, size: u32, value: u32) -> Result<(), MemError> {
+        if !addr.is_multiple_of(size) {
+            return Err(MemError::Misaligned { addr, size });
+        }
+        if ClusterMem::is_ctrl(addr) {
+            self.mem.ctrl_store(addr, value, self.core);
+            return Ok(());
+        }
+        let slot = self.slot(addr).ok_or(MemError::Unmapped { addr })?;
+        if size == 4 {
+            slot.store(value, Ordering::Relaxed);
+        } else {
+            let shift = (addr & 3) * 8;
+            let mask = (if size == 2 { 0xffffu32 } else { 0xffu32 }) << shift;
+            // Single-threaded: plain read-modify-write, no CAS loop.
+            let old = slot.load(Ordering::Relaxed);
+            slot.store((old & !mask) | ((value << shift) & mask), Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn amo(&mut self, op: AmoOp, addr: u32, value: u32) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, size: 4 });
+        }
+        let slot = self.slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let old = slot.load(Ordering::Relaxed);
+        slot.store(amo_apply(op, old, value), Ordering::Relaxed);
+        Ok(old)
+    }
+
+    fn latency(&self, addr: u32) -> u32 {
+        self.mem.topology().access_latency(self.core, addr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn turbo_view_matches_core_view() {
+        // Values and error behaviour must be bit-identical to CoreMem.
+        let mem = ClusterMem::new(Topology::scaled(16));
+        let mut a = mem.core_view(2);
+        let mut b = mem.turbo_view(2);
+        for (addr, value) in [
+            (0x0u32, 0xdead_beefu32),
+            (0x104, 1),
+            (Topology::SEQ_BASE + 0x40, 7),
+            (Topology::SEQ_BASE + Topology::SEQ_STRIDE + 0x10, 9),
+            (Topology::L2_BASE + 0x2000, 0xffff_0001),
+        ] {
+            b.store(addr, 4, value).unwrap();
+            assert_eq!(a.load(addr, 4).unwrap(), value, "{addr:#x} via core view");
+            assert_eq!(b.load(addr, 4).unwrap(), value, "{addr:#x} via turbo view");
+        }
+        // Sub-word merge and AMO.
+        b.store(0x200, 2, 0xabcd).unwrap();
+        b.store(0x202, 1, 0x7f).unwrap();
+        assert_eq!(a.load(0x200, 4).unwrap(), 0x007f_abcd);
+        assert_eq!(b.amo(AmoOp::Add, 0x200, 1).unwrap(), 0x007f_abcd);
+        assert_eq!(a.load(0x200, 4).unwrap(), 0x007f_abce);
+        // Unmapped and misaligned errors match.
+        assert_eq!(a.load(0x3000_0000, 4).unwrap_err(), b.load(0x3000_0000, 4).unwrap_err());
+        assert_eq!(a.load(0x101, 4).unwrap_err(), b.load(0x101, 4).unwrap_err());
+        // Control region goes through the same registers.
+        assert_eq!(b.load(Topology::CTRL_NUM_CORES, 4).unwrap(), 16);
+        // Latency model unchanged.
+        assert_eq!(Memory::latency(&b, 0x40), Memory::latency(&a, 0x40));
+    }
 
     #[test]
     fn views_alias_physical_banks() {
@@ -379,18 +528,17 @@ mod tests {
     fn amo_is_atomic_across_views() {
         let mem = ClusterMem::new(Topology::scaled(8));
         let n = 64;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for core in 0..8 {
                 let mem = mem.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut v = mem.core_view(core);
                     for _ in 0..n {
                         v.amo(AmoOp::Add, 0x80, 1).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(mem.read_u32(0x80), 8 * n);
     }
 }

@@ -95,7 +95,10 @@ impl Topology {
     /// Panics if `cores` is not a power of two multiple of 8 or exceeds
     /// 1024.
     pub fn scaled(cores: u32) -> Self {
-        assert!(cores.is_power_of_two() && (8..=1024).contains(&cores), "cores must be a power of two in 8..=1024");
+        assert!(
+            cores.is_power_of_two() && (8..=1024).contains(&cores),
+            "cores must be a power of two in 8..=1024"
+        );
         let mut topo = Self::terapool();
         let mut have = topo.num_cores();
         while have > cores {
@@ -230,9 +233,111 @@ impl Topology {
     }
 }
 
+/// Shift-based decomposition of [`Topology::l1_slot`] for the cycle
+/// engine's hot paths — **bit-identical** results, built once per run.
+///
+/// This is the single shared implementation used by both the event
+/// engine's bank arbitration and its fast memory view; when a geometry
+/// divisor is not a power of two (possible only for hand-built
+/// topologies), every method falls back to the division path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct L1Decode {
+    topo: Topology,
+    fast: Option<L1Shifts>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct L1Shifts {
+    l1_bytes: u32,
+    banks_mask: u32,
+    banks_shift: u32,
+    bank_words_shift: u32,
+    bpt_mask: u32,
+    bpt_shift: u32,
+}
+
+impl L1Decode {
+    pub(crate) fn new(topo: Topology) -> Self {
+        let fast = (topo.num_banks().is_power_of_two()
+            && topo.banks_per_tile.is_power_of_two()
+            && topo.bank_words().is_power_of_two())
+        .then(|| L1Shifts {
+            l1_bytes: topo.l1_bytes(),
+            banks_mask: topo.num_banks() - 1,
+            banks_shift: topo.num_banks().trailing_zeros(),
+            bank_words_shift: topo.bank_words().trailing_zeros(),
+            bpt_mask: topo.banks_per_tile - 1,
+            bpt_shift: topo.banks_per_tile.trailing_zeros(),
+        });
+        Self { topo, fast }
+    }
+
+    /// Bit-identical to [`Topology::l1_slot`].
+    #[inline]
+    pub(crate) fn l1_slot(&self, addr: u32) -> Option<(u32, u32)> {
+        let Some(fast) = &self.fast else {
+            return self.topo.l1_slot(addr);
+        };
+        if addr < Topology::L1_BASE + fast.l1_bytes {
+            let w = (addr - Topology::L1_BASE) >> 2;
+            return Some((w & fast.banks_mask, w >> fast.banks_shift));
+        }
+        if addr >= Topology::SEQ_BASE {
+            let off = addr - Topology::SEQ_BASE;
+            let tile = off / Topology::SEQ_STRIDE;
+            let within = off % Topology::SEQ_STRIDE;
+            if tile < self.topo.num_tiles() && within < self.topo.tile_spm_bytes {
+                let w = within >> 2;
+                let bank = tile * self.topo.banks_per_tile + (w & fast.bpt_mask);
+                return Some((bank, w >> fast.bpt_shift));
+            }
+        }
+        None
+    }
+
+    /// Physical word index of a slot (`bank * bank_words + off`).
+    #[inline]
+    pub(crate) fn phys_index(&self, bank: u32, off: u32) -> usize {
+        match &self.fast {
+            Some(fast) => ((bank << fast.bank_words_shift) | off) as usize,
+            None => (bank * self.topo.bank_words() + off) as usize,
+        }
+    }
+
+    /// Bit-identical to [`Topology::tile_of_bank`].
+    #[inline]
+    pub(crate) fn tile_of_bank(&self, bank: u32) -> u32 {
+        match &self.fast {
+            Some(fast) => bank >> fast.bpt_shift,
+            None => self.topo.tile_of_bank(bank),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn l1_decode_matches_reference_everywhere() {
+        for topo in [Topology::scaled(8), Topology::scaled(64), Topology::terapool()] {
+            let decode = L1Decode::new(topo);
+            let probe = |addr: u32| {
+                assert_eq!(decode.l1_slot(addr), topo.l1_slot(addr), "{addr:#010x}");
+                if let Some((bank, off)) = topo.l1_slot(addr) {
+                    assert_eq!(decode.phys_index(bank, off) as u32, bank * topo.bank_words() + off);
+                    assert_eq!(decode.tile_of_bank(bank), topo.tile_of_bank(bank));
+                }
+            };
+            for addr in (0..topo.l1_bytes().min(1 << 16)).step_by(4) {
+                probe(addr);
+                probe(Topology::SEQ_BASE + addr);
+            }
+            probe(topo.l1_bytes());
+            probe(Topology::SEQ_BASE + topo.tile_spm_bytes);
+            probe(Topology::L2_BASE);
+        }
+    }
 
     #[test]
     fn full_terapool_counts() {

@@ -29,7 +29,7 @@ fn dma_program() -> Image {
         a.li(Reg::T1, Topology::CTRL_DMA_LEN as i32);
         a.li(Reg::T2, 32);
         a.sw(Reg::T2, 0, Reg::T1); // kicks off the transfer
-        // Poll the busy register (completes synchronously in the model).
+                                   // Poll the busy register (completes synchronously in the model).
         let poll = a.new_label();
         a.bind(poll);
         a.li(Reg::T1, Topology::CTRL_DMA_BUSY as i32);

@@ -7,18 +7,13 @@
 //!
 //! Run with: `cargo run --release --example ber_exploration`
 
-use terasim::DetectorKind;
 use terasim::experiments::ber_curve;
+use terasim::DetectorKind;
 use terasim_kernels::Precision;
 use terasim_phy::{ChannelKind, Mimo, Modulation};
 
 fn main() {
-    let scenario = Mimo {
-        n_tx: 4,
-        n_rx: 4,
-        modulation: Modulation::Qam16,
-        channel: ChannelKind::Awgn,
-    };
+    let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Awgn };
     let snrs = [8.0, 11.0, 14.0, 17.0];
     let detectors = [
         DetectorKind::Reference64,

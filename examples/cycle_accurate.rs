@@ -23,9 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores = arg("--cores", 64);
     let n = arg("--mimo", 4);
     println!("cycle-accurate parallel MMSE: {cores} cores, {n}x{n} MIMO\n");
-    println!(
-        " precision | makespan | instr%  | raw%   | lsu%   | ins%   | acc%   | wfi%   | wall"
-    );
+    println!(" precision | makespan | instr%  | raw%   | lsu%   | ins%   | acc%   | wfi%   | wall");
     println!(" ----------+----------+---------+--------+--------+--------+--------+--------+---------");
     for precision in Precision::TIMED {
         let config = ParallelConfig { cores, n, precision, seed: 3, unroll: 2 };

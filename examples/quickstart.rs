@@ -17,8 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let precision = Precision::CDotp16;
 
     // --- PHY: generate one transmission per core ------------------------
-    let scenario =
-        Mimo { n_tx: n as usize, n_rx: n as usize, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
+    let scenario = Mimo {
+        n_tx: n as usize,
+        n_rx: n as usize,
+        modulation: Modulation::Qam16,
+        channel: ChannelKind::Rayleigh,
+    };
     let mut generator = TxGenerator::new(scenario, 15.0, 2024);
 
     // --- DUT: generate and load the kernel ------------------------------

@@ -1,0 +1,6 @@
+//! Workspace umbrella package.
+//!
+//! This crate intentionally exports nothing: it exists so the repository
+//! root can own the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The actual library code lives in the
+//! `crates/` members — start at [`terasim`].

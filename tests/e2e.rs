@@ -65,8 +65,7 @@ fn timing_estimate_within_band() {
 /// essentially match the reference at moderate SNR (Figure 9's headline).
 #[test]
 fn e2e_ber_sanity() {
-    let scenario =
-        Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Awgn };
+    let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Awgn };
     let gold = experiments::ber_curve(scenario, &[8.0, 16.0], DetectorKind::Reference64, 150, 3_000, 13);
     let dut = experiments::ber_curve(
         scenario,
@@ -87,24 +86,10 @@ fn e2e_ber_sanity() {
 /// same arithmetic; this closes the loop at the system level).
 #[test]
 fn iss_and_native_detectors_equal_ber() {
-    let scenario =
-        Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
-    let native = experiments::ber_curve(
-        scenario,
-        &[10.0],
-        DetectorKind::Native(Precision::WDotp16),
-        40,
-        150,
-        21,
-    );
-    let iss = experiments::ber_curve(
-        scenario,
-        &[10.0],
-        DetectorKind::Iss(Precision::WDotp16),
-        40,
-        150,
-        21,
-    );
+    let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Rayleigh };
+    let native =
+        experiments::ber_curve(scenario, &[10.0], DetectorKind::Native(Precision::WDotp16), 40, 150, 21);
+    let iss = experiments::ber_curve(scenario, &[10.0], DetectorKind::Iss(Precision::WDotp16), 40, 150, 21);
     assert_eq!(native[0].errors, iss[0].errors);
     assert_eq!(native[0].bits, iss[0].bits);
 }
