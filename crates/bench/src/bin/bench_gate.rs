@@ -1,0 +1,171 @@
+//! CI performance-regression gate over the cycle-engine benchmark report.
+//!
+//! Compares a candidate report (normally the `mips --smoke` output,
+//! `BENCH_smoke.json`) against the committed smoke baseline
+//! (`BENCH_baseline.json`) and **fails** (non-zero exit) when:
+//!
+//! * the MMSE event-vs-naive speedup falls below the baseline by more
+//!   than the relative tolerance (`--tol-speedup`, default 0.35 — CI
+//!   runners are noisy, the gate is for real regressions, not jitter);
+//! * the barrier-skew speedup falls below the baseline by more than the
+//!   same tolerance;
+//! * the event engine's per-instruction floor (`ns_per_inst`) exceeds
+//!   the baseline by more than the factor `--tol-ns` (default 2.5 —
+//!   baseline and CI run on different hardware);
+//! * any `stats_identical` flag in the candidate is not `true` (the
+//!   engines diverged — that is a correctness bug, zero tolerance).
+//!
+//! Usage:
+//! `bench_gate [--baseline BENCH_baseline.json] [--candidate BENCH_smoke.json]
+//!             [--tol-speedup 0.35] [--tol-ns 2.5]`
+//!
+//! The parser is a deliberately small scanner over the fixed report
+//! format written by the `mips` binary (this workspace has no JSON
+//! dependency); it extracts every numeric value following a quoted key.
+
+use std::process::ExitCode;
+
+use terasim_bench::{arg_f64, arg_str};
+
+/// Every number appearing after `"key":` in `json`, in document order.
+fn numbers_after(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        let tail = rest[i + pat.len()..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse::<f64>() {
+            out.push(v);
+        }
+        rest = &rest[i + pat.len()..];
+    }
+    out
+}
+
+/// Every boolean appearing after `"key":` in `json`, in document order.
+fn bools_after(json: &str, key: &str) -> Vec<bool> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        let tail = rest[i + pat.len()..].trim_start();
+        if tail.starts_with("true") {
+            out.push(true);
+        } else if tail.starts_with("false") {
+            out.push(false);
+        }
+        rest = &rest[i + pat.len()..];
+    }
+    out
+}
+
+struct Report {
+    /// `[mmse, skew]` in document order.
+    speedups: Vec<f64>,
+    /// Event-engine per-instruction floor of the MMSE workload.
+    ns_per_inst: f64,
+    stats_identical: Vec<bool>,
+}
+
+fn parse(path: &str) -> Result<Report, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let speedups = numbers_after(&json, "speedup_event_vs_naive");
+    if speedups.len() < 2 {
+        return Err(format!("{path}: expected 2 speedup_event_vs_naive entries, found {}", speedups.len()));
+    }
+    let ns = numbers_after(&json, "ns_per_inst_event");
+    let ns_per_inst = match ns.first() {
+        Some(&v) => v,
+        // Reports written before the floor was recorded (the PR 1 format)
+        // fall back to wall_s / instructions of the first (event) run.
+        None => {
+            let walls = numbers_after(&json, "wall_s");
+            let insts = numbers_after(&json, "instructions");
+            match (walls.first(), insts.first()) {
+                (Some(&w), Some(&i)) if i > 0.0 => w * 1e9 / i,
+                _ => return Err(format!("{path}: no ns_per_inst_event and no wall_s/instructions")),
+            }
+        }
+    };
+    Ok(Report { speedups, ns_per_inst, stats_identical: bools_after(&json, "stats_identical") })
+}
+
+fn main() -> ExitCode {
+    let baseline_path = arg_str("--baseline", "BENCH_baseline.json");
+    let candidate_path = arg_str("--candidate", "BENCH_smoke.json");
+    let tol_speedup = arg_f64("--tol-speedup", 0.35);
+    let tol_ns = arg_f64("--tol-ns", 2.5);
+
+    let (baseline, candidate) = match (parse(&baseline_path), parse(&candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench-gate: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = Vec::new();
+
+    if candidate.stats_identical.iter().any(|&ok| !ok) {
+        failures.push("candidate reports stats_identical=false: the engines diverged".to_string());
+    }
+
+    for (idx, label) in [(0, "MMSE full-occupancy"), (1, "barrier skew")] {
+        let base = baseline.speedups[idx];
+        let cand = candidate.speedups[idx];
+        let floor = base * (1.0 - tol_speedup);
+        let status = if cand >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "{label:<22} speedup: baseline {base:>7.3}x  candidate {cand:>7.3}x  floor {floor:>7.3}x  [{status}]"
+        );
+        if cand < floor {
+            failures.push(format!(
+                "{label} event-vs-naive speedup regressed: {cand:.3}x < {floor:.3}x \
+                 (baseline {base:.3}x, tolerance {tol_speedup})"
+            ));
+        }
+    }
+
+    let ns_ceiling = baseline.ns_per_inst * tol_ns;
+    let ns_status = if candidate.ns_per_inst <= ns_ceiling { "ok" } else { "REGRESSION" };
+    println!(
+        "per-instruction floor   ns/inst: baseline {:>7.1}  candidate {:>7.1}  ceiling {:>7.1}  [{ns_status}]",
+        baseline.ns_per_inst, candidate.ns_per_inst, ns_ceiling
+    );
+    if candidate.ns_per_inst > ns_ceiling {
+        failures.push(format!(
+            "per-instruction floor regressed: {:.1} ns > {:.1} ns (baseline {:.1} ns, factor {tol_ns})",
+            candidate.ns_per_inst, ns_ceiling, baseline.ns_per_inst
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("bench-gate: PASS ({candidate_path} vs {baseline_path})");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-gate: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_extracts_in_order() {
+        let json = r#"{"a": 1.5, "nested": {"a": -2e3}, "flag": true, "flag": false}"#;
+        assert_eq!(numbers_after(json, "a"), vec![1.5, -2e3]);
+        assert_eq!(bools_after(json, "flag"), vec![true, false]);
+        assert!(numbers_after(json, "missing").is_empty());
+    }
+}

@@ -102,14 +102,30 @@ pub fn min_sec(d: Duration) -> String {
     }
 }
 
-/// Integer command-line argument with default (`--name value`).
-pub fn arg_u32(name: &str, default: u32) -> u32 {
+/// `--name value` command-line argument, parsed as `T`; `default` when
+/// the flag is absent or its value does not parse.
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Integer command-line argument with default (`--name value`).
+pub fn arg_u32(name: &str, default: u32) -> u32 {
+    arg(name, default)
+}
+
+/// String command-line argument with default (`--name value`).
+pub fn arg_str(name: &str, default: &str) -> String {
+    arg(name, default.to_string())
+}
+
+/// Float command-line argument with default (`--name value`).
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    arg(name, default)
 }
 
 #[cfg(test)]

@@ -77,14 +77,14 @@ pub enum Outcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    regs: [u32; 32],
-    pc: u32,
-    hart_id: u32,
-    retired: u64,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) hart_id: u32,
+    pub(crate) retired: u64,
     /// LR reservation address (single-hart granularity; see crate docs).
-    reservation: Option<u32>,
+    pub(crate) reservation: Option<u32>,
     /// Cycle estimate exposed through `mcycle`, maintained by the driver.
-    mcycle: u64,
+    pub(crate) mcycle: u64,
 }
 
 impl Cpu {
@@ -106,6 +106,35 @@ impl Cpu {
         if r != Reg::Zero {
             self.regs[r.index()] = value;
         }
+    }
+
+    /// Reads a register by pre-decoded index (micro-op hot path; the
+    /// mask keeps the bounds check out of the generated code).
+    #[inline]
+    pub(crate) fn reg_raw(&self, i: u8) -> u32 {
+        self.regs[(i & 31) as usize]
+    }
+
+    /// Writes a register by pre-decoded index (`x0` writes discarded).
+    #[inline]
+    pub(crate) fn set_reg_raw(&mut self, i: u8, value: u32) {
+        if i != 0 {
+            self.regs[(i & 31) as usize] = value;
+        }
+    }
+
+    /// Retires the current instruction and falls through to `pc + 4`.
+    #[inline]
+    pub(crate) fn retire_next(&mut self) {
+        self.retired += 1;
+        self.pc = self.pc.wrapping_add(4);
+    }
+
+    /// Retires the current instruction and jumps to `target`.
+    #[inline]
+    pub(crate) fn retire_jump(&mut self, target: u32) {
+        self.retired += 1;
+        self.pc = target;
     }
 
     /// Current program counter.
@@ -263,23 +292,23 @@ impl Cpu {
                 }
             }
             Inst::FpArith { op, fmt, rd, rs1, rs2 } => {
-                let value = self.fp_arith(op, fmt, rs1, rs2);
+                let value = fp_arith(op, fmt, self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, value);
             }
             Inst::FpUn { op, fmt, rd, rs1 } => {
-                let value = self.fp_un(op, fmt, rs1);
+                let value = fp_un(op, fmt, self.reg(rs1));
                 self.set_reg(rd, value);
             }
             Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
-                let value = self.fp_fma(op, fmt, rs1, rs2, rs3);
+                let value = fp_fma(op, fmt, self.reg(rs1), self.reg(rs2), self.reg(rs3));
                 self.set_reg(rd, value);
             }
             Inst::FpCmp { op, fmt, rd, rs1, rs2 } => {
-                let value = self.fp_cmp(op, fmt, rs1, rs2);
+                let value = fp_cmp(op, fmt, self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, value);
             }
             Inst::Vf { op, rd, rs1, rs2 } => {
-                let value = self.vf(op, rd, rs1, rs2);
+                let value = vf(op, self.reg(rd), self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, value);
             }
             Inst::Pv { op, rd, rs1, rs2 } => {
@@ -305,7 +334,7 @@ impl Cpu {
         Ok(Outcome::Continue)
     }
 
-    fn read_csr(&self, addr: u16) -> u32 {
+    pub(crate) fn read_csr(&self, addr: u16) -> u32 {
         match addr {
             csr::MHARTID => self.hart_id,
             csr::MCYCLE => self.mcycle as u32,
@@ -314,206 +343,210 @@ impl Cpu {
         }
     }
 
-    fn write_csr(&mut self, _addr: u16, _value: u32) {
+    pub(crate) fn write_csr(&mut self, _addr: u16, _value: u32) {
         // All implemented CSRs are read-only counters; writes are ignored,
         // matching Snitch's minimal CSR file.
     }
+}
 
-    // --- FP helpers (zfinx/zhinx: values live in the integer registers) ---
+// --- FP helpers (zfinx/zhinx: values live in the integer registers) ---
+//
+// These operate on raw register *values* so the seed interpreter
+// (`Cpu::execute`) and the pre-lowered micro-op kernels (`crate::uop`)
+// share one semantic body.
 
-    fn h(&self, r: Reg) -> F16 {
-        F16::from_bits(self.reg(r) as u16)
-    }
+#[inline]
+fn h(v: u32) -> F16 {
+    F16::from_bits(v as u16)
+}
 
-    fn s(&self, r: Reg) -> f32 {
-        f32::from_bits(self.reg(r))
-    }
+#[inline]
+fn s(v: u32) -> f32 {
+    f32::from_bits(v)
+}
 
-    /// binary16 results are sign-extended into the 32-bit register, as the
-    /// Zhinx spec requires for narrower-than-XLEN values.
-    fn box_h(value: F16) -> u32 {
-        value.to_bits() as i16 as i32 as u32
-    }
+/// binary16 results are sign-extended into the 32-bit register, as the
+/// Zhinx spec requires for narrower-than-XLEN values.
+#[inline]
+fn box_h(value: F16) -> u32 {
+    value.to_bits() as i16 as i32 as u32
+}
 
-    fn fp_arith(&self, op: FpOp, fmt: FpFmt, rs1: Reg, rs2: Reg) -> u32 {
-        match fmt {
-            FpFmt::H => {
-                let (a, b) = (self.h(rs1), self.h(rs2));
-                let r = match op {
-                    FpOp::Add => a + b,
-                    FpOp::Sub => a - b,
-                    FpOp::Mul => a * b,
-                    FpOp::Div => a / b,
-                    FpOp::Min => fp_min_h(a, b),
-                    FpOp::Max => fp_max_h(a, b),
-                    FpOp::SgnJ => F16::from_bits((a.to_bits() & 0x7fff) | (b.to_bits() & 0x8000)),
-                    FpOp::SgnJN => F16::from_bits((a.to_bits() & 0x7fff) | (!b.to_bits() & 0x8000)),
-                    FpOp::SgnJX => F16::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000)),
-                };
-                Self::box_h(r)
-            }
-            FpFmt::S => {
-                let (a, b) = (self.s(rs1), self.s(rs2));
-                let r = match op {
-                    FpOp::Add => a + b,
-                    FpOp::Sub => a - b,
-                    FpOp::Mul => a * b,
-                    FpOp::Div => a / b,
-                    FpOp::Min => {
-                        if a.is_nan() {
-                            b
-                        } else if b.is_nan() {
-                            a
-                        } else {
-                            a.min(b)
-                        }
+pub(crate) fn fp_arith(op: FpOp, fmt: FpFmt, va: u32, vb: u32) -> u32 {
+    match fmt {
+        FpFmt::H => {
+            let (a, b) = (h(va), h(vb));
+            let r = match op {
+                FpOp::Add => a + b,
+                FpOp::Sub => a - b,
+                FpOp::Mul => a * b,
+                FpOp::Div => a / b,
+                FpOp::Min => fp_min_h(a, b),
+                FpOp::Max => fp_max_h(a, b),
+                FpOp::SgnJ => F16::from_bits((a.to_bits() & 0x7fff) | (b.to_bits() & 0x8000)),
+                FpOp::SgnJN => F16::from_bits((a.to_bits() & 0x7fff) | (!b.to_bits() & 0x8000)),
+                FpOp::SgnJX => F16::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000)),
+            };
+            box_h(r)
+        }
+        FpFmt::S => {
+            let (a, b) = (s(va), s(vb));
+            let r = match op {
+                FpOp::Add => a + b,
+                FpOp::Sub => a - b,
+                FpOp::Mul => a * b,
+                FpOp::Div => a / b,
+                FpOp::Min => {
+                    if a.is_nan() {
+                        b
+                    } else if b.is_nan() {
+                        a
+                    } else {
+                        a.min(b)
                     }
-                    FpOp::Max => {
-                        if a.is_nan() {
-                            b
-                        } else if b.is_nan() {
-                            a
-                        } else {
-                            a.max(b)
-                        }
+                }
+                FpOp::Max => {
+                    if a.is_nan() {
+                        b
+                    } else if b.is_nan() {
+                        a
+                    } else {
+                        a.max(b)
                     }
-                    FpOp::SgnJ => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000)),
-                    FpOp::SgnJN => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000)),
-                    FpOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
-                };
-                r.to_bits()
-            }
+                }
+                FpOp::SgnJ => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000)),
+                FpOp::SgnJN => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000)),
+                FpOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
+            };
+            r.to_bits()
         }
     }
+}
 
-    fn fp_un(&self, op: FpUnOp, fmt: FpFmt, rs1: Reg) -> u32 {
-        match op {
-            FpUnOp::Sqrt => match fmt {
-                FpFmt::H => Self::box_h(self.h(rs1).sqrt()),
-                FpFmt::S => self.s(rs1).sqrt().to_bits(),
-            },
-            FpUnOp::CvtWFromFp => {
-                // RTZ with RISC-V saturation semantics.
-                let x = match fmt {
-                    FpFmt::H => self.h(rs1).to_f32(),
-                    FpFmt::S => self.s(rs1),
-                };
-                if x.is_nan() {
-                    i32::MAX as u32
-                } else {
-                    (x.trunc().clamp(i32::MIN as f32, i32::MAX as f32)) as i32 as u32
-                }
-            }
-            FpUnOp::CvtFpFromW => {
-                let x = self.reg(rs1) as i32;
-                match fmt {
-                    FpFmt::H => Self::box_h(F16::from_f64(f64::from(x))),
-                    FpFmt::S => (x as f32).to_bits(),
-                }
-            }
-            FpUnOp::CvtSFromH => self.h(rs1).to_f32().to_bits(),
-            FpUnOp::CvtHFromS => Self::box_h(F16::from_f32(self.s(rs1))),
-        }
-    }
-
-    fn fp_fma(&self, op: FmaOp, fmt: FpFmt, rs1: Reg, rs2: Reg, rs3: Reg) -> u32 {
-        match fmt {
-            FpFmt::H => {
-                let (a, b, c) = (self.h(rs1).to_f64(), self.h(rs2).to_f64(), self.h(rs3).to_f64());
-                let r = match op {
-                    FmaOp::Madd => a * b + c,
-                    FmaOp::Msub => a * b - c,
-                    FmaOp::Nmadd => -(a * b) - c,
-                    FmaOp::Nmsub => -(a * b) + c,
-                };
-                Self::box_h(F16::from_f64(r))
-            }
-            FpFmt::S => {
-                let (a, b, c) = (self.s(rs1), self.s(rs2), self.s(rs3));
-                let r = match op {
-                    FmaOp::Madd => a.mul_add(b, c),
-                    FmaOp::Msub => a.mul_add(b, -c),
-                    FmaOp::Nmadd => (-a).mul_add(b, -c),
-                    FmaOp::Nmsub => (-a).mul_add(b, c),
-                };
-                r.to_bits()
+pub(crate) fn fp_un(op: FpUnOp, fmt: FpFmt, va: u32) -> u32 {
+    match op {
+        FpUnOp::Sqrt => match fmt {
+            FpFmt::H => box_h(h(va).sqrt()),
+            FpFmt::S => s(va).sqrt().to_bits(),
+        },
+        FpUnOp::CvtWFromFp => {
+            // RTZ with RISC-V saturation semantics.
+            let x = match fmt {
+                FpFmt::H => h(va).to_f32(),
+                FpFmt::S => s(va),
+            };
+            if x.is_nan() {
+                i32::MAX as u32
+            } else {
+                (x.trunc().clamp(i32::MIN as f32, i32::MAX as f32)) as i32 as u32
             }
         }
+        FpUnOp::CvtFpFromW => {
+            let x = va as i32;
+            match fmt {
+                FpFmt::H => box_h(F16::from_f64(f64::from(x))),
+                FpFmt::S => (x as f32).to_bits(),
+            }
+        }
+        FpUnOp::CvtSFromH => h(va).to_f32().to_bits(),
+        FpUnOp::CvtHFromS => box_h(F16::from_f32(s(va))),
     }
+}
 
-    fn fp_cmp(&self, op: FpCmpOp, fmt: FpFmt, rs1: Reg, rs2: Reg) -> u32 {
-        let result = match fmt {
-            FpFmt::H => {
-                let (a, b) = (self.h(rs1).to_f32(), self.h(rs2).to_f32());
-                match op {
-                    FpCmpOp::Eq => a == b,
-                    FpCmpOp::Lt => a < b,
-                    FpCmpOp::Le => a <= b,
-                }
-            }
-            FpFmt::S => {
-                let (a, b) = (self.s(rs1), self.s(rs2));
-                match op {
-                    FpCmpOp::Eq => a == b,
-                    FpCmpOp::Lt => a < b,
-                    FpCmpOp::Le => a <= b,
-                }
-            }
-        };
-        u32::from(result)
+pub(crate) fn fp_fma(op: FmaOp, fmt: FpFmt, va: u32, vb: u32, vc: u32) -> u32 {
+    match fmt {
+        FpFmt::H => {
+            let (a, b, c) = (h(va).to_f64(), h(vb).to_f64(), h(vc).to_f64());
+            let r = match op {
+                FmaOp::Madd => a * b + c,
+                FmaOp::Msub => a * b - c,
+                FmaOp::Nmadd => -(a * b) - c,
+                FmaOp::Nmsub => -(a * b) + c,
+            };
+            box_h(F16::from_f64(r))
+        }
+        FpFmt::S => {
+            let (a, b, c) = (s(va), s(vb), s(vc));
+            let r = match op {
+                FmaOp::Madd => a.mul_add(b, c),
+                FmaOp::Msub => a.mul_add(b, -c),
+                FmaOp::Nmadd => (-a).mul_add(b, -c),
+                FmaOp::Nmsub => (-a).mul_add(b, c),
+            };
+            r.to_bits()
+        }
     }
+}
 
-    // --- SIMD (SmallFloat / Xpulpimg) --------------------------------------
+pub(crate) fn fp_cmp(op: FpCmpOp, fmt: FpFmt, va: u32, vb: u32) -> u32 {
+    let result = match fmt {
+        FpFmt::H => {
+            let (a, b) = (h(va).to_f32(), h(vb).to_f32());
+            match op {
+                FpCmpOp::Eq => a == b,
+                FpCmpOp::Lt => a < b,
+                FpCmpOp::Le => a <= b,
+            }
+        }
+        FpFmt::S => {
+            let (a, b) = (s(va), s(vb));
+            match op {
+                FpCmpOp::Eq => a == b,
+                FpCmpOp::Lt => a < b,
+                FpCmpOp::Le => a <= b,
+            }
+        }
+    };
+    u32::from(result)
+}
 
-    fn vf(&self, op: VfOp, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
-        let a = self.reg(rs1);
-        let b = self.reg(rs2);
-        let acc = self.reg(rd);
-        match op {
-            VfOp::AddH => pack_h2(map2_h(a, b, |x, y| x + y)),
-            VfOp::SubH => pack_h2(map2_h(a, b, |x, y| x - y)),
-            VfOp::MulH => pack_h2(map2_h(a, b, |x, y| x * y)),
-            VfOp::MacH => {
-                let (av, bv, cv) = (unpack_h2(a), unpack_h2(b), unpack_h2(acc));
-                pack_h2([av[0].mul_add(bv[0], cv[0]), av[1].mul_add(bv[1], cv[1])])
-            }
-            VfOp::DotpExSH => ops::vfdotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
-            VfOp::NDotpExSH => ops::vfndotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
-            VfOp::CdotpExSH => pack_h2(ops::vfcdotpex_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
-            VfOp::CdotpExCSH => pack_h2(ops::vfcdotpex_conj_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
-            VfOp::DotpExHB => pack_h2(ops::vfdotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
-            VfOp::NDotpExHB => pack_h2(ops::vfndotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
-            VfOp::CpkAHS => pack_h2([F16::from_f32(f32::from_bits(a)), F16::from_f32(f32::from_bits(b))]),
-            VfOp::CvtHBLo => {
-                let v = unpack_b4(a);
-                pack_h2([F16::from(v[0]), F16::from(v[1])])
-            }
-            VfOp::CvtHBHi => {
-                let v = unpack_b4(a);
-                pack_h2([F16::from(v[2]), F16::from(v[3])])
-            }
-            VfOp::CvtBH => {
-                let v = unpack_h2(a);
-                u32::from(F8::from_f16(v[0]).to_bits()) | (u32::from(F8::from_f16(v[1]).to_bits()) << 8)
-            }
-            VfOp::SwapH => a.rotate_left(16),
-            VfOp::SwapB => ((a & 0x00ff_00ff) << 8) | ((a & 0xff00_ff00) >> 8),
-            VfOp::CmacB => {
-                let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
-                let r = ops::cmac_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
-                (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
-            }
-            VfOp::CmacConjB => {
-                let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
-                let r = ops::cmac_conj_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
-                (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
-            }
+// --- SIMD (SmallFloat / Xpulpimg) --------------------------------------
+
+pub(crate) fn vf(op: VfOp, acc: u32, a: u32, b: u32) -> u32 {
+    match op {
+        VfOp::AddH => pack_h2(map2_h(a, b, |x, y| x + y)),
+        VfOp::SubH => pack_h2(map2_h(a, b, |x, y| x - y)),
+        VfOp::MulH => pack_h2(map2_h(a, b, |x, y| x * y)),
+        VfOp::MacH => {
+            let (av, bv, cv) = (unpack_h2(a), unpack_h2(b), unpack_h2(acc));
+            pack_h2([av[0].mul_add(bv[0], cv[0]), av[1].mul_add(bv[1], cv[1])])
+        }
+        VfOp::DotpExSH => ops::vfdotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
+        VfOp::NDotpExSH => ops::vfndotpex_s_h(f32::from_bits(acc), unpack_h2(a), unpack_h2(b)).to_bits(),
+        VfOp::CdotpExSH => pack_h2(ops::vfcdotpex_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
+        VfOp::CdotpExCSH => pack_h2(ops::vfcdotpex_conj_s_h(unpack_h2(acc), unpack_h2(a), unpack_h2(b))),
+        VfOp::DotpExHB => pack_h2(ops::vfdotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
+        VfOp::NDotpExHB => pack_h2(ops::vfndotpex_h_b(unpack_h2(acc), unpack_b4(a), unpack_b4(b))),
+        VfOp::CpkAHS => pack_h2([F16::from_f32(f32::from_bits(a)), F16::from_f32(f32::from_bits(b))]),
+        VfOp::CvtHBLo => {
+            let v = unpack_b4(a);
+            pack_h2([F16::from(v[0]), F16::from(v[1])])
+        }
+        VfOp::CvtHBHi => {
+            let v = unpack_b4(a);
+            pack_h2([F16::from(v[2]), F16::from(v[3])])
+        }
+        VfOp::CvtBH => {
+            let v = unpack_h2(a);
+            u32::from(F8::from_f16(v[0]).to_bits()) | (u32::from(F8::from_f16(v[1]).to_bits()) << 8)
+        }
+        VfOp::SwapH => a.rotate_left(16),
+        VfOp::SwapB => ((a & 0x00ff_00ff) << 8) | ((a & 0xff00_ff00) >> 8),
+        VfOp::CmacB => {
+            let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
+            let r = ops::cmac_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
+            (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
+        }
+        VfOp::CmacConjB => {
+            let (av, bv, cv) = (unpack_b4(a), unpack_b4(b), unpack_b4(acc));
+            let r = ops::cmac_conj_b([cv[0], cv[1]], [av[0], av[1]], [bv[0], bv[1]]);
+            (acc & 0xffff_0000) | u32::from(r[0].to_bits()) | (u32::from(r[1].to_bits()) << 8)
         }
     }
 }
 
 /// Xpulpimg integer MAC/SIMD semantics.
-fn pv(op: PvOp, acc: u32, a: u32, b: u32) -> u32 {
+pub(crate) fn pv(op: PvOp, acc: u32, a: u32, b: u32) -> u32 {
     let lane_h = |x: u32, i: u32| (x >> (16 * i)) as i16;
     let lane_b = |x: u32, i: u32| (x >> (8 * i)) as i8;
     match op {
@@ -556,7 +589,7 @@ fn pv(op: PvOp, acc: u32, a: u32, b: u32) -> u32 {
     }
 }
 
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -571,7 +604,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     }
 }
 
-fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+pub(crate) fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
     match op {
         MulDivOp::Mul => a.wrapping_mul(b),
         MulDivOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,

@@ -59,9 +59,13 @@ mod mem;
 mod program;
 mod runner;
 mod timing;
+pub mod uop;
 
 pub use cpu::{Cpu, Outcome, Trap};
 pub use mem::{DenseMemory, MemError, Memory};
 pub use program::{Program, TranslateError};
-pub use runner::{resume_core, run_core, trace_core, RunConfig, RunStats, StopReason, TraceEntry};
+pub use runner::{
+    resume_core, resume_lowered, run_core, trace_core, RunConfig, RunStats, StopReason, TraceEntry,
+};
 pub use timing::{InstClass, LatencyModel, Scoreboard};
+pub use uop::{Kernel, LoweredUop, Uop, UopMeta, UopProgram, NO_REG};

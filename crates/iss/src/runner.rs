@@ -1,4 +1,10 @@
 //! The fast per-hart driver: architectural execution + scoreboard timing.
+//!
+//! The hot loop runs over the pre-lowered micro-op table
+//! ([`UopProgram`]): one indexed load per instruction fetches the kernel
+//! pointer, operands and timing metadata, so no per-step decoding, field
+//! extraction or class matching remains. [`trace_core`] keeps the seed
+//! interpreter path (it needs the decoded [`Inst`] for its observer).
 
 use terasim_riscv::Inst;
 
@@ -6,6 +12,7 @@ use crate::cpu::{Cpu, Outcome, Trap};
 use crate::mem::Memory;
 use crate::program::Program;
 use crate::timing::{InstClass, LatencyModel, Scoreboard};
+use crate::uop::UopProgram;
 
 /// Configuration of a fast-mode run.
 #[derive(Debug, Clone)]
@@ -104,8 +111,79 @@ pub fn run_core(
 ) -> Result<RunStats, Trap> {
     let mut sb = Scoreboard::new();
     let mut stats = RunStats::default();
-    resume_core(cpu, program, mem, config, &mut sb, &mut stats)?;
+    // One lowering pass per whole-program run: O(text), amortized over
+    // execution, which visits every instruction at least once.
+    let table = UopProgram::lower(program, &config.latency);
+    resume_lowered(cpu, &table, mem, config, &mut sb, &mut stats)?;
     Ok(stats)
+}
+
+/// As [`resume_core`] over an already-lowered micro-op table — the form
+/// cluster drivers use so the (one-time, linear) lowering cost is not
+/// re-paid on every barrier resume.
+///
+/// The table must have been lowered with the same latency model as
+/// `config.latency`, or static result latencies will disagree with the
+/// scoreboard configuration.
+///
+/// # Errors
+///
+/// Propagates any [`Trap`] raised by the guest.
+pub fn resume_lowered<M: Memory>(
+    cpu: &mut Cpu,
+    table: &UopProgram<M>,
+    mem: &mut M,
+    config: &RunConfig,
+    sb: &mut Scoreboard,
+    stats: &mut RunStats,
+) -> Result<StopReason, Trap> {
+    if cpu.pc() == 0 {
+        cpu.set_pc(table.entry());
+    }
+
+    loop {
+        if stats.retired >= config.max_instructions {
+            finalize(stats, sb, cpu, StopReason::Budget);
+            return Ok(StopReason::Budget);
+        }
+        let pc = cpu.pc();
+        let lu = table.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let meta = lu.meta;
+
+        // Loads: latency comes from the memory map (or the pre-lowered
+        // static class latency).
+        let latency = if config.per_address_latency && meta.is_load {
+            let base = cpu.reg_raw(meta.ea_base);
+            let addr = if meta.ea_no_offset { base } else { base.wrapping_add(meta.ea_offset as u32) };
+            mem.latency(addr)
+        } else {
+            meta.result_lat as u32
+        };
+
+        let outcome = (lu.exec)(cpu, lu.uop, mem)?;
+        sb.issue_slots(meta.srcs, meta.nsrcs, meta.dst, meta.post_inc, latency);
+        stats.retired += 1;
+        stats.class_counts[meta.class.index()] += 1;
+
+        if meta.is_control_flow && cpu.pc() != pc.wrapping_add(4) {
+            sb.bubble(config.latency.taken_branch_penalty);
+            stats.branch_bubbles += u64::from(config.latency.taken_branch_penalty);
+        }
+        cpu.set_mcycle(sb.cycles());
+
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::Exit { code } => {
+                let stop = StopReason::Exit { code };
+                finalize(stats, sb, cpu, stop);
+                return Ok(stop);
+            }
+            Outcome::Wfi => {
+                finalize(stats, sb, cpu, StopReason::Wfi);
+                return Ok(StopReason::Wfi);
+            }
+        }
+    }
 }
 
 /// One retired instruction, as seen by a [`trace_core`] observer.
@@ -167,6 +245,11 @@ pub fn trace_core(
 /// outside, so a cluster driver can park the hart at `wfi` (barrier) and
 /// continue it later with timing intact.
 ///
+/// Runs the retained seed interpreter path — no per-call lowering cost,
+/// matching a resume's "continue cheaply" contract. Drivers that resume
+/// many harts over the same program should lower once
+/// ([`UopProgram::lower`]) and use [`resume_lowered`] instead.
+///
 /// # Errors
 ///
 /// Propagates any [`Trap`] raised by the guest.
@@ -181,6 +264,10 @@ pub fn resume_core(
     run_impl(cpu, program, mem, config, sb, stats, &mut None::<&mut fn(TraceEntry)>)
 }
 
+/// The retained seed driver loop (decoded-`Inst` execution through
+/// [`Cpu::execute`]); kept for [`trace_core`], whose observer needs the
+/// decoded instruction, and as the reference the micro-op path is pinned
+/// against.
 fn run_impl<F: FnMut(TraceEntry)>(
     cpu: &mut Cpu,
     program: &Program,

@@ -257,6 +257,29 @@ impl Scoreboard {
         t
     }
 
+    /// As [`Scoreboard::issue`], but over pre-decoded register slots (the
+    /// micro-op hot path): `srcs[..nsrcs]` are source indices with `x0`
+    /// already omitted, `dst`/`post_inc` are destination indices or
+    /// [`NO_REG`](crate::uop::NO_REG). Semantically identical to `issue`
+    /// on the instruction the slots were lowered from.
+    #[inline]
+    pub fn issue_slots(&mut self, srcs: [u8; 3], nsrcs: u8, dst: u8, post_inc: u8, latency: u32) -> u64 {
+        let mut t = self.next_issue;
+        for &src in &srcs[..nsrcs as usize] {
+            t = t.max(self.ready[(src & 31) as usize]);
+        }
+        self.raw_stalls += t - self.next_issue;
+        if dst != crate::uop::NO_REG {
+            self.ready[(dst & 31) as usize] = t + u64::from(latency);
+        }
+        if post_inc != crate::uop::NO_REG {
+            // The incremented base comes from the ALU path: ready next cycle.
+            self.ready[(post_inc & 31) as usize] = t + 1;
+        }
+        self.next_issue = t + 1;
+        t
+    }
+
     /// Inserts `n` pipeline bubbles (taken-branch penalty).
     pub fn bubble(&mut self, n: u32) {
         self.next_issue += u64::from(n);

@@ -1,0 +1,326 @@
+//! Differential suite pinning the pre-lowered micro-op interpreter
+//! (`UopProgram` + kernel dispatch) **bit-identical** to the retained
+//! seed interpreter (`Cpu::step` over the decoded `Inst` stream): same
+//! registers, PC, retired count, outcomes, traps and memory contents
+//! after every single instruction, across randomized programs covering
+//! every instruction family.
+
+use terasim_iss::{Cpu, DenseMemory, LatencyModel, Outcome, Program, Trap, UopProgram};
+use terasim_riscv::{
+    AluOp, AmoOp, Assembler, CsrSrc, FmaOp, FpCmpOp, FpFmt, FpOp, FpUnOp, Image, Inst, LoadOp, MulDivOp,
+    PvOp, Reg, Segment, StoreOp, VfOp,
+};
+
+const BASE: u32 = 0x8000_0000;
+const MEM_BYTES: u32 = 0x1000;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn reg(&mut self) -> Reg {
+        // Stay off x0 (uninteresting) and the address registers T5/T6.
+        Reg::from_num(1 + (self.next() % 28) as u32)
+    }
+
+    fn imm12(&mut self) -> i32 {
+        ((self.next() as i32) << 20) >> 20
+    }
+
+    /// A word-aligned address inside the data window.
+    fn addr(&mut self) -> i32 {
+        (((self.next() as u32) % MEM_BYTES) & !3) as i32
+    }
+}
+
+/// Emits one random instruction (plus any address setup it needs).
+fn emit_random(a: &mut Assembler, rng: &mut Rng) {
+    let (rd, rs1, rs2, rs3) = (rng.reg(), rng.reg(), rng.reg(), rng.reg());
+    match rng.next() % 20 {
+        0 => {
+            let op = [
+                AluOp::Add,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ][(rng.next() % 9) as usize];
+            // Shift immediates are 5-bit; the assembler rejects more.
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                (rng.next() % 32) as i32
+            } else {
+                rng.imm12()
+            };
+            a.inst(Inst::OpImm { op, rd, rs1, imm });
+        }
+        1 => {
+            let op = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ][(rng.next() % 10) as usize];
+            a.inst(Inst::Op { op, rd, rs1, rs2 });
+        }
+        2 => {
+            let op = [
+                MulDivOp::Mul,
+                MulDivOp::Mulh,
+                MulDivOp::Mulhsu,
+                MulDivOp::Mulhu,
+                MulDivOp::Div,
+                MulDivOp::Divu,
+                MulDivOp::Rem,
+                MulDivOp::Remu,
+            ][(rng.next() % 8) as usize];
+            a.inst(Inst::MulDiv { op, rd, rs1, rs2 });
+        }
+        3 => {
+            a.inst(Inst::Lui { rd, imm: ((rng.next() as i32) >> 12) << 12 });
+        }
+        4 => {
+            a.inst(Inst::Auipc { rd, imm: ((rng.next() as i32) >> 12) << 12 });
+        }
+        5 | 6 => {
+            // Load through a freshly materialized in-window address.
+            a.li(Reg::T6, rng.addr());
+            let op =
+                [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu][(rng.next() % 5) as usize];
+            let post_inc = rng.next().is_multiple_of(4);
+            let offset = if post_inc { 4 } else { 0 };
+            a.inst(Inst::Load { op, rd, rs1: Reg::T6, offset, post_inc });
+        }
+        7 | 8 => {
+            a.li(Reg::T6, rng.addr());
+            let op = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw][(rng.next() % 3) as usize];
+            let post_inc = rng.next().is_multiple_of(4);
+            let offset = if post_inc { 4 } else { 0 };
+            a.inst(Inst::Store { op, rs1: Reg::T6, rs2, offset, post_inc });
+        }
+        9 => {
+            a.li(Reg::T6, rng.addr());
+            let op = [
+                AmoOp::Swap,
+                AmoOp::Add,
+                AmoOp::Xor,
+                AmoOp::And,
+                AmoOp::Or,
+                AmoOp::Min,
+                AmoOp::Max,
+                AmoOp::Minu,
+                AmoOp::Maxu,
+            ][(rng.next() % 9) as usize];
+            a.inst(Inst::Amo { op, rd, rs1: Reg::T6, rs2 });
+        }
+        10 => {
+            a.li(Reg::T6, rng.addr());
+            a.inst(Inst::LrW { rd, rs1: Reg::T6 });
+            if rng.next().is_multiple_of(2) {
+                // Sometimes move the reservation before the SC.
+                a.li(Reg::T6, rng.addr());
+            }
+            a.inst(Inst::ScW { rd: rs1, rs1: Reg::T6, rs2 });
+        }
+        11 => {
+            let op = [
+                FpOp::Add,
+                FpOp::Sub,
+                FpOp::Mul,
+                FpOp::Div,
+                FpOp::Min,
+                FpOp::Max,
+                FpOp::SgnJ,
+                FpOp::SgnJN,
+                FpOp::SgnJX,
+            ][(rng.next() % 9) as usize];
+            let fmt = if rng.next().is_multiple_of(2) { FpFmt::H } else { FpFmt::S };
+            a.inst(Inst::FpArith { op, fmt, rd, rs1, rs2 });
+        }
+        12 => {
+            let op =
+                [FpUnOp::Sqrt, FpUnOp::CvtWFromFp, FpUnOp::CvtFpFromW, FpUnOp::CvtSFromH, FpUnOp::CvtHFromS]
+                    [(rng.next() % 5) as usize];
+            let fmt = if rng.next().is_multiple_of(2) { FpFmt::H } else { FpFmt::S };
+            a.inst(Inst::FpUn { op, fmt, rd, rs1 });
+        }
+        13 => {
+            let op = [FmaOp::Madd, FmaOp::Msub, FmaOp::Nmadd, FmaOp::Nmsub][(rng.next() % 4) as usize];
+            let fmt = if rng.next().is_multiple_of(2) { FpFmt::H } else { FpFmt::S };
+            a.inst(Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 });
+        }
+        14 => {
+            let op = [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le][(rng.next() % 3) as usize];
+            let fmt = if rng.next().is_multiple_of(2) { FpFmt::H } else { FpFmt::S };
+            a.inst(Inst::FpCmp { op, fmt, rd, rs1, rs2 });
+        }
+        15 => {
+            let op = [
+                VfOp::AddH,
+                VfOp::SubH,
+                VfOp::MulH,
+                VfOp::MacH,
+                VfOp::DotpExSH,
+                VfOp::NDotpExSH,
+                VfOp::CdotpExSH,
+                VfOp::CdotpExCSH,
+                VfOp::DotpExHB,
+                VfOp::NDotpExHB,
+                VfOp::CpkAHS,
+                VfOp::CvtHBLo,
+                VfOp::CvtHBHi,
+                VfOp::CvtBH,
+                VfOp::SwapH,
+                VfOp::SwapB,
+                VfOp::CmacB,
+                VfOp::CmacConjB,
+            ][(rng.next() % 18) as usize];
+            a.inst(Inst::Vf { op, rd, rs1, rs2 });
+        }
+        16 => {
+            let op = [
+                PvOp::AddH,
+                PvOp::AddB,
+                PvOp::SubH,
+                PvOp::SubB,
+                PvOp::Mac,
+                PvOp::Msu,
+                PvOp::DotspH,
+                PvOp::SdotspH,
+            ][(rng.next() % 8) as usize];
+            a.inst(Inst::Pv { op, rd, rs1, rs2 });
+        }
+        17 => {
+            let op = [terasim_riscv::CsrOp::Rw, terasim_riscv::CsrOp::Rs, terasim_riscv::CsrOp::Rc]
+                [(rng.next() % 3) as usize];
+            let src = if rng.next().is_multiple_of(2) {
+                CsrSrc::Reg(rs1)
+            } else {
+                CsrSrc::Imm((rng.next() % 32) as u8)
+            };
+            let csr = [terasim_riscv::csr::MHARTID, terasim_riscv::csr::MCYCLE, terasim_riscv::csr::MINSTRET]
+                [(rng.next() % 3) as usize];
+            a.inst(Inst::Csr { op, rd, src, csr });
+        }
+        18 => {
+            a.inst(Inst::Fence);
+        }
+        _ => {
+            // A short fixed-count loop: taken backward branches plus a
+            // not-taken forward branch over one instruction.
+            a.li(Reg::T5, 2 + (rng.next() % 3) as i32);
+            let top = a.new_label();
+            a.bind(top);
+            a.inst(Inst::OpImm { op: AluOp::Add, rd: Reg::T5, rs1: Reg::T5, imm: -1 });
+            a.bnez(Reg::T5, top);
+            let skip = a.new_label();
+            a.beq(Reg::T5, Reg::Zero, skip); // taken
+            a.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm: 1 });
+            a.bind(skip);
+        }
+    }
+}
+
+/// Builds one random program, then runs the seed interpreter and the
+/// micro-op table in lockstep, asserting full state equality per step.
+fn lockstep(seed: u64) {
+    let mut rng = Rng(seed | 1);
+    let mut a = Assembler::new(BASE);
+    // Seed registers with reproducible garbage (covers FP bit patterns).
+    for r in 1..29 {
+        a.li(Reg::from_num(r), rng.next() as i32);
+    }
+    for _ in 0..200 {
+        emit_random(&mut a, &mut rng);
+    }
+    a.ecall();
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().expect("assembles")));
+    let program = Program::translate(&image).expect("translates");
+    let table: UopProgram<DenseMemory> = UopProgram::lower(&program, &LatencyModel::default());
+
+    let mut seed_cpu = Cpu::new(7);
+    let mut uop_cpu = Cpu::new(7);
+    seed_cpu.set_pc(program.entry());
+    uop_cpu.set_pc(program.entry());
+    let mut seed_mem = DenseMemory::new(0, MEM_BYTES + 8);
+    let mut uop_mem = DenseMemory::new(0, MEM_BYTES + 8);
+
+    for step in 0..100_000u32 {
+        let seed_out = seed_cpu.step(&program, &mut seed_mem);
+        let uop_out = match table.fetch(uop_cpu.pc()) {
+            Some(lu) => (lu.exec)(&mut uop_cpu, lu.uop, &mut uop_mem),
+            None => Err(Trap::IllegalFetch { pc: uop_cpu.pc() }),
+        };
+        assert_eq!(seed_out, uop_out, "outcome diverged (seed {seed}, step {step})");
+        assert_eq!(seed_cpu.pc(), uop_cpu.pc(), "pc diverged (seed {seed}, step {step})");
+        assert_eq!(seed_cpu.retired(), uop_cpu.retired(), "retired diverged (seed {seed}, step {step})");
+        for r in 0..32 {
+            let reg = Reg::from_num(r);
+            assert_eq!(
+                seed_cpu.reg(reg),
+                uop_cpu.reg(reg),
+                "x{r} diverged (seed {seed}, step {step}, pc {:#010x})",
+                seed_cpu.pc()
+            );
+        }
+        match seed_out {
+            Ok(Outcome::Exit { .. }) | Err(_) => {
+                assert_eq!(
+                    seed_mem.read_bytes(0, (MEM_BYTES + 8) as usize),
+                    uop_mem.read_bytes(0, (MEM_BYTES + 8) as usize),
+                    "memory diverged (seed {seed})"
+                );
+                return;
+            }
+            _ => {}
+        }
+    }
+    panic!("random program did not exit (seed {seed})");
+}
+
+#[test]
+fn randomized_programs_bit_identical() {
+    for seed in 0..40 {
+        lockstep(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(seed + 1));
+    }
+}
+
+#[test]
+fn illegal_fetch_and_breakpoint_trap_identically() {
+    let mut a = Assembler::new(BASE);
+    a.nop();
+    a.inst(Inst::Ebreak);
+    let mut image = Image::new(BASE);
+    image.push_segment(Segment::from_words(BASE, &a.finish().unwrap()));
+    let program = Program::translate(&image).unwrap();
+    let table: UopProgram<DenseMemory> = UopProgram::lower(&program, &LatencyModel::default());
+
+    let mut cpu = Cpu::new(0);
+    cpu.set_pc(program.entry());
+    let mut mem = DenseMemory::new(0, 0x100);
+    let lu = table.fetch(cpu.pc()).unwrap();
+    assert_eq!((lu.exec)(&mut cpu, lu.uop, &mut mem), Ok(Outcome::Continue));
+    let lu = table.fetch(cpu.pc()).unwrap();
+    assert_eq!((lu.exec)(&mut cpu, lu.uop, &mut mem), Err(Trap::Breakpoint { pc: BASE + 4 }));
+    // Past the end of text: both paths report an illegal fetch.
+    assert!(table.fetch(BASE + 8).is_none());
+    assert!(program.fetch(BASE + 8).is_none());
+}

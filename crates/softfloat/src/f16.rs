@@ -4,7 +4,8 @@ use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, Div, Mul, Neg, Sub};
 
-use crate::convert::{mini_from_f32_bits, mini_to_f32_bits, FloatFormat};
+use crate::convert::FloatFormat;
+use crate::tables;
 
 /// The binary16 interchange format.
 pub(crate) const FMT: FloatFormat = FloatFormat::new(5, 10);
@@ -41,6 +42,10 @@ impl F16 {
     pub const NAN: Self = Self(0x7e00);
     /// Largest finite value (65504).
     pub const MAX: Self = Self(0x7bff);
+    /// The interchange format (1 sign, 5 exponent, 10 mantissa bits) — the
+    /// handle into the generic reference converters in [`crate::convert`],
+    /// which the fast-path test sweeps compare against.
+    pub const FORMAT: FloatFormat = FMT;
 
     /// Creates a value from its raw bit pattern.
     pub const fn from_bits(bits: u16) -> Self {
@@ -54,7 +59,7 @@ impl F16 {
 
     /// Converts from `f32` with RNE rounding.
     pub fn from_f32(x: f32) -> Self {
-        Self(mini_from_f32_bits(x, FMT) as u16)
+        Self(tables::f16_from_f32(x))
     }
 
     /// Converts from `f64` with a single RNE rounding.
@@ -62,12 +67,12 @@ impl F16 {
     /// `f64 -> f32 -> f16` can double-round; this goes through the exact
     /// integer significand instead.
     pub fn from_f64(x: f64) -> Self {
-        Self(crate::convert::mini_from_f64_bits(x, FMT) as u16)
+        Self(tables::f16_from_f64(x))
     }
 
     /// Converts to `f32` exactly.
     pub fn to_f32(self) -> f32 {
-        mini_to_f32_bits(u32::from(self.0), FMT)
+        tables::f16_to_f32(self.0)
     }
 
     /// Converts to `f64` exactly.
@@ -85,9 +90,24 @@ impl F16 {
         self.0 & 0x7c00 != 0x7c00
     }
 
-    /// Correctly rounded square root.
+    /// Correctly rounded square root (table-driven; one indexed load).
     pub fn sqrt(self) -> Self {
-        Self::from_f32(self.to_f32().sqrt())
+        Self(tables::f16_sqrt(self.0))
+    }
+
+    /// Correctly rounded reciprocal `1/self` (table-driven), bit-identical
+    /// to `F16::ONE / self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use terasim_softfloat::F16;
+    ///
+    /// let x = F16::from_f32(3.0);
+    /// assert_eq!(x.recip(), F16::ONE / x);
+    /// ```
+    pub fn recip(self) -> Self {
+        Self(tables::f16_recip(self.0))
     }
 
     /// Absolute value (clears the sign bit).
@@ -129,6 +149,11 @@ impl Mul for F16 {
 impl Div for F16 {
     type Output = Self;
     fn div(self, rhs: Self) -> Self {
+        if self == Self::ONE {
+            // The kernels' Cholesky inverts the diagonal as `1.0 / d`;
+            // serve that straight from the reciprocal table.
+            return rhs.recip();
+        }
         Self::from_f32(self.to_f32() / rhs.to_f32())
     }
 }

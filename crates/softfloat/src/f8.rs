@@ -4,7 +4,7 @@ use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, Div, Mul, Neg, Sub};
 
-use crate::convert::{mini_from_f32_bits, mini_from_f64_bits, mini_to_f32_bits, FloatFormat};
+use crate::convert::{mini_from_f32_bits, mini_from_f64_bits, FloatFormat};
 use crate::F16;
 
 /// The SmallFloat binary8 interchange format (E5M2).
@@ -47,6 +47,9 @@ impl F8 {
     pub const NAN: Self = Self(0x7e);
     /// Largest finite value (57344).
     pub const MAX: Self = Self(0x7b);
+    /// The interchange format (1 sign, 5 exponent, 2 mantissa bits) — the
+    /// handle into the generic reference converters in [`crate::convert`].
+    pub const FORMAT: FloatFormat = FMT;
 
     /// Creates a value from its raw bit pattern.
     pub const fn from_bits(bits: u8) -> Self {
@@ -68,9 +71,9 @@ impl F8 {
         Self(mini_from_f64_bits(x, FMT) as u8)
     }
 
-    /// Converts to `f32` exactly.
+    /// Converts to `f32` exactly (table-driven; one indexed load).
     pub fn to_f32(self) -> f32 {
-        mini_to_f32_bits(u32::from(self.0), FMT)
+        crate::tables::f8_to_f32(self.0)
     }
 
     /// Converts to `f64` exactly.

@@ -46,7 +46,8 @@ mod convert;
 mod f16;
 mod f8;
 pub mod ops;
+mod tables;
 
-pub use convert::{mini_from_f32_bits, mini_to_f32_bits, FloatFormat};
+pub use convert::{mini_from_f32_bits, mini_from_f64_bits, mini_to_f32_bits, FloatFormat};
 pub use f16::F16;
 pub use f8::F8;

@@ -12,7 +12,72 @@
 //! multiply-accumulates), and `vfcdotpex` is the complex dot product with
 //! 32-bit internal precision.
 
+//! # Fast paths
+//!
+//! The complex-MAC primitives are *fused*: every operand lane is widened
+//! once (table lookup), the whole four-rounding sequence runs on the
+//! widened values, and each terminal rounding uses the specialized
+//! narrowing converters — one call into the softfloat layer instead of
+//! four independent mul/add round trips. Word-level early-outs skip the
+//! arithmetic entirely when a multiplicand is (signed) zero and the
+//! result is provably the unchanged accumulator. The original generic
+//! implementations are retained verbatim in [`reference`] and pinned
+//! bit-identical by `tests/fastpath.rs`.
+
 use crate::{F16, F8};
+
+/// `true` if both packed lanes are (signed) zero — the word-level test
+/// `(bits(x0) | bits(x1)) & 0x7fff == 0`.
+#[inline]
+fn h2_zero(x: [F16; 2]) -> bool {
+    (x[0].to_bits() | x[1].to_bits()) & 0x7fff == 0
+}
+
+/// `true` if both lanes are finite (no Inf/NaN that could poison a
+/// zero product).
+#[inline]
+fn h2_finite(x: [F16; 2]) -> bool {
+    x[0].is_finite() && x[1].is_finite()
+}
+
+/// `true` if both lanes have nonzero magnitude and are not NaN: adding a
+/// signed zero provably leaves such values unchanged through the
+/// widen/narrow round trip (a NaN lane would be payload-canonicalized by
+/// the full path, and a zero lane's sign can flip).
+#[inline]
+fn h2_ordinary(x: [F16; 2]) -> bool {
+    x[0].to_bits() & 0x7fff != 0 && x[1].to_bits() & 0x7fff != 0 && !x[0].is_nan() && !x[1].is_nan()
+}
+
+/// Early-out for every complex-MAC shape: when one multiplicand word is
+/// all signed zeros, the other is finite, and both accumulator lanes are
+/// ordinary (nonzero, non-NaN), all four products are signed zeros and
+/// every terminal RNE rounding reproduces the accumulator exactly.
+#[inline]
+fn cmac_skips(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> bool {
+    ((h2_zero(a) && h2_finite(b)) || (h2_zero(b) && h2_finite(a))) && h2_ordinary(acc)
+}
+
+#[inline]
+fn b2_zero(x: [F8; 2]) -> bool {
+    (x[0].to_bits() | x[1].to_bits()) & 0x7f == 0
+}
+
+#[inline]
+fn b2_finite(x: [F8; 2]) -> bool {
+    x[0].is_finite() && x[1].is_finite()
+}
+
+#[inline]
+fn b2_ordinary(x: [F8; 2]) -> bool {
+    x[0].to_bits() & 0x7f != 0 && x[1].to_bits() & 0x7f != 0 && !x[0].is_nan() && !x[1].is_nan()
+}
+
+/// Binary8 variant of [`cmac_skips`].
+#[inline]
+fn cmac_skips_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> bool {
+    ((b2_zero(a) && b2_finite(b)) || (b2_zero(b) && b2_finite(a))) && b2_ordinary(acc)
+}
 
 /// Widening 2-lane dot product, 16-bit lanes, 32-bit accumulator
 /// (`vfdotpex.s.h`).
@@ -86,6 +151,9 @@ pub fn vfndotpex_h_b(acc: [F16; 2], a: [F8; 4], b: [F8; 4]) -> [F16; 2] {
 /// im' = rne16(f32(acc_im) + (ar*bi + ai*br))
 /// ```
 pub fn vfcdotpex_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+    if cmac_skips(acc, a, b) {
+        return acc;
+    }
     let (ar, ai) = (a[0].to_f32(), a[1].to_f32());
     let (br, bi) = (b[0].to_f32(), b[1].to_f32());
     [
@@ -105,6 +173,9 @@ pub fn vfcdotpex_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
 /// im' = rne16(f32(acc_im) + (ar*bi - ai*br))
 /// ```
 pub fn vfcdotpex_conj_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+    if cmac_skips(acc, a, b) {
+        return acc;
+    }
     let (ar, ai) = (a[0].to_f32(), a[1].to_f32());
     let (br, bi) = (b[0].to_f32(), b[1].to_f32());
     [
@@ -123,20 +194,32 @@ pub fn vfcdotpex_conj_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
 /// im' = fnmsub(ai, br, im1)
 /// ```
 pub fn cmac_conj_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
-    let re1 = a[0].mul_add(b[0], acc[0]);
-    let re = a[1].mul_add(b[1], re1);
-    let im1 = a[0].mul_add(b[1], acc[1]);
-    let im = F16::from_f64(-(a[1].to_f64() * b[0].to_f64()) + im1.to_f64());
+    if cmac_skips(acc, a, b) {
+        return acc;
+    }
+    // Fused: widen the six operand lanes once, keep the exact rounding
+    // chain (each `from_f64` is one terminal RNE, as in `fmadd.h`).
+    let (ar, ai) = (a[0].to_f64(), a[1].to_f64());
+    let (br, bi) = (b[0].to_f64(), b[1].to_f64());
+    let re1 = F16::from_f64(ar * br + acc[0].to_f64());
+    let re = F16::from_f64(ai * bi + re1.to_f64());
+    let im1 = F16::from_f64(ar * bi + acc[1].to_f64());
+    let im = F16::from_f64(-(ai * br) + im1.to_f64());
     [re, im]
 }
 
 /// Scalar conjugated complex MAC in quarter precision (`acc + conj(a)*b`),
 /// the "8bQuarter" Gram/MVM primitive (`pv.cmac.c.b`).
 pub fn cmac_conj_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> [F8; 2] {
-    let re1 = F8::from_f64(a[0].to_f64() * b[0].to_f64() + acc[0].to_f64());
-    let re = F8::from_f64(a[1].to_f64() * b[1].to_f64() + re1.to_f64());
-    let im1 = F8::from_f64(a[0].to_f64() * b[1].to_f64() + acc[1].to_f64());
-    let im = F8::from_f64(-(a[1].to_f64() * b[0].to_f64()) + im1.to_f64());
+    if cmac_skips_b(acc, a, b) {
+        return acc;
+    }
+    let (ar, ai) = (a[0].to_f64(), a[1].to_f64());
+    let (br, bi) = (b[0].to_f64(), b[1].to_f64());
+    let re1 = F8::from_f64(ar * br + acc[0].to_f64());
+    let re = F8::from_f64(ai * bi + re1.to_f64());
+    let im1 = F8::from_f64(ar * bi + acc[1].to_f64());
+    let im = F8::from_f64(-(ai * br) + im1.to_f64());
     [re, im]
 }
 
@@ -152,10 +235,17 @@ pub fn cmac_conj_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> [F8; 2] {
 /// im' = fmadd(ai, br, im1)
 /// ```
 pub fn cmac_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
-    let re1 = a[0].mul_add(b[0], acc[0]);
-    let re = F16::from_f64(-(a[1].to_f64() * b[1].to_f64()) + re1.to_f64());
-    let im1 = a[0].mul_add(b[1], acc[1]);
-    let im = a[1].mul_add(b[0], im1);
+    if cmac_skips(acc, a, b) {
+        return acc;
+    }
+    // Fused: widen the six operand lanes once, keep the exact rounding
+    // chain (each `from_f64` is one terminal RNE, as in `fmadd.h`).
+    let (ar, ai) = (a[0].to_f64(), a[1].to_f64());
+    let (br, bi) = (b[0].to_f64(), b[1].to_f64());
+    let re1 = F16::from_f64(ar * br + acc[0].to_f64());
+    let re = F16::from_f64(-(ai * bi) + re1.to_f64());
+    let im1 = F16::from_f64(ar * bi + acc[1].to_f64());
+    let im = F16::from_f64(ai * br + im1.to_f64());
     [re, im]
 }
 
@@ -164,10 +254,15 @@ pub fn cmac_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
 ///
 /// Same structure as [`cmac_h`] with all roundings in binary8.
 pub fn cmac_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> [F8; 2] {
-    let re1 = F8::from_f64(a[0].to_f64() * b[0].to_f64() + acc[0].to_f64());
-    let re = F8::from_f64(-(a[1].to_f64() * b[1].to_f64()) + re1.to_f64());
-    let im1 = F8::from_f64(a[0].to_f64() * b[1].to_f64() + acc[1].to_f64());
-    let im = F8::from_f64(a[1].to_f64() * b[0].to_f64() + im1.to_f64());
+    if cmac_skips_b(acc, a, b) {
+        return acc;
+    }
+    let (ar, ai) = (a[0].to_f64(), a[1].to_f64());
+    let (br, bi) = (b[0].to_f64(), b[1].to_f64());
+    let re1 = F8::from_f64(ar * br + acc[0].to_f64());
+    let re = F8::from_f64(-(ai * bi) + re1.to_f64());
+    let im1 = F8::from_f64(ar * bi + acc[1].to_f64());
+    let im = F8::from_f64(ai * br + im1.to_f64());
     [re, im]
 }
 
@@ -181,6 +276,126 @@ pub fn swap_h(x: [F16; 2]) -> [F16; 2] {
 /// `[x1, x0, x3, x2]`, turning packed `[re, im]` pairs into `[im, re]`.
 pub fn swap_b(x: [F8; 4]) -> [F8; 4] {
     [x[1], x[0], x[3], x[2]]
+}
+
+/// Retained reference implementations of the accelerated primitives,
+/// built *only* on the generic converters in [`crate::convert`] — no
+/// lookup tables, no specialized narrowing, no early-outs. These are the
+/// seed semantics; `tests/fastpath.rs` pins every fast path bit-identical
+/// to them (exhaustive for the unary ops, large seeded sweeps for the
+/// binary/fused ops).
+pub mod reference {
+    use crate::convert::{mini_from_f32_bits, mini_from_f64_bits, mini_to_f32_bits};
+    use crate::{F16, F8};
+
+    /// Reference binary16 → `f32` widening (exact).
+    pub fn h_to_f32(x: F16) -> f32 {
+        mini_to_f32_bits(u32::from(x.to_bits()), F16::FORMAT)
+    }
+
+    /// Reference binary16 → `f64` widening (exact).
+    pub fn h_to_f64(x: F16) -> f64 {
+        f64::from(h_to_f32(x))
+    }
+
+    /// Reference `f32` → binary16 narrowing (RNE).
+    pub fn h_from_f32(x: f32) -> F16 {
+        F16::from_bits(mini_from_f32_bits(x, F16::FORMAT) as u16)
+    }
+
+    /// Reference `f64` → binary16 narrowing (single RNE).
+    pub fn h_from_f64(x: f64) -> F16 {
+        F16::from_bits(mini_from_f64_bits(x, F16::FORMAT) as u16)
+    }
+
+    /// Reference binary8 → `f32` widening (exact).
+    pub fn b_to_f32(x: F8) -> f32 {
+        mini_to_f32_bits(u32::from(x.to_bits()), F8::FORMAT)
+    }
+
+    /// Reference binary8 → `f64` widening (exact).
+    pub fn b_to_f64(x: F8) -> f64 {
+        f64::from(b_to_f32(x))
+    }
+
+    /// Reference `f64` → binary8 narrowing (single RNE).
+    pub fn b_from_f64(x: f64) -> F8 {
+        F8::from_bits(mini_from_f64_bits(x, F8::FORMAT) as u8)
+    }
+
+    /// Reference binary16 square root.
+    pub fn sqrt_h(x: F16) -> F16 {
+        h_from_f32(h_to_f32(x).sqrt())
+    }
+
+    /// Reference binary16 reciprocal (`1/x` through correctly rounded
+    /// `f32` division).
+    pub fn recip_h(x: F16) -> F16 {
+        h_from_f32(1.0 / h_to_f32(x))
+    }
+
+    /// Reference `fmadd.h`: `a*b + c` with one terminal rounding.
+    pub fn mul_add_h(a: F16, b: F16, c: F16) -> F16 {
+        h_from_f64(h_to_f64(a) * h_to_f64(b) + h_to_f64(c))
+    }
+
+    /// Reference [`vfcdotpex_s_h`](super::vfcdotpex_s_h) (seed body).
+    pub fn vfcdotpex_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+        let (ar, ai) = (h_to_f32(a[0]), h_to_f32(a[1]));
+        let (br, bi) = (h_to_f32(b[0]), h_to_f32(b[1]));
+        [
+            h_from_f32(h_to_f32(acc[0]) + (ar * br - ai * bi)),
+            h_from_f32(h_to_f32(acc[1]) + (ar * bi + ai * br)),
+        ]
+    }
+
+    /// Reference [`vfcdotpex_conj_s_h`](super::vfcdotpex_conj_s_h) (seed
+    /// body).
+    pub fn vfcdotpex_conj_s_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+        let (ar, ai) = (h_to_f32(a[0]), h_to_f32(a[1]));
+        let (br, bi) = (h_to_f32(b[0]), h_to_f32(b[1]));
+        [
+            h_from_f32(h_to_f32(acc[0]) + (ar * br + ai * bi)),
+            h_from_f32(h_to_f32(acc[1]) + (ar * bi - ai * br)),
+        ]
+    }
+
+    /// Reference [`cmac_h`](super::cmac_h) (seed body: four dependent
+    /// `fmadd.h`-family round trips).
+    pub fn cmac_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+        let re1 = mul_add_h(a[0], b[0], acc[0]);
+        let re = h_from_f64(-(h_to_f64(a[1]) * h_to_f64(b[1])) + h_to_f64(re1));
+        let im1 = mul_add_h(a[0], b[1], acc[1]);
+        let im = mul_add_h(a[1], b[0], im1);
+        [re, im]
+    }
+
+    /// Reference [`cmac_conj_h`](super::cmac_conj_h) (seed body).
+    pub fn cmac_conj_h(acc: [F16; 2], a: [F16; 2], b: [F16; 2]) -> [F16; 2] {
+        let re1 = mul_add_h(a[0], b[0], acc[0]);
+        let re = mul_add_h(a[1], b[1], re1);
+        let im1 = mul_add_h(a[0], b[1], acc[1]);
+        let im = h_from_f64(-(h_to_f64(a[1]) * h_to_f64(b[0])) + h_to_f64(im1));
+        [re, im]
+    }
+
+    /// Reference [`cmac_b`](super::cmac_b) (seed body).
+    pub fn cmac_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> [F8; 2] {
+        let re1 = b_from_f64(b_to_f64(a[0]) * b_to_f64(b[0]) + b_to_f64(acc[0]));
+        let re = b_from_f64(-(b_to_f64(a[1]) * b_to_f64(b[1])) + b_to_f64(re1));
+        let im1 = b_from_f64(b_to_f64(a[0]) * b_to_f64(b[1]) + b_to_f64(acc[1]));
+        let im = b_from_f64(b_to_f64(a[1]) * b_to_f64(b[0]) + b_to_f64(im1));
+        [re, im]
+    }
+
+    /// Reference [`cmac_conj_b`](super::cmac_conj_b) (seed body).
+    pub fn cmac_conj_b(acc: [F8; 2], a: [F8; 2], b: [F8; 2]) -> [F8; 2] {
+        let re1 = b_from_f64(b_to_f64(a[0]) * b_to_f64(b[0]) + b_to_f64(acc[0]));
+        let re = b_from_f64(b_to_f64(a[1]) * b_to_f64(b[1]) + b_to_f64(re1));
+        let im1 = b_from_f64(b_to_f64(a[0]) * b_to_f64(b[1]) + b_to_f64(acc[1]));
+        let im = b_from_f64(-(b_to_f64(a[1]) * b_to_f64(b[0])) + b_to_f64(im1));
+        [re, im]
+    }
 }
 
 #[cfg(test)]

@@ -27,13 +27,17 @@
 //!
 //! Two schedulers drive the same per-instruction model:
 //!
-//! * [`CycleSim::run`] — the **event-driven** engine: a calendar-wheel
-//!   ready queue keyed on each core's `wake_at` cycle, so an event step
-//!   touches only the cores that can actually issue. Parked (`wfi`) cores leave
+//! * [`CycleSim::run`] — the **event-driven** engine: a double-buffered
+//!   ready bitmap for the dominant issue-again-next-cycle case backed by a
+//!   calendar-wheel queue for multi-cycle wakes, so an event step touches
+//!   only the cores that can actually issue. Parked (`wfi`) cores leave
 //!   the queue entirely and are re-queued through the memory's wake
 //!   notification channel ([`ClusterMem::wake_epoch`]), never polled. The
-//!   hot path additionally runs from pre-decoded per-instruction metadata,
-//!   shift-based bank decoding and a tile-pair hop table.
+//!   hot path additionally runs from the pre-lowered micro-op table
+//!   ([`terasim_iss::uop`]: operand indices, timing metadata and a direct
+//!   kernel pointer per instruction, resolved once at load), shift-based
+//!   bank decoding, a tile-pair hop table, and primes the memory view
+//!   with the bank decode so the kernel never re-derives it.
 //! * [`CycleSim::run_naive`] — the original full-scan scheduler, retained
 //!   verbatim as the semantic reference: every core context is rescanned
 //!   on every event step. The `differential` integration test pins the two
@@ -43,7 +47,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use terasim_iss::{Cpu, InstClass, LatencyModel, Memory, Outcome, Program, Trap};
+use terasim_iss::uop::UopProgram;
+use terasim_iss::{Cpu, InstClass, LatencyModel, Memory, Outcome, Program, Trap, NO_REG};
 use terasim_riscv::{Image, Inst};
 
 use crate::mem::{ClusterMem, CoreMem, TurboMem};
@@ -165,7 +170,10 @@ impl ICache {
 /// touched is always resident in a direct-mapped cache, so the common
 /// straight-line case skips the set lookup entirely.
 struct FastICache {
-    /// `log2(line)` when line and set count are powers of two.
+    /// `Some((log2(line), sets - 1))` when line size and set count are
+    /// powers of two (true for every TeraPool configuration): branch-free
+    /// shift/mask indexing. `None` falls back to the div/mod path so
+    /// custom geometries keep working like the naive [`ICache`].
     shift: Option<(u32, usize)>,
     line: u32,
     sets: Vec<u32>,
@@ -183,13 +191,17 @@ impl FastICache {
     /// Returns `true` on hit; installs the line on miss.
     #[inline]
     fn access(&mut self, pc: u32) -> bool {
-        let (line_addr, idx) = match self.shift {
-            Some((shift, mask)) => (pc >> shift, (pc >> shift) as usize & mask),
-            None => (pc / self.line, (pc / self.line) as usize % self.sets.len()),
+        let line_addr = match self.shift {
+            Some((shift, _)) => pc >> shift,
+            None => pc / self.line,
         };
         if line_addr == self.last_line {
             return true;
         }
+        let idx = match self.shift {
+            Some((_, mask)) => line_addr as usize & mask,
+            None => line_addr as usize % self.sets.len(),
+        };
         self.last_line = line_addr;
         if self.sets[idx] == line_addr {
             true
@@ -200,39 +212,12 @@ impl FastICache {
     }
 }
 
-/// Pre-decoded per-instruction facts, computed once per run so the issue
-/// hot path never re-classifies or re-scans operands.
-#[derive(Clone, Copy)]
-struct InstMeta {
-    inst: Inst,
-    /// Source register indices (`nsrcs` valid entries).
-    srcs: [u8; 3],
-    nsrcs: u8,
-    /// Destination register index, or `NO_REG`.
-    dst: u8,
-    /// Post-increment base register index, or `NO_REG`.
-    post_inc: u8,
-    /// Effective-address base register, or `NO_REG` for non-memory ops.
-    ea_base: u8,
-    /// `true` when the effective address ignores the offset (post-inc).
-    ea_no_offset: bool,
-    /// Effective-address immediate offset.
-    ea_offset: i32,
-    /// Static result latency of the class (before memory refinement).
-    result_lat: u64,
-    uses_fpu: bool,
-    is_mem: bool,
-    is_amo: bool,
-    is_div_sqrt: bool,
-    is_control_flow: bool,
-}
-
-const NO_REG: u8 = 32;
-
-/// Hot-path lookup tables derived from the topology and program.
+/// Hot-path lookup tables derived from the topology and program: the
+/// fully lowered micro-op table (kernel pointers + operand records +
+/// timing metadata, resolved once at load — see [`terasim_iss::uop`])
+/// plus the topology-derived hop table and shift-based bank decode.
 struct RunTables {
-    meta: Vec<Option<InstMeta>>,
-    text_base: u32,
+    uops: UopProgram<TurboMem>,
     /// `request_latency` for every (core tile, bank tile) pair.
     hops: Vec<u8>,
     num_tiles: u32,
@@ -242,47 +227,7 @@ struct RunTables {
 
 impl RunTables {
     fn new(topo: Topology, program: &Program, latency: &LatencyModel) -> Self {
-        let meta = (0..program.len())
-            .map(|i| {
-                let pc = program.text_base() + 4 * i as u32;
-                program.fetch(pc).map(|inst| {
-                    let class = InstClass::of(&inst);
-                    let mut srcs = [0u8; 3];
-                    let mut nsrcs = 0u8;
-                    for src in inst.srcs() {
-                        srcs[nsrcs as usize] = src.index() as u8;
-                        nsrcs += 1;
-                    }
-                    let (ea_base, ea_no_offset, ea_offset) = match inst {
-                        Inst::Load { rs1, offset, post_inc, .. }
-                        | Inst::Store { rs1, offset, post_inc, .. } => (rs1.index() as u8, post_inc, offset),
-                        Inst::LrW { rs1, .. } | Inst::ScW { rs1, .. } | Inst::Amo { rs1, .. } => {
-                            (rs1.index() as u8, true, 0)
-                        }
-                        _ => (NO_REG, true, 0),
-                    };
-                    InstMeta {
-                        inst,
-                        srcs,
-                        nsrcs,
-                        dst: inst.dst().map_or(NO_REG, |r| r.index() as u8),
-                        post_inc: inst.post_inc_dst().map_or(NO_REG, |r| r.index() as u8),
-                        ea_base,
-                        ea_no_offset,
-                        ea_offset,
-                        result_lat: u64::from(latency.result_latency(class)),
-                        uses_fpu: matches!(
-                            class,
-                            InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp
-                        ),
-                        is_mem: inst.is_mem(),
-                        is_amo: matches!(class, InstClass::Amo),
-                        is_div_sqrt: matches!(class, InstClass::FpDivSqrt),
-                        is_control_flow: inst.is_control_flow(),
-                    }
-                })
-            })
-            .collect();
+        let uops = UopProgram::lower(program, latency);
 
         let num_tiles = topo.num_tiles();
         let mut hops = vec![0u8; (num_tiles * num_tiles) as usize];
@@ -301,16 +246,7 @@ impl RunTables {
             }
         }
 
-        Self { meta, text_base: program.text_base(), hops, num_tiles, decode: L1Decode::new(topo) }
-    }
-
-    #[inline]
-    fn fetch(&self, pc: u32) -> Option<&InstMeta> {
-        if pc & 3 != 0 {
-            return None;
-        }
-        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
-        self.meta.get(idx).and_then(Option::as_ref)
+        Self { uops, hops, num_tiles, decode: L1Decode::new(topo) }
     }
 
     #[inline]
@@ -391,13 +327,18 @@ impl Wheel {
         }
     }
 
-    /// Empties the slot for cycle `now` into `scratch`.
-    fn take_slot(&mut self, now: u64, scratch: &mut [u64]) {
+    /// Empties the slot for cycle `now`, OR-ing its core bitmap into
+    /// `cur`. No-op (and no memory traffic) when the slot is empty.
+    fn drain_slot_into(&mut self, now: u64, cur: &mut [u64]) {
         let slot = (now & WHEEL_MASK) as usize;
-        self.pending -= self.counts[slot];
+        let count = self.counts[slot];
+        if count == 0 {
+            return;
+        }
+        self.pending -= count;
         self.counts[slot] = 0;
-        for (w, s) in scratch.iter_mut().enumerate() {
-            *s = std::mem::take(&mut self.slots[slot * self.words + w]);
+        for (w, s) in cur.iter_mut().enumerate() {
+            *s |= std::mem::take(&mut self.slots[slot * self.words + w]);
         }
     }
 }
@@ -515,54 +456,55 @@ impl CycleSim {
         let mut port_free: Vec<u64> = vec![0; self.topo.num_tiles() as usize];
 
         let mut wheel = Wheel::new(cores);
-        let mut scratch: Vec<u64> = vec![0; wheel.words];
+        let words = wheel.words;
+        // Double-buffered ready bitmaps: `cur` holds the cores issuing at
+        // `now`, `nxt` collects the dominant wake-next-cycle case with one
+        // OR instead of a full wheel round trip; only wakes two or more
+        // cycles out take the wheel.
+        let mut cur: Vec<u64> = vec![0; words];
+        let mut nxt: Vec<u64> = vec![0; words];
+        let mut nxt_count: u32 = 0;
         let mut parked: Vec<u32> = Vec::new();
         let mut now: u64 = 0;
         for core in 0..cores {
-            wheel.push(0, 0, core); // every core issues at cycle 0
+            cur[(core / 64) as usize] |= 1u64 << (core % 64); // all issue at cycle 0
         }
         let mut seen_epoch = self.mem.wake_epoch();
 
         loop {
-            // Migrate overflow entries that entered the wheel horizon.
-            wheel.migrate(now);
-            // Advance to the next event time.
-            if wheel.pending == 0 {
-                match wheel.overflow.peek() {
-                    Some(&Reverse((at, _))) => {
-                        now = at;
-                        continue; // migrate, then process
-                    }
-                    // Wheel and overflow empty: all cores are done, or
-                    // only parked cores remain (guest deadlock, surfaced
-                    // via `CycleResult::deadlocked`).
-                    None => break,
-                }
-            }
-            while wheel.counts[(now & WHEEL_MASK) as usize] == 0 {
-                now += 1;
-            }
-
             // Process every core scheduled for `now`, in ascending id.
-            wheel.take_slot(now, &mut scratch);
             let mut min_waker: Option<u32> = None;
-            for (w, mut bits) in scratch.iter().copied().enumerate() {
+            for w in 0..words {
+                let mut bits = std::mem::take(&mut cur[w]);
                 while bits != 0 {
+                    let bit = bits & bits.wrapping_neg();
                     let core = (w * 64) as u32 + bits.trailing_zeros();
-                    bits &= bits - 1;
+                    bits ^= bit;
                     let ctx = &mut ctxs[core as usize];
-                    self.issue_fast(ctx, &tables, &mut icaches, &mut bank_free, &mut port_free, now)?;
+                    let did_mem =
+                        self.issue_fast(ctx, &tables, &mut icaches, &mut bank_free, &mut port_free, now)?;
                     match ctx.state {
-                        // `.max(now + 1)` mirrors the naive scan's
-                        // `next_event.max(now + 1)`: a degenerate model
-                        // (e.g. `icache_refill == 0`) may leave
-                        // `wake_at == now`, which must retry next cycle,
-                        // not alias into the just-drained wheel slot.
-                        CoreState::Ready => wheel.push(now, ctx.wake_at.max(now + 1), core),
+                        CoreState::Ready => {
+                            // `.max(now + 1)` mirrors the naive scan's
+                            // `next_event.max(now + 1)`: a degenerate model
+                            // (e.g. `icache_refill == 0`) may leave
+                            // `wake_at == now`, which must retry next
+                            // cycle, not re-enter the current one.
+                            let wake = ctx.wake_at.max(now + 1);
+                            if wake == now + 1 {
+                                nxt[w] |= bit;
+                                nxt_count += 1;
+                            } else {
+                                wheel.push(now, wake, core);
+                            }
+                        }
                         CoreState::Parked => parked.push(core),
                         CoreState::Done => {}
                     }
-                    if min_waker.is_none() && self.mem.wake_epoch() != seen_epoch {
+                    // Wake-all publications can only happen inside a
+                    // memory-class instruction (a store to the control
+                    // region), so the epoch check is gated on `did_mem`.
+                    if did_mem && min_waker.is_none() && self.mem.wake_epoch() != seen_epoch {
                         min_waker = Some(core);
                     }
                 }
@@ -588,7 +530,37 @@ impl CycleSim {
                     false
                 });
             }
-            now += 1;
+
+            // Advance to the next cycle with work.
+            if nxt_count > 0 {
+                now += 1;
+                std::mem::swap(&mut cur, &mut nxt);
+                nxt_count = 0;
+                wheel.migrate(now);
+                wheel.drain_slot_into(now, &mut cur);
+                continue;
+            }
+            // Nothing due next cycle: the nearest work lives in the wheel
+            // (or beyond its horizon in the overflow heap).
+            wheel.migrate(now);
+            if wheel.pending == 0 {
+                match wheel.overflow.peek() {
+                    Some(&Reverse((at, _))) => {
+                        now = at;
+                        wheel.migrate(now);
+                    }
+                    // Wheel and overflow empty: all cores are done, or
+                    // only parked cores remain (guest deadlock, surfaced
+                    // via `CycleResult::deadlocked`).
+                    None => break,
+                }
+            } else {
+                now += 1;
+            }
+            while wheel.counts[(now & WHEEL_MASK) as usize] == 0 {
+                now += 1;
+            }
+            wheel.drain_slot_into(now, &mut cur);
         }
 
         Ok(Self::result_of(&ctxs))
@@ -795,8 +767,13 @@ impl CycleSim {
     }
 
     /// Hot-path issue used by the event-driven engine: identical semantics
-    /// to [`CycleSim::issue_one`], running from the pre-decoded [`InstMeta`]
-    /// table, the tile-pair hop table and shift-based bank decoding.
+    /// to [`CycleSim::issue_one`], running from the pre-lowered micro-op
+    /// table (operands, metadata and a direct kernel pointer resolved once
+    /// at load — no per-issue field extraction or nested matching), the
+    /// tile-pair hop table and shift-based bank decoding.
+    /// Returns `true` when a memory-class instruction *executed* (the
+    /// only case in which a wake-all can have been published).
+    #[inline]
     fn issue_fast(
         &self,
         ctx: &mut CoreCtx<TurboMem>,
@@ -805,62 +782,67 @@ impl CycleSim {
         bank_free: &mut [u64],
         port_free: &mut [u64],
         now: u64,
-    ) -> Result<(), Trap> {
+    ) -> Result<bool, Trap> {
         if ctx.stats.instructions >= self.max_instructions {
             ctx.state = CoreState::Done;
             ctx.stats.done_at = now;
-            return Ok(());
+            return Ok(false);
         }
 
         let pc = ctx.cpu.pc();
-        let meta = tables.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let lu = tables.uops.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let meta = &lu.meta;
         let tile = ctx.tile as usize;
 
         // 1. Instruction fetch through the shared tile I$.
         if !icaches[tile].access(pc) {
             ctx.stats.stall_ins += self.icache_refill;
             ctx.wake_at = now + self.icache_refill;
-            return Ok(());
+            return Ok(false);
         }
 
-        // 2. RAW: wait for source operands.
-        let mut ready_at = now;
-        for &src in &meta.srcs[..meta.nsrcs as usize] {
-            ready_at = ready_at.max(ctx.reg_ready[src as usize]);
-        }
+        // 2. RAW: wait for source operands. Unused `srcs` entries are
+        // pre-padded with `x0` (always ready at 0), so the three loads are
+        // branchless.
+        let ready_at = now
+            .max(ctx.reg_ready[(meta.srcs[0] & 31) as usize])
+            .max(ctx.reg_ready[(meta.srcs[1] & 31) as usize])
+            .max(ctx.reg_ready[(meta.srcs[2] & 31) as usize]);
         if ready_at > now {
             ctx.stats.stall_raw += ready_at - now;
             ctx.wake_at = ready_at;
-            return Ok(());
+            return Ok(false);
         }
 
         // 3. Structural hazard: non-pipelined div/sqrt unit.
         if meta.uses_fpu && ctx.fpu_busy_until > now {
             ctx.stats.stall_acc += ctx.fpu_busy_until - now;
             ctx.wake_at = ctx.fpu_busy_until;
-            return Ok(());
+            return Ok(false);
         }
 
         // 4. Memory: arbitrate for the target bank.
         let mut result_latency = meta.result_lat;
         if meta.is_mem {
-            // First-minimum slot, identical tie-break to `min_by_key`.
-            let mut slot = 0;
-            let mut slot_free = ctx.lsu_free[0];
-            for (i, &t) in ctx.lsu_free.iter().enumerate().skip(1) {
-                if t < slot_free {
-                    slot = i;
-                    slot_free = t;
-                }
-            }
+            // First-minimum slot, identical tie-break to `min_by_key`,
+            // evaluated as a branchless reduction tree. The tree is
+            // written out for the current queue depth; widen it (or
+            // revert to the scan in `issue_one`) if the depth changes.
+            const { assert!(LSU_DEPTH == 4, "reduction tree below is written for 4 LSU slots") };
+            let q = &ctx.lsu_free;
+            let (a, b) = if q[1] < q[0] { (1usize, q[1]) } else { (0usize, q[0]) };
+            let (c, d) = if q[3] < q[2] { (3usize, q[3]) } else { (2usize, q[2]) };
+            let (slot, slot_free) = if d < b { (c, d) } else { (a, b) };
             if slot_free > now {
                 ctx.stats.stall_lsu += slot_free - now;
                 ctx.wake_at = slot_free;
-                return Ok(());
+                return Ok(false);
             }
             let base = ctx.cpu.reg(terasim_riscv::Reg::from_num(u32::from(meta.ea_base) & 31));
             let addr = if meta.ea_no_offset { base } else { base.wrapping_add(meta.ea_offset as u32) };
-            if let Some((bank, _)) = tables.l1_slot(addr & !3) {
+            if let Some((bank, off)) = tables.l1_slot(addr & !3) {
+                // Hand the kernel the decode we just did (one-entry memo).
+                ctx.mem.prime(addr & !3, bank, off);
                 let hop = tables.hop(ctx.tile, tables.tile_of_bank(bank));
                 let depart = if hop > 0 {
                     let d = now.max(port_free[tile]);
@@ -881,8 +863,8 @@ impl CycleSim {
             ctx.lsu_free[slot] = now + result_latency;
         }
 
-        // 5. Architectural execution.
-        let outcome = ctx.cpu.execute(meta.inst, &mut ctx.mem)?;
+        // 5. Architectural execution through the lowered kernel.
+        let outcome = (lu.exec)(&mut ctx.cpu, lu.uop, &mut ctx.mem)?;
         ctx.stats.instructions += 1;
         ctx.cpu.set_mcycle(now);
 
@@ -917,7 +899,7 @@ impl CycleSim {
                 }
             }
         }
-        Ok(())
+        Ok(meta.is_mem)
     }
 }
 

@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use terasim_iss::{resume_core, Cpu, Program, RunConfig, RunStats, Scoreboard, StopReason, Trap};
+use terasim_iss::uop::UopProgram;
+use terasim_iss::{resume_lowered, Cpu, Program, RunConfig, RunStats, Scoreboard, StopReason, Trap};
 use terasim_riscv::Image;
 
 use crate::mem::{ClusterMem, CoreMem};
@@ -56,6 +57,11 @@ struct Hart {
 pub struct FastSim {
     topo: Topology,
     program: Arc<Program>,
+    /// Pre-lowered micro-op table all harts share (kernel pointers and
+    /// timing metadata resolved once; see [`terasim_iss::uop`]). Lowered
+    /// lazily on the first run so a `set_config` right after construction
+    /// does not pay for (and discard) a default-latency table.
+    table: Option<Arc<UopProgram<CoreMem>>>,
     mem: ClusterMem,
     config: RunConfig,
 }
@@ -79,11 +85,14 @@ impl FastSim {
         let program = Arc::new(Program::translate(image)?);
         let mem = ClusterMem::new(topo);
         mem.load_image(image);
-        Ok(Self { topo, program, mem, config: RunConfig::default() })
+        Ok(Self { topo, program, table: None, mem, config: RunConfig::default() })
     }
 
-    /// Replaces the run configuration (latency model, budgets).
+    /// Replaces the run configuration (latency model, budgets) and drops
+    /// the lowered micro-op table so static latencies are re-derived on
+    /// the next run.
     pub fn set_config(&mut self, config: RunConfig) {
+        self.table = None;
         self.config = config;
     }
 
@@ -158,18 +167,21 @@ impl FastSim {
                 if runnable.is_empty() {
                     break;
                 }
-                let program = Arc::clone(&self.program);
+                let table =
+                    Arc::clone(self.table.get_or_insert_with(|| {
+                        Arc::new(UopProgram::lower(&self.program, &self.config.latency))
+                    }));
                 let config = &self.config;
                 let chunk = runnable.len().div_ceil(host_threads).max(1);
                 let first_trap = std::thread::scope(|s| {
                     let mut handles = Vec::new();
                     for batch in runnable.chunks_mut(chunk) {
-                        let program = Arc::clone(&program);
+                        let table = Arc::clone(&table);
                         handles.push(s.spawn(move || -> Result<(), Trap> {
                             for hart in batch.iter_mut() {
-                                let stop = resume_core(
+                                let stop = resume_lowered(
                                     &mut hart.cpu,
-                                    &program,
+                                    &table,
                                     &mut hart.mem,
                                     config,
                                     &mut hart.sb,

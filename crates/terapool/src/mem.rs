@@ -347,21 +347,45 @@ pub(crate) struct TurboMem {
     mem: ClusterMem,
     core: u32,
     decode: L1Decode,
+    /// One-entry decode memo primed by the cycle engine's bank
+    /// arbitration: the word address it just decoded and the physical L1
+    /// word index it decoded to. The mapping is a pure function of the
+    /// address, so a stale entry is never *wrong*, only useless.
+    primed_addr: u32,
+    primed_idx: u32,
 }
 
 impl ClusterMem {
     /// Creates the single-threaded fast view for the cycle engine.
     pub(crate) fn turbo_view(&self, core: u32) -> TurboMem {
         assert!(core < self.inner.topo.num_cores(), "core {core} out of range");
-        TurboMem { mem: self.clone(), core, decode: L1Decode::new(self.inner.topo) }
+        TurboMem {
+            mem: self.clone(),
+            core,
+            decode: L1Decode::new(self.inner.topo),
+            primed_addr: u32::MAX,
+            primed_idx: 0,
+        }
     }
 }
 
 impl TurboMem {
+    /// Primes the one-entry decode memo with an L1 mapping the caller
+    /// just computed (`addr` word-aligned, `(bank, off)` from the same
+    /// [`L1Decode`] this view uses).
+    #[inline]
+    pub(crate) fn prime(&mut self, addr: u32, bank: u32, off: u32) {
+        self.primed_addr = addr;
+        self.primed_idx = self.decode.phys_index(bank, off) as u32;
+    }
+
     /// Word slot lookup, bit-identical to [`ClusterMem::word_slot`].
     #[inline]
     fn slot(&self, addr: u32) -> Option<&AtomicU32> {
         let inner = &*self.mem.inner;
+        if addr & !3 == self.primed_addr {
+            return Some(&inner.l1[self.primed_idx as usize]);
+        }
         if let Some((bank, off)) = self.decode.l1_slot(addr & !3) {
             return Some(&inner.l1[self.decode.phys_index(bank, off)]);
         }
