@@ -9,6 +9,15 @@
 //!   runners are noisy, the gate is for real regressions, not jitter);
 //! * the barrier-skew speedup falls below the baseline by more than the
 //!   same tolerance;
+//! * any domain-sharded scaling entry present in the baseline
+//!   (`speedup_threads_2`, `speedup_threads_4`,
+//!   `speedup_event_vs_naive_at_scale`) is missing from the candidate or
+//!   falls below the baseline beyond the same tolerance band;
+//! * the 4-thread sharded speedup falls below the absolute floor
+//!   (`--floor-threads4`, default 2.0) **when the candidate runner has
+//!   at least 4 host CPUs** (`host_cpus` in the report) — a 1-core
+//!   runner cannot exhibit wall-clock scaling, so only the
+//!   baseline-relative band applies there;
 //! * the event engine's per-instruction floor (`ns_per_inst`) exceeds
 //!   the baseline by more than the factor `--tol-ns` (default 2.5 —
 //!   baseline and CI run on different hardware);
@@ -17,7 +26,7 @@
 //!
 //! Usage:
 //! `bench_gate [--baseline BENCH_baseline.json] [--candidate BENCH_smoke.json]
-//!             [--tol-speedup 0.35] [--tol-ns 2.5]`
+//!             [--tol-speedup 0.35] [--tol-ns 2.5] [--floor-threads4 2.0]`
 //!
 //! The parser is a deliberately small scanner over the fixed report
 //! format written by the `mips` binary (this workspace has no JSON
@@ -68,6 +77,12 @@ struct Report {
     /// Event-engine per-instruction floor of the MMSE workload.
     ns_per_inst: f64,
     stats_identical: Vec<bool>,
+    /// Domain-sharded scaling entries (absent in pre-sharding reports).
+    threads2: Option<f64>,
+    threads4: Option<f64>,
+    at_scale: Option<f64>,
+    /// Host CPUs of the reporting machine (absent in older reports).
+    host_cpus: Option<f64>,
 }
 
 fn parse(path: &str) -> Result<Report, String> {
@@ -76,6 +91,10 @@ fn parse(path: &str) -> Result<Report, String> {
     if speedups.len() < 2 {
         return Err(format!("{path}: expected 2 speedup_event_vs_naive entries, found {}", speedups.len()));
     }
+    let threads2 = numbers_after(&json, "speedup_threads_2").first().copied();
+    let threads4 = numbers_after(&json, "speedup_threads_4").first().copied();
+    let at_scale = numbers_after(&json, "speedup_event_vs_naive_at_scale").first().copied();
+    let host_cpus = numbers_after(&json, "host_cpus").first().copied();
     let ns = numbers_after(&json, "ns_per_inst_event");
     let ns_per_inst = match ns.first() {
         Some(&v) => v,
@@ -90,7 +109,15 @@ fn parse(path: &str) -> Result<Report, String> {
             }
         }
     };
-    Ok(Report { speedups, ns_per_inst, stats_identical: bools_after(&json, "stats_identical") })
+    Ok(Report {
+        speedups,
+        ns_per_inst,
+        stats_identical: bools_after(&json, "stats_identical"),
+        threads2,
+        threads4,
+        at_scale,
+        host_cpus,
+    })
 }
 
 fn main() -> ExitCode {
@@ -98,6 +125,7 @@ fn main() -> ExitCode {
     let candidate_path = arg_str("--candidate", "BENCH_smoke.json");
     let tol_speedup = arg_f64("--tol-speedup", 0.35);
     let tol_ns = arg_f64("--tol-ns", 2.5);
+    let floor_threads4 = arg_f64("--floor-threads4", 2.0);
 
     let (baseline, candidate) = match (parse(&baseline_path), parse(&candidate_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -130,6 +158,56 @@ fn main() -> ExitCode {
                 "{label} event-vs-naive speedup regressed: {cand:.3}x < {floor:.3}x \
                  (baseline {base:.3}x, tolerance {tol_speedup})"
             ));
+        }
+    }
+
+    // Domain-sharded scaling entries: tolerance-banded against the
+    // baseline, like the engine speedups above. A baseline without them
+    // (pre-sharding format) waives the check; a candidate missing one the
+    // baseline has means the sweep silently disappeared — that fails.
+    for (label, base, cand) in [
+        ("threads x2 sharding", baseline.threads2, candidate.threads2),
+        ("threads x4 sharding", baseline.threads4, candidate.threads4),
+        ("event-vs-naive @1024", baseline.at_scale, candidate.at_scale),
+    ] {
+        let Some(base) = base else { continue };
+        let Some(cand) = cand else {
+            failures.push(format!("{label}: baseline has the entry but the candidate is missing it"));
+            continue;
+        };
+        let floor = base * (1.0 - tol_speedup);
+        let status = if cand >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "{label:<22} speedup: baseline {base:>7.3}x  candidate {cand:>7.3}x  floor {floor:>7.3}x  [{status}]"
+        );
+        if cand < floor {
+            failures.push(format!(
+                "{label} speedup regressed: {cand:.3}x < {floor:.3}x \
+                 (baseline {base:.3}x, tolerance {tol_speedup})"
+            ));
+        }
+    }
+
+    // Absolute floor for the 4-thread sharded run — only meaningful when
+    // the runner can actually execute 4 domains concurrently.
+    if let Some(cand) = candidate.threads4 {
+        let cpus = candidate.host_cpus.unwrap_or(1.0);
+        if cpus >= 4.0 {
+            let status = if cand >= floor_threads4 { "ok" } else { "REGRESSION" };
+            println!(
+                "threads x4 hard floor  speedup: candidate {cand:>7.3}x  floor {floor_threads4:>7.3}x  [{status}]"
+            );
+            if cand < floor_threads4 {
+                failures.push(format!(
+                    "4-domain sharded speedup below the hard floor: {cand:.3}x < {floor_threads4:.3}x \
+                     on a {cpus:.0}-CPU runner"
+                ));
+            }
+        } else {
+            println!(
+                "threads x4 hard floor  waived: candidate runner has {cpus:.0} host CPU(s), \
+                 wall-clock scaling needs >= 4"
+            );
         }
     }
 

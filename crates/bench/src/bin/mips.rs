@@ -4,16 +4,20 @@
 //! cycle-accurate engine benchmark: event-driven scheduler vs the seed's
 //! naive full-scan, recorded machine-readably in `BENCH_cycle.json`.
 //!
-//! Run: `cargo run -p terasim-bench --release --bin mips [--full|--smoke] [--out PATH]`
+//! Run: `cargo run -p terasim-bench --release --bin mips [--full|--smoke]
+//!       [--threads N] [--out PATH]`
 //!
 //! The JSON report defaults to `BENCH_cycle.json` for measurement runs
 //! and to `BENCH_smoke.json` for `--smoke` (so CI smoke runs never
 //! clobber the committed full-scale report); `--out` overrides either.
+//! `--threads` caps the domain-sharded scaling sweep (default 4: the
+//! 1024-core workload's four groups over 1/2/4 host threads, recorded as
+//! `speedup_threads_{2,4}`).
 
 use std::time::Duration;
 
 use terasim::experiments::{self, BatchConfig, CycleEngine, ParallelConfig};
-use terasim_bench::{arg_str, min_sec, Scale};
+use terasim_bench::{arg_str, arg_u32, min_sec, Scale};
 use terasim_kernels::Precision;
 
 /// One measured cycle-engine run (best wall time of `reps`).
@@ -127,6 +131,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("per-instruction floor (event engine, cycle mode): {:.1} ns/inst", event.ns_per_inst());
 
+    // --- Domain-sharded engine: cycle-mode thread scaling at full scale
+    // (1024 cores = 4 groups = 4 arbitration domains). The 1-thread run
+    // is the sequential reference (`run`); `run_parallel` must agree
+    // bit-exactly at every thread count. `--threads` caps the sweep. ---
+    let scale_cores = 1024u32;
+    let threads_cap = arg_u32("--threads", 4) as usize;
+    let scale_reps = 3;
+    let sconfig = ParallelConfig { cores: scale_cores, n, precision, seed: 50, unroll: 2 };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\n=== Cycle engine — domain-sharded scaling (epoch-synchronized groups) ===");
+    println!(
+        "workload: parallel MMSE, {scale_cores} cores / 4 domains, {n}x{n} {}, best of {scale_reps}, {host_cpus} host CPUs\n",
+        precision.paper_name()
+    );
+    let base = measure_engine("event_1thread", &sconfig, CycleEngine::EventDriven, scale_reps)?;
+    let naive_scale = measure_engine("naive_scan", &sconfig, CycleEngine::NaiveScan, scale_reps)?;
+    let mut thread_runs: Vec<(usize, EngineRun)> = Vec::new();
+    for (t, label) in [(2usize, "parallel_2"), (4, "parallel_4")] {
+        if t <= threads_cap {
+            thread_runs.push((t, measure_engine(label, &sconfig, CycleEngine::Parallel(t), scale_reps)?));
+        }
+    }
+    for run in std::iter::once(&naive_scale).chain(thread_runs.iter().map(|(_, r)| r)) {
+        assert_eq!(
+            (run.cycles, run.instructions),
+            (base.cycles, base.instructions),
+            "sharded engine must agree bit-exactly with the sequential reference"
+        );
+    }
+    for run in
+        std::iter::once(&base).chain(std::iter::once(&naive_scale)).chain(thread_runs.iter().map(|(_, r)| r))
+    {
+        println!(
+            " {:<13} | wall {:>9} | {:>12} cycles | sim speed {:>8.2} MIPS | {:>6.1} ns/inst",
+            run.label,
+            min_sec(run.wall),
+            run.cycles,
+            run.sim_mips(),
+            run.ns_per_inst()
+        );
+    }
+    let scale_event_vs_naive = naive_scale.wall.as_secs_f64() / base.wall.as_secs_f64().max(1e-9);
+    let mut speedups_json = String::new();
+    for (t, run) in &thread_runs {
+        let s = base.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9);
+        println!("thread scaling x{t}: {s:.2}x vs 1-thread sequential");
+        speedups_json.push_str(&format!("      \"speedup_threads_{t}\": {s:.3},\n"));
+    }
+    println!("event(1 thread) vs naive at scale: {scale_event_vs_naive:.2}x (identical CycleStats)");
+    let scaling_runs_json: String = std::iter::once(&base)
+        .chain(std::iter::once(&naive_scale))
+        .chain(thread_runs.iter().map(|(_, r)| r))
+        .map(json_run)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scaling_json = format!(
+        "    {{\n      \"kind\": \"parallel_mmse_scaling\",\n      \"cores\": {scale_cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {scale_reps}, \"domains\": 4,\n      \"host_cpus\": {host_cpus},\n      \"runs\": [\n{}\n      ],\n{}      \"speedup_event_vs_naive_at_scale\": {scale_event_vs_naive:.3},\n      \"stats_identical\": true\n    }}",
+        precision.paper_name(),
+        scaling_runs_json,
+        speedups_json,
+    );
+
     // --- Barrier-skew workload: the parked-core pathology the event engine
     // removes (naive rescans every context per step; parked harts here are
     // re-queued by the wake channel instead). ---
@@ -142,7 +208,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nevent-driven speedup vs seed engine (barrier skew): {skew_speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json}\n  ]\n}}\n",
         // `--smoke` wins the label: it overrides the workload parameters
         // even when `--full` is also passed.
         if smoke {

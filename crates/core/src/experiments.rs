@@ -60,6 +60,8 @@ pub struct CycleOutcome {
     pub cycles: u64,
     /// Aggregated per-class breakdown (instructions and stalls).
     pub breakdown: CycleStats,
+    /// Per-group breakdown (the sharded engine's arbitration domains).
+    pub per_group: Vec<CycleStats>,
     /// Total retired instructions.
     pub instructions: u64,
     /// All results matched the bit-true native model.
@@ -182,6 +184,9 @@ pub enum CycleEngine {
     EventDriven,
     /// The retained full-scan reference scheduler (`CycleSim::run_naive`).
     NaiveScan,
+    /// The epoch-sharded engine (`CycleSim::run_parallel`) over this many
+    /// host threads — bit-identical to the other two at any count.
+    Parallel(usize),
 }
 
 /// Runs the parallel MMSE on the cycle-accurate backend (the RTL-simulation
@@ -192,6 +197,19 @@ pub enum CycleEngine {
 /// Propagates kernel build, translation and guest traps.
 pub fn parallel_cycle(config: &ParallelConfig) -> Result<CycleOutcome, Box<dyn Error>> {
     parallel_cycle_with_engine(config, CycleEngine::EventDriven)
+}
+
+/// As [`parallel_cycle`] on the epoch-sharded engine with `threads` host
+/// threads (domain-per-group; see `CycleSim::run_parallel`).
+///
+/// # Errors
+///
+/// Propagates kernel build, translation and guest traps.
+pub fn parallel_cycle_threads(
+    config: &ParallelConfig,
+    threads: usize,
+) -> Result<CycleOutcome, Box<dyn Error>> {
+    parallel_cycle_with_engine(config, CycleEngine::Parallel(threads))
 }
 
 /// As [`parallel_cycle`] with an explicit scheduler — the hook the `mips`
@@ -216,6 +234,7 @@ pub fn parallel_cycle_with_engine(
     let result = match engine {
         CycleEngine::EventDriven => sim.run(topo.num_cores())?,
         CycleEngine::NaiveScan => sim.run_naive(topo.num_cores())?,
+        CycleEngine::Parallel(threads) => sim.run_parallel(topo.num_cores(), threads)?,
     };
     let wall = start.elapsed();
 
@@ -224,6 +243,7 @@ pub fn parallel_cycle_with_engine(
         wall,
         cycles: result.cycles,
         breakdown,
+        per_group: result.aggregate_groups(&topo),
         instructions: breakdown.instructions,
         verified: verify(sim.memory(), &layout, &set),
     })

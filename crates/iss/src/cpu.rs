@@ -162,6 +162,29 @@ impl Cpu {
         self.mcycle = cycles;
     }
 
+    /// The active `lr.w` reservation address, if any.
+    ///
+    /// Exposed for timing drivers that split memory-request timing from
+    /// architectural execution (they must decide `sc.w` success at issue).
+    pub fn reservation(&self) -> Option<u32> {
+        self.reservation
+    }
+
+    /// Sets or clears the `lr.w` reservation (see [`Cpu::reservation`]).
+    pub fn set_reservation(&mut self, addr: Option<u32>) {
+        self.reservation = addr;
+    }
+
+    /// Retires one straight-line instruction: bumps the retired counter
+    /// and falls through to `pc + 4`.
+    ///
+    /// For timing drivers that perform an instruction's effects outside
+    /// the kernels (deferred memory operations); memory instructions
+    /// never redirect the PC.
+    pub fn retire_fallthrough(&mut self) {
+        self.retire_next();
+    }
+
     /// Executes the instruction at the current PC.
     ///
     /// On success the PC has advanced (or jumped) and counters are updated.

@@ -68,4 +68,4 @@ pub use runner::{
     resume_core, resume_lowered, run_core, trace_core, RunConfig, RunStats, StopReason, TraceEntry,
 };
 pub use timing::{InstClass, LatencyModel, Scoreboard};
-pub use uop::{Kernel, LoweredUop, Uop, UopMeta, UopProgram, NO_REG};
+pub use uop::{Kernel, LoweredUop, MemOp, Uop, UopMeta, UopProgram, NO_REG};

@@ -36,6 +36,54 @@ use crate::timing::{InstClass, LatencyModel};
 /// Sentinel register index meaning "no register".
 pub const NO_REG: u8 = 32;
 
+/// Compact memory-operation descriptor of one lowered instruction.
+///
+/// Timing drivers that split *request* timing from *architectural*
+/// execution (the epoch-sharded cycle engine defers cross-domain accesses
+/// to epoch boundaries) need to perform the memory side effect and the
+/// destination writeback outside the kernel; this record carries exactly
+/// the facts required to do that bit-identically to the kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Not a data-memory instruction.
+    None,
+    /// A load; `size` in bytes, `signed` selects sign extension.
+    Load {
+        /// Access width in bytes (1, 2 or 4).
+        size: u8,
+        /// Sign-extend narrower-than-word results.
+        signed: bool,
+    },
+    /// A store; `size` in bytes.
+    Store {
+        /// Access width in bytes (1, 2 or 4).
+        size: u8,
+    },
+    /// `lr.w`: a word load that also sets the reservation.
+    LoadReserved,
+    /// `sc.w`: a conditional word store (success is decided against the
+    /// hart-local reservation at issue).
+    StoreConditional,
+    /// A read-modify-write atomic.
+    Amo(AmoOp),
+}
+
+impl MemOp {
+    /// Classifies a decoded instruction.
+    pub fn of(inst: &Inst) -> Self {
+        match *inst {
+            Inst::Load { op, .. } => {
+                MemOp::Load { size: op.size() as u8, signed: matches!(op, LoadOp::Lb | LoadOp::Lh) }
+            }
+            Inst::Store { op, .. } => MemOp::Store { size: op.size() as u8 },
+            Inst::LrW { .. } => MemOp::LoadReserved,
+            Inst::ScW { .. } => MemOp::StoreConditional,
+            Inst::Amo { op, .. } => MemOp::Amo(op),
+            _ => MemOp::None,
+        }
+    }
+}
+
 /// Dense operand record of one lowered instruction.
 ///
 /// The interpretation of each field is fixed by the kernel selected at
@@ -93,6 +141,8 @@ pub struct UopMeta {
     pub uses_fpu: bool,
     /// Accesses data memory (load/store/atomic).
     pub is_mem: bool,
+    /// Memory-operation descriptor (for drivers that defer the access).
+    pub mem: MemOp,
     /// Is a data load (per-address latency refinement applies).
     pub is_load: bool,
     /// Is an atomic (extra bank-busy cycle in the cycle engine).
@@ -138,6 +188,7 @@ impl UopMeta {
                 InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp
             ),
             is_mem: inst.is_mem(),
+            mem: MemOp::of(inst),
             is_load: matches!(inst, Inst::Load { .. }),
             is_amo: matches!(class, InstClass::Amo),
             is_div_sqrt: matches!(class, InstClass::FpDivSqrt),
@@ -220,6 +271,16 @@ impl<M: Memory> UopProgram<M> {
         self.code.get(idx).and_then(Option::as_ref)
     }
 }
+
+// The lowered table is immutable after construction and holds only plain
+// function pointers and POD operand/metadata records, so one table can be
+// shared by simulation domains running on different host threads (the
+// epoch-sharded cycle engine relies on this). The assertion below turns
+// any future introduction of shared mutable state into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<UopProgram<crate::mem::DenseMemory>>();
+};
 
 // --- Kernels -----------------------------------------------------------
 //

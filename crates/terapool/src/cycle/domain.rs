@@ -1,0 +1,327 @@
+//! The per-domain half of the epoch-sharded cycle engine: one
+//! event-driven scheduler ([`DomainEngine`]) per topology *group*, owning
+//! that group's cores, tile I$ models, bank/port reservation books and
+//! ready queue ([`Wheel`]). A domain simulates one epoch at a time with
+//! no synchronization; everything that crosses its boundary goes through
+//! the [`XRequest`] outbox, which the coordinator ([`super::epoch`])
+//! replays between epochs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use terasim_iss::Trap;
+
+use crate::mem::{ClusterMem, DomainBanks, XRequest};
+
+use super::{CoreCtx, CoreState, CycleSim, Defer, FastICache, RunTables, TurboMem};
+
+/// Wheel size in one-cycle slots (power of two; covers every short
+/// latency in the model — longer delays take the overflow heap).
+pub(super) const WHEEL_SLOTS: u64 = 256;
+pub(super) const WHEEL_MASK: u64 = WHEEL_SLOTS - 1;
+
+/// The event engines' ready queue: a calendar wheel of [`WHEEL_SLOTS`]
+/// one-cycle slots, each a core-id bitmap (iteration yields ascending
+/// ids — the naive scan's issue order — with O(1) insertion). Each
+/// non-parked, non-done core has exactly one live entry. Wake times
+/// beyond the wheel horizon (rare: deep bank-contention queues) overflow
+/// into a heap and migrate back as time advances.
+pub(super) struct Wheel {
+    /// `WHEEL_SLOTS × words` bitmap words.
+    slots: Vec<u64>,
+    /// Queued-core count per slot.
+    counts: Vec<u32>,
+    /// Total cores queued in the wheel.
+    pub(super) pending: u32,
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Bitmap words per slot (`⌈cores / 64⌉`).
+    pub(super) words: usize,
+}
+
+impl Wheel {
+    pub(super) fn new(cores: u32) -> Self {
+        let words = (cores as usize).div_ceil(64);
+        Self {
+            slots: vec![0; WHEEL_SLOTS as usize * words],
+            counts: vec![0; WHEEL_SLOTS as usize],
+            pending: 0,
+            overflow: BinaryHeap::new(),
+            words,
+        }
+    }
+
+    /// Queues `core` to issue at cycle `at` (`at ≥ now`).
+    #[inline]
+    pub(super) fn push(&mut self, now: u64, at: u64, core: u32) {
+        if at - now < WHEEL_SLOTS {
+            let slot = (at & WHEEL_MASK) as usize;
+            self.slots[slot * self.words + (core / 64) as usize] |= 1u64 << (core % 64);
+            self.counts[slot] += 1;
+            self.pending += 1;
+        } else {
+            self.overflow.push(Reverse((at, core)));
+        }
+    }
+
+    /// Moves overflow entries inside the `[now, now + WHEEL_SLOTS)` horizon
+    /// into the wheel.
+    pub(super) fn migrate(&mut self, now: u64) {
+        while let Some(&Reverse((at, core))) = self.overflow.peek() {
+            if at >= now + WHEEL_SLOTS {
+                break;
+            }
+            self.overflow.pop();
+            self.push(now, at, core);
+        }
+    }
+
+    /// Earliest wake time queued in the overflow heap.
+    pub(super) fn next_overflow(&self) -> Option<u64> {
+        self.overflow.peek().map(|&Reverse((at, _))| at)
+    }
+
+    /// Whether the slot for cycle `at` is empty.
+    #[inline]
+    pub(super) fn slot_empty(&self, at: u64) -> bool {
+        self.counts[(at & WHEEL_MASK) as usize] == 0
+    }
+
+    /// Empties the slot for cycle `now`, OR-ing its core bitmap into
+    /// `cur`. No-op (and no memory traffic) when the slot is empty.
+    pub(super) fn drain_slot_into(&mut self, now: u64, cur: &mut [u64]) {
+        let slot = (now & WHEEL_MASK) as usize;
+        let count = self.counts[slot];
+        if count == 0 {
+            return;
+        }
+        self.pending -= count;
+        self.counts[slot] = 0;
+        for (w, s) in cur.iter_mut().enumerate() {
+            *s |= std::mem::take(&mut self.slots[slot * self.words + w]);
+        }
+    }
+}
+
+/// One arbitration domain of the epoch-sharded engine: the event-driven
+/// scheduler of [`CycleSim::run`], scoped to the cores, tiles and banks
+/// of a single topology group. All indices below `core_base`-relative
+/// state (`ctxs`, wheel bitmaps, `parked`) are *local* core ids; the
+/// [`DomainBanks`] translate global tile/bank ids.
+pub(super) struct DomainEngine {
+    /// The group this domain simulates.
+    pub(super) domain: u32,
+    /// First global core id of the domain.
+    pub(super) core_base: u32,
+    /// Per-core contexts (local index).
+    pub(super) ctxs: Vec<CoreCtx<TurboMem>>,
+    /// Per-tile shared instruction caches (local index).
+    pub(super) icaches: Vec<FastICache>,
+    /// This domain's bank/port reservation books.
+    pub(super) banks: DomainBanks,
+    /// Locally parked (`wfi`) cores, woken only at epoch boundaries.
+    pub(super) parked: Vec<u32>,
+    /// Deferred cross-domain requests issued this epoch, in
+    /// `(cycle, core)` order by construction of the event loop.
+    pub(super) outbox: Vec<XRequest>,
+    /// First trap raised by this domain, tagged `(cycle, core)` so the
+    /// coordinator can abort the run with the globally *earliest* trap —
+    /// the same one the sequential full scan would hit first.
+    pub(super) trap: Option<(u64, u32, Trap)>,
+    wheel: Wheel,
+    cur: Vec<u64>,
+    nxt: Vec<u64>,
+    nxt_count: u32,
+    now: u64,
+    /// `false` until the first epoch ran: the initial ready set (all
+    /// cores at cycle 0) is pre-seeded in `cur`, not in the wheel.
+    paused: bool,
+}
+
+impl DomainEngine {
+    /// Builds the engine for `domain`, covering the intersection of the
+    /// run's core range `0..cores` with the group's cores (possibly
+    /// empty for partial-cluster runs).
+    pub(super) fn new(sim: &CycleSim, domain: u32, cores: u32) -> Self {
+        let topo = sim.topology();
+        let lo = (domain * topo.cores_per_group()).min(cores);
+        let hi = ((domain + 1) * topo.cores_per_group()).min(cores);
+        let ctxs: Vec<CoreCtx<TurboMem>> = (lo..hi).map(|core| sim.make_ctx(core)).collect();
+        let n = hi - lo;
+        let wheel = Wheel::new(n.max(1));
+        let words = wheel.words;
+        let mut cur = vec![0u64; words];
+        for local in 0..n {
+            cur[(local / 64) as usize] |= 1u64 << (local % 64); // all issue at cycle 0
+        }
+        Self {
+            domain,
+            core_base: lo,
+            ctxs,
+            icaches: (0..topo.tiles_per_group())
+                .map(|_| FastICache::new(topo.icache_bytes, topo.icache_line))
+                .collect(),
+            banks: DomainBanks::for_domain(topo, domain),
+            parked: Vec::new(),
+            outbox: Vec::new(),
+            trap: None,
+            wheel,
+            nxt: vec![0u64; words],
+            cur,
+            nxt_count: 0,
+            now: 0,
+            paused: false,
+        }
+    }
+
+    /// Simulates the epoch `[start, end)`: processes every queued event
+    /// of this domain's cores in that window, deferring cross-domain
+    /// accesses into the outbox, then parks exactly at the boundary.
+    ///
+    /// On a trap the error is recorded in `self.trap` (and returned); the
+    /// coordinator aborts the run deterministically at the boundary.
+    pub(super) fn run_epoch(&mut self, sim: &CycleSim, tables: &RunTables, start: u64, end: u64) {
+        debug_assert!(start < end && self.now <= start);
+        if self.trap.is_some() {
+            return;
+        }
+        if self.paused {
+            // Resume: pull the cores due exactly at `start` (the
+            // coordinator guarantees no event lies before it).
+            self.now = start;
+            self.wheel.migrate(start);
+            self.wheel.drain_slot_into(start, &mut self.cur);
+        }
+
+        loop {
+            // Process every core scheduled for `self.now`, in ascending
+            // local id — which is ascending global id within the domain.
+            for w in 0..self.cur.len() {
+                let mut bits = std::mem::take(&mut self.cur[w]);
+                while bits != 0 {
+                    let bit = bits & bits.wrapping_neg();
+                    let local = (w * 64) as u32 + bits.trailing_zeros();
+                    bits ^= bit;
+                    let ctx = &mut self.ctxs[local as usize];
+                    let mut defer =
+                        Defer { domain: self.domain, topo: sim.topology(), outbox: &mut self.outbox };
+                    if let Err(trap) = sim.issue_fast(
+                        ctx,
+                        tables,
+                        &mut self.icaches,
+                        &mut self.banks,
+                        self.now,
+                        Some(&mut defer),
+                    ) {
+                        self.trap = Some((self.now, self.core_base + local, trap));
+                        return;
+                    }
+                    match ctx.state {
+                        CoreState::Ready => {
+                            let wake = ctx.wake_at.max(self.now + 1);
+                            if wake == self.now + 1 {
+                                self.nxt[w] |= bit;
+                                self.nxt_count += 1;
+                            } else {
+                                self.wheel.push(self.now, wake, local);
+                            }
+                        }
+                        CoreState::Parked => self.parked.push(local),
+                        CoreState::Done => {}
+                    }
+                    // No mid-epoch wake check: wake-all publications go
+                    // through the (deferred) control-region store, so the
+                    // wake channel can only move at epoch boundaries.
+                }
+            }
+
+            // Advance to the next cycle with work, clamped to the epoch.
+            if self.nxt_count > 0 {
+                if self.now + 1 >= end {
+                    // Work due in the next epoch: spill it into the wheel
+                    // so the paused state lives entirely there.
+                    for w in 0..self.nxt.len() {
+                        let mut bits = std::mem::take(&mut self.nxt[w]);
+                        while bits != 0 {
+                            let local = (w * 64) as u32 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            self.wheel.push(self.now, self.now + 1, local);
+                        }
+                    }
+                    self.nxt_count = 0;
+                    break;
+                }
+                self.now += 1;
+                std::mem::swap(&mut self.cur, &mut self.nxt);
+                self.nxt_count = 0;
+                self.wheel.migrate(self.now);
+                self.wheel.drain_slot_into(self.now, &mut self.cur);
+                continue;
+            }
+            // Nothing due next cycle: the nearest work lives in the wheel
+            // (or beyond its horizon in the overflow heap).
+            self.wheel.migrate(self.now);
+            if self.wheel.pending == 0 {
+                match self.wheel.next_overflow() {
+                    Some(at) if at < end => {
+                        self.now = at;
+                        self.wheel.migrate(at);
+                    }
+                    // No work left before the boundary.
+                    _ => break,
+                }
+            } else {
+                self.now += 1;
+            }
+            let mut t = self.now;
+            while t < end && self.wheel.slot_empty(t) {
+                t += 1;
+            }
+            if t >= end {
+                break;
+            }
+            self.now = t;
+            self.wheel.drain_slot_into(t, &mut self.cur);
+        }
+
+        self.now = end;
+        self.paused = true;
+    }
+
+    /// The earliest cycle (`≥ from`, the boundary just reached) at which
+    /// this domain has a queued event, or `u64::MAX` when idle. Parked
+    /// cores are not events — they wait on the wake channel.
+    pub(super) fn next_event(&self, from: u64) -> u64 {
+        debug_assert_eq!(self.nxt_count, 0, "next_event on an un-parked engine");
+        let mut best = self.wheel.next_overflow().unwrap_or(u64::MAX);
+        if self.wheel.pending > 0 {
+            let mut t = from;
+            while self.wheel.slot_empty(t) {
+                t += 1;
+                debug_assert!(t < from + WHEEL_SLOTS, "wheel entry outside its horizon");
+            }
+            best = best.min(t);
+        }
+        best
+    }
+
+    /// Delivers pending barrier wakes to this domain's parked cores at
+    /// the epoch boundary `at` (the cycle the next epoch starts): the
+    /// sleeper observes the wake at `at` and can issue from `at + 1`.
+    pub(super) fn deliver_wakes(&mut self, mem: &ClusterMem, at: u64) {
+        let mut parked = std::mem::take(&mut self.parked);
+        parked.retain(|&local| {
+            let core = self.core_base + local;
+            if !mem.wake_pending(core) {
+                return true;
+            }
+            let _ = mem.take_wake(core);
+            let ctx = &mut self.ctxs[local as usize];
+            ctx.stats.stall_wfi += at.saturating_sub(ctx.parked_at);
+            ctx.state = CoreState::Ready;
+            ctx.wake_at = at + 1;
+            self.wheel.push(at, at + 1, local);
+            false
+        });
+        self.parked = parked;
+    }
+}

@@ -1,0 +1,357 @@
+//! The epoch coordinator of the sharded cycle engine: lockstep epoch
+//! drivers (serial and multi-threaded), the boundary replay of deferred
+//! cross-domain requests, barrier-wake delivery, and the global
+//! termination / fast-forward decision.
+//!
+//! # Protocol
+//!
+//! Each epoch `[T, T + L)` (with `L = Topology::epoch_len()`, the minimum
+//! cross-group latency) has two phases:
+//!
+//! 1. **Phase** — every [`DomainEngine`] simulates its own group with no
+//!    synchronization, deferring anything cross-domain into its outbox.
+//!    With multiple host threads, domains run concurrently; this is sound
+//!    because a domain only touches its own banks/ports/I$/cores — the
+//!    shared L2/control regions are never accessed within an epoch.
+//! 2. **Boundary** — a single thread merges all outboxes, replays them in
+//!    global `(issue cycle, core id)` order (bank grants, architectural
+//!    effects, writebacks, scoreboard corrections), delivers barrier
+//!    wakes, and picks the next epoch — fast-forwarding over empty ones.
+//!
+//! Both phases are deterministic functions of the simulation state alone,
+//! so the result is bit-identical for every host thread count; the serial
+//! driver and [`CycleSim::run_naive`]'s full-scan epoch loop implement
+//! the same semantics and are pinned against it by the workspace's
+//! `parallel`/`differential` integration tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use terasim_iss::{MemOp, Memory, Trap, NO_REG};
+use terasim_riscv::Reg;
+
+use super::domain::DomainEngine;
+use super::{CoreCtx, CycleResult, CycleSim, RunTables};
+use crate::mem::XRequest;
+
+/// Computes the bank grant of one replayed request against the target
+/// bank's reservation book and returns
+/// `(total result latency, contention cycles)`.
+///
+/// The request *arrives* at `depart + hop`; because the epoch is no
+/// longer than the minimum cross-group hop, the arrival never lies
+/// before the boundary at which it is applied, so grants stay causal.
+fn grant(x: &XRequest, bank_free: &mut u64) -> (u64, u64) {
+    let arrive = x.depart + u64::from(x.hop);
+    let busy = if matches!(x.op, MemOp::Amo(_)) { 2 } else { 1 };
+    let granted = arrive.max(*bank_free);
+    *bank_free = granted + busy;
+    ((granted + busy - x.cycle) + u64::from(x.hop), granted - (x.cycle + u64::from(x.hop)))
+}
+
+/// Applies the deferred architectural effect and scoreboard correction of
+/// one replayed request to its issuing core.
+///
+/// `granted` is `None` for L2/control targets (fixed 16-cycle latency,
+/// settled exactly at issue — only the memory side effect was deferred).
+///
+/// # Errors
+///
+/// Returns the [`Trap`] the access raises (attributed to the deferred
+/// instruction's PC), exactly as the kernel would have at issue.
+fn complete<M: Memory>(x: &XRequest, ctx: &mut CoreCtx<M>, granted: Option<(u64, u64)>) -> Result<(), Trap> {
+    // WAW guard: touch rd (value and scoreboard) only while this request
+    // is still rd's last writer — a later same-epoch writer wins, exactly
+    // as it would against the kernel's issue-time write.
+    let owns_rd = x.rd != NO_REG && ctx.reg_wseq[x.rd as usize] == x.wseq;
+    if let Some((result_latency, contention)) = granted {
+        ctx.stats.stall_lsu += contention;
+        ctx.lsu_free[x.slot as usize] = x.cycle + result_latency;
+        if owns_rd {
+            ctx.reg_ready[x.rd as usize] = x.cycle + result_latency;
+        }
+    }
+    let merr = |err| Trap::Mem { pc: x.pc, err };
+    match x.op {
+        MemOp::Load { size, signed } => {
+            let raw = ctx.mem.load(x.addr, u32::from(size)).map_err(merr)?;
+            let value = match (size, signed) {
+                (1, true) => raw as u8 as i8 as i32 as u32,
+                (2, true) => raw as u16 as i16 as i32 as u32,
+                _ => raw,
+            };
+            if owns_rd {
+                ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), value);
+            }
+        }
+        MemOp::LoadReserved => {
+            // The reservation was taken at issue; only the data returns.
+            let raw = ctx.mem.load(x.addr, 4).map_err(merr)?;
+            if owns_rd {
+                ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), raw);
+            }
+        }
+        MemOp::Store { size } => ctx.mem.store(x.addr, u32::from(size), x.value).map_err(merr)?,
+        MemOp::StoreConditional => {
+            // Success was decided (and rd written) against the issue-time
+            // reservation; a failed sc still made the bank round trip.
+            if x.sc_success {
+                ctx.mem.store(x.addr, 4, x.value).map_err(merr)?;
+            }
+        }
+        MemOp::Amo(op) => {
+            let old = ctx.mem.amo(op, x.addr, x.value).map_err(merr)?;
+            if owns_rd {
+                ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), old);
+            }
+        }
+        MemOp::None => unreachable!("only memory operations are deferred"),
+    }
+    Ok(())
+}
+
+/// Runs one epoch boundary: merges and replays every domain's outbox in
+/// global `(cycle, core)` order, then delivers barrier wakes at `end`.
+///
+/// # Errors
+///
+/// Returns the first replayed trap (deterministic: replay order is a
+/// pure function of the simulation).
+fn boundary(
+    sim: &CycleSim,
+    domains: &mut [&mut DomainEngine],
+    scratch: &mut Vec<XRequest>,
+    end: u64,
+) -> Result<(), Trap> {
+    let topo = sim.topology();
+    scratch.clear();
+    for d in domains.iter_mut() {
+        scratch.append(&mut d.outbox);
+    }
+    // Each domain's outbox is already (cycle, core)-ordered; the stable
+    // sort is effectively a k-way merge. Keys are unique (a core issues
+    // at most one memory op per cycle).
+    scratch.sort_by_key(|x| (x.cycle, x.core));
+    let cores_per_group = topo.cores_per_group();
+    for x in scratch.iter() {
+        let granted = if x.bank != u32::MAX {
+            let target = topo.domain_of_bank(x.bank) as usize;
+            let slot = domains[target].banks.local_bank(x.bank);
+            Some(grant(x, &mut domains[target].banks.bank_free[slot]))
+        } else {
+            None
+        };
+        let source = (x.core / cores_per_group) as usize;
+        let local = (x.core % cores_per_group) as usize;
+        complete(x, &mut domains[source].ctxs[local], granted)?;
+    }
+    for d in domains.iter_mut() {
+        d.deliver_wakes(sim.memory(), end);
+    }
+    Ok(())
+}
+
+/// Coordinator decision taken at a boundary: first trap in global
+/// `(issue cycle, core id)` order — the one the sequential full scan
+/// would hit first, domains being independent within an epoch — then
+/// replay-order traps, then termination, then the next epoch start.
+enum Verdict {
+    Stop(Option<Trap>),
+    Continue(u64),
+}
+
+fn decide(
+    sim: &CycleSim,
+    domains: &mut [&mut DomainEngine],
+    scratch: &mut Vec<XRequest>,
+    end: u64,
+    epoch: u64,
+) -> Verdict {
+    if let Some((_, _, trap)) =
+        domains.iter().filter_map(|d| d.trap).min_by_key(|&(cycle, core, _)| (cycle, core))
+    {
+        return Verdict::Stop(Some(trap));
+    }
+    if let Err(trap) = boundary(sim, domains, scratch, end) {
+        return Verdict::Stop(Some(trap));
+    }
+    let next = domains.iter().map(|d| d.next_event(end)).min().unwrap_or(u64::MAX);
+    if next == u64::MAX {
+        // Every core is done or parked with no wake in flight: finished
+        // (or guest deadlock, surfaced via `CycleResult::deadlocked`).
+        return Verdict::Stop(None);
+    }
+    // Fast-forward over empty epochs (barrier sleeps, long refills):
+    // boundaries stay on the absolute epoch grid.
+    Verdict::Continue(next / epoch * epoch)
+}
+
+fn collect_result(domains: Vec<DomainEngine>) -> CycleResult {
+    let ctxs: Vec<CoreCtx<super::TurboMem>> = domains.into_iter().flat_map(|d| d.ctxs).collect();
+    CycleSim::result_of(&ctxs)
+}
+
+/// Drives the sharded engine to completion.
+///
+/// `threads == 1` runs the domains round-robin on the calling thread;
+/// larger counts distribute domains over that many host threads with a
+/// spin barrier between phases. Results are bit-identical either way.
+pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<CycleResult, Trap> {
+    let topo = sim.topology();
+    let ndom = topo.num_domains();
+    debug_assert!(ndom > 1, "single-domain topologies use the plain event engine");
+    let tables = RunTables::new(topo, &sim.program, &sim.latency);
+    let epoch = topo.epoch_len();
+    let mut domains: Vec<DomainEngine> = (0..ndom).map(|d| DomainEngine::new(sim, d, cores)).collect();
+    let threads = threads.clamp(1, ndom as usize);
+
+    if threads == 1 {
+        let mut scratch = Vec::new();
+        let mut start = 0u64;
+        loop {
+            let end = start + epoch;
+            for d in domains.iter_mut() {
+                d.run_epoch(sim, &tables, start, end);
+            }
+            let mut refs: Vec<&mut DomainEngine> = domains.iter_mut().collect();
+            match decide(sim, &mut refs, &mut scratch, end, epoch) {
+                Verdict::Stop(Some(trap)) => return Err(trap),
+                Verdict::Stop(None) => break,
+                Verdict::Continue(next) => start = next,
+            }
+        }
+        return Ok(collect_result(domains));
+    }
+
+    // Threaded driver: domains live in mutexes; a worker locks only its
+    // own domains during a phase (uncontended), and the coordinator
+    // (worker 0) locks all of them between the two barriers.
+    let slots: Vec<Mutex<DomainEngine>> = domains.into_iter().map(Mutex::new).collect();
+    let barrier = SpinBarrier::new(threads);
+    let stop = AtomicBool::new(false);
+    let next_start = AtomicU64::new(0);
+    let outcome: Mutex<Option<Trap>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let worker = |t: usize| {
+            let tables = &tables;
+            let slots = &slots;
+            let barrier = &barrier;
+            let stop = &stop;
+            let next_start = &next_start;
+            let outcome = &outcome;
+            move || {
+                let _poison = PoisonOnPanic(barrier);
+                let mut scratch = Vec::new();
+                let mut start = 0u64;
+                loop {
+                    let end = start + epoch;
+                    for d in (t..slots.len()).step_by(threads) {
+                        let mut engine = slots[d].lock().expect("domain lock");
+                        engine.run_epoch(sim, tables, start, end);
+                    }
+                    barrier.wait();
+                    if t == 0 {
+                        let mut guards: Vec<_> =
+                            slots.iter().map(|m| m.lock().expect("domain lock")).collect();
+                        let mut refs: Vec<&mut DomainEngine> = guards.iter_mut().map(|g| &mut **g).collect();
+                        match decide(sim, &mut refs, &mut scratch, end, epoch) {
+                            Verdict::Stop(trap) => {
+                                *outcome.lock().expect("outcome lock") = trap;
+                                stop.store(true, Ordering::Release);
+                            }
+                            Verdict::Continue(next) => next_start.store(next, Ordering::Release),
+                        }
+                    }
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    start = next_start.load(Ordering::Acquire);
+                }
+            }
+        };
+        let mut handles = Vec::new();
+        for t in 1..threads {
+            handles.push(scope.spawn(worker(t)));
+        }
+        worker(0)();
+        for h in handles {
+            h.join().expect("domain worker panicked");
+        }
+    });
+
+    if let Some(trap) = outcome.into_inner().expect("outcome lock") {
+        return Err(trap);
+    }
+    let domains: Vec<DomainEngine> =
+        slots.into_iter().map(|m| m.into_inner().expect("domain lock")).collect();
+    Ok(collect_result(domains))
+}
+
+/// A sense-reversing spin barrier for the per-epoch phase handoff.
+///
+/// Epochs are only a few simulated cycles, so the handoff latency sits on
+/// the critical path; spinning (with a yield fallback so oversubscribed
+/// hosts — e.g. single-core CI runners — still make progress) beats a
+/// futex round trip by an order of magnitude.
+///
+/// The barrier is **poisonable**: a worker that unwinds (a panic or
+/// `debug_assert` anywhere in its epoch loop) poisons it on the way out
+/// ([`PoisonOnPanic`]), and every spinner escapes by panicking instead of
+/// waiting forever — the thread scope then joins all workers and
+/// propagates the original panic rather than hanging the run.
+struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if self.poisoned.load(Ordering::Acquire) {
+                    panic!("a sibling domain worker panicked; aborting the sharded run");
+                }
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Poisons the barrier when its worker unwinds, so no sibling spins
+/// forever on a phase that will never complete.
+struct PoisonOnPanic<'a>(&'a SpinBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}

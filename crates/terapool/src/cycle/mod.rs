@@ -1,6 +1,6 @@
 //! The cycle-accurate mode — this project's stand-in for RTL simulation.
 //!
-//! A single-threaded, cycle-stepped model of the whole cluster with the
+//! A cycle-stepped model of the whole cluster with the
 //! micro-architectural effects the fast mode deliberately omits (paper §V-B):
 //!
 //! * **Bank conflicts**: each scratchpad bank services one request per
@@ -25,7 +25,7 @@
 //!
 //! # Scheduling
 //!
-//! Two schedulers drive the same per-instruction model:
+//! Three schedulers drive the same per-instruction model:
 //!
 //! * [`CycleSim::run`] — the **event-driven** engine: a double-buffered
 //!   ready bitmap for the dominant issue-again-next-cycle case backed by a
@@ -38,21 +38,62 @@
 //!   kernel pointer per instruction, resolved once at load), shift-based
 //!   bank decoding, a tile-pair hop table, and primes the memory view
 //!   with the bank decode so the kernel never re-derives it.
-//! * [`CycleSim::run_naive`] — the original full-scan scheduler, retained
-//!   verbatim as the semantic reference: every core context is rescanned
-//!   on every event step. The `differential` integration test pins the two
+//! * [`CycleSim::run_parallel`] — the **epoch-sharded** engine: each
+//!   *group* of the topology is an independent arbitration domain
+//!   ([`domain::DomainEngine`], one event-driven engine per group) and
+//!   domains advance in lockstep epochs sized to the minimum cross-group
+//!   latency ([`Topology::CROSS_GROUP_HOP`]). Intra-group traffic — the
+//!   common case by construction of the tile-local sequential address
+//!   map — is simulated entirely inside a domain with no synchronization;
+//!   cross-group accesses are deferred into per-domain mailboxes that an
+//!   epoch coordinator ([`epoch`]) replays at each boundary in global
+//!   `(issue cycle, core id)` order. Results are bit-identical for every
+//!   host thread count, including 1.
+//! * [`CycleSim::run_naive`] — the full-scan scheduler, retained as the
+//!   semantic reference: every core context is rescanned on every event
+//!   step. The `differential`/`parallel` integration tests pin all three
 //!   engines to bit-identical [`CycleStats`] and memory contents.
+//!
+//! # The epoch-deferred model (multi-group topologies)
+//!
+//! On topologies with more than one group, **all** schedulers implement
+//! the same *epoch-deferred* semantics so they stay mutually
+//! bit-identical while the sharded engine runs groups concurrently:
+//!
+//! * Time is divided into epochs of [`Topology::epoch_len`] cycles (the
+//!   minimum one-way cross-group hop, 4).
+//! * A memory access whose target bank lies in another group captures its
+//!   operands at issue, claims its LSU slot and tile port immediately,
+//!   and is *deferred*: the bank grant, the architectural effect and the
+//!   destination writeback happen at the next epoch boundary, replayed in
+//!   global `(issue cycle, core id)` order. Until then the issuing core's
+//!   scoreboard carries a **lower bound** on the completion time; the
+//!   bound is at least the uncontended cross-group round trip (≥ 9
+//!   cycles), which exceeds the epoch length, so the boundary always
+//!   corrects it before any dependent instruction can observe it.
+//! * L2/control-region accesses (shared by every group) are deferred the
+//!   same way — loads included, so a core's own deferred store forwards
+//!   to its later load through the boundary replay's `(cycle, core)`
+//!   order, and in particular the barrier wake-all register, so `wfi`
+//!   wake-ups are delivered at epoch boundaries. Nothing mutates those
+//!   regions inside an epoch.
+//!
+//! On single-group topologies every access is domain-local, nothing is
+//! ever deferred, and the engines behave exactly as before.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use terasim_iss::uop::UopProgram;
-use terasim_iss::{Cpu, InstClass, LatencyModel, Memory, Outcome, Program, Trap, NO_REG};
-use terasim_riscv::{Image, Inst};
+use terasim_iss::{Cpu, InstClass, LatencyModel, MemOp, Memory, Outcome, Program, Trap, UopMeta, NO_REG};
+use terasim_riscv::{Image, Inst, Reg};
 
-use crate::mem::{ClusterMem, CoreMem, TurboMem};
+use crate::mem::{ClusterMem, CoreMem, DomainBanks, TurboMem, XRequest};
 use crate::topology::{L1Decode, Topology};
+
+mod domain;
+mod epoch;
+
+use domain::Wheel;
 
 /// Per-core counters of the cycle-accurate run, matching the Figure 8
 /// breakdown.
@@ -79,6 +120,18 @@ impl CycleStats {
     pub fn total(&self) -> u64 {
         self.instructions + self.stall_raw + self.stall_lsu + self.stall_ins + self.stall_acc + self.stall_wfi
     }
+
+    /// Adds another core's counters into this accumulator (`done_at`
+    /// takes the max: the aggregate finishes when its last core does).
+    pub fn accumulate(&mut self, other: &CycleStats) {
+        self.instructions += other.instructions;
+        self.stall_raw += other.stall_raw;
+        self.stall_lsu += other.stall_lsu;
+        self.stall_ins += other.stall_ins;
+        self.stall_acc += other.stall_acc;
+        self.stall_wfi += other.stall_wfi;
+        self.done_at = self.done_at.max(other.done_at);
+    }
 }
 
 /// Result of a cycle-accurate cluster run.
@@ -101,15 +154,21 @@ impl CycleResult {
     pub fn aggregate(&self) -> CycleStats {
         let mut acc = CycleStats::default();
         for s in &self.per_core {
-            acc.instructions += s.instructions;
-            acc.stall_raw += s.stall_raw;
-            acc.stall_lsu += s.stall_lsu;
-            acc.stall_ins += s.stall_ins;
-            acc.stall_acc += s.stall_acc;
-            acc.stall_wfi += s.stall_wfi;
-            acc.done_at = acc.done_at.max(s.done_at);
+            acc.accumulate(s);
         }
         acc
+    }
+
+    /// Sums the per-core counters within each *group* of `topo` — the
+    /// sharded engine's arbitration domains — for per-domain breakdowns.
+    /// Groups with no simulated core (partial runs) report zeros.
+    pub fn aggregate_groups(&self, topo: &Topology) -> Vec<CycleStats> {
+        let per_group = topo.cores_per_group() as usize;
+        let mut out = vec![CycleStats::default(); topo.num_domains() as usize];
+        for (core, s) in self.per_core.iter().enumerate() {
+            out[core / per_group].accumulate(s);
+        }
+        out
     }
 }
 
@@ -128,6 +187,13 @@ struct CoreCtx<M> {
     cpu: Cpu,
     mem: M,
     reg_ready: [u64; 32],
+    /// Per-register architectural write counters: bumped on every issued
+    /// destination/post-increment write. A deferred access captures the
+    /// counter of its destination at issue; the boundary replay writes
+    /// the register back only if the counter is unchanged, so a later
+    /// same-epoch writer (a WAW over a dead load — legal, if pointless)
+    /// is never clobbered by the replay.
+    reg_wseq: [u64; 32],
     wake_at: u64,
     parked_at: u64,
     fpu_busy_until: u64,
@@ -137,6 +203,21 @@ struct CoreCtx<M> {
     stats: CycleStats,
     /// Cached `topo.tile_of_core` (hot-path index).
     tile: u32,
+}
+
+impl<M> CoreCtx<M> {
+    /// Records the architectural register writes of the instruction that
+    /// just issued (destination and post-increment base, [`NO_REG`]
+    /// ignored) in the WAW counters.
+    #[inline]
+    fn note_reg_writes(&mut self, dst: u8, post_inc: u8) {
+        if dst != NO_REG {
+            self.reg_wseq[dst as usize] += 1;
+        }
+        if post_inc != NO_REG {
+            self.reg_wseq[post_inc as usize] += 1;
+        }
+    }
 }
 
 /// Direct-mapped, per-tile shared instruction cache model (the seed
@@ -240,7 +321,7 @@ impl RunTables {
                 } else if topo.group_of_tile(ct) == topo.group_of_tile(bt) {
                     2
                 } else {
-                    4
+                    Topology::CROSS_GROUP_HOP as u8
                 };
                 hops[(ct * num_tiles + bt) as usize] = hop;
             }
@@ -267,80 +348,111 @@ impl RunTables {
     }
 }
 
-/// Wheel size in one-cycle slots (power of two; covers every short
-/// latency in the model — longer delays take the overflow heap).
-const WHEEL_SLOTS: u64 = 256;
-const WHEEL_MASK: u64 = WHEEL_SLOTS - 1;
-
-/// The event engine's ready queue: a calendar wheel of [`WHEEL_SLOTS`]
-/// one-cycle slots, each a core-id bitmap (iteration yields ascending
-/// ids — the naive scan's issue order — with O(1) insertion). Each
-/// non-parked, non-done core has exactly one live entry. Wake times
-/// beyond the wheel horizon (rare: deep bank-contention queues) overflow
-/// into a heap and migrate back as time advances.
-struct Wheel {
-    /// `WHEEL_SLOTS × words` bitmap words.
-    slots: Vec<u64>,
-    /// Queued-core count per slot.
-    counts: Vec<u32>,
-    /// Total cores queued in the wheel.
-    pending: u32,
-    overflow: BinaryHeap<Reverse<(u64, u32)>>,
-    /// Bitmap words per slot (`⌈cores / 64⌉`).
-    words: usize,
+/// Deferral context of the epoch-deferred model: present whenever the
+/// topology has more than one domain (group). The issue paths route any
+/// access leaving `domain` — a remote-group bank, or a mutation of the
+/// shared L2/control regions — into `outbox` instead of executing it.
+struct Defer<'a> {
+    /// Domain the issuing core belongs to.
+    domain: u32,
+    topo: Topology,
+    /// The domain's cross-domain request queue for the current epoch.
+    outbox: &'a mut Vec<XRequest>,
 }
 
-impl Wheel {
-    fn new(cores: u32) -> Self {
-        let words = (cores as usize).div_ceil(64);
-        Self {
-            slots: vec![0; WHEEL_SLOTS as usize * words],
-            counts: vec![0; WHEEL_SLOTS as usize],
-            pending: 0,
-            overflow: BinaryHeap::new(),
-            words,
+/// Completes issue of a *deferred* memory instruction: captures operands,
+/// applies the issue-time architectural effects the kernel would have
+/// applied before/after the access itself (post-increment writeback,
+/// `sc.w` resolution against the hart-local reservation, the `lr.w`
+/// reservation, retire + scoreboard), and queues the [`XRequest`] whose
+/// replay at the epoch boundary performs the access, the destination
+/// writeback and the grant-time scoreboard correction.
+///
+/// `result_latency` is the issue-time completion estimate: exact for
+/// L2/control targets (fixed 16 cycles), a lower bound for remote banks
+/// (the uncontended round trip) that the boundary replay corrects before
+/// any dependent instruction can observe it.
+#[allow(clippy::too_many_arguments)]
+fn defer_issue<M: Memory>(
+    ctx: &mut CoreCtx<M>,
+    op: MemOp,
+    dst: u8,
+    post_inc: u8,
+    value_reg: u8,
+    base: u32,
+    ea_offset: i32,
+    pc: u32,
+    addr: u32,
+    now: u64,
+    result_latency: u64,
+    slot: usize,
+    bank: u32,
+    depart: u64,
+    hop: u8,
+    outbox: &mut Vec<XRequest>,
+) {
+    // The kernel writes rd before the post-increment base; when they
+    // alias, the base update wins — encode that by suppressing the
+    // deferred writeback (the replayed load still runs for its trap and
+    // bank-timing effects).
+    let rd = if post_inc != NO_REG && dst == post_inc { NO_REG } else { dst };
+    // Operand capture happens before any register update below, so
+    // `value` is exact even when the value register aliases the base.
+    let mut value = 0u32;
+    let mut sc_success = false;
+    match op {
+        MemOp::Load { .. } => {}
+        MemOp::LoadReserved => ctx.cpu.set_reservation(Some(addr)),
+        MemOp::Store { .. } => value = ctx.cpu.reg(Reg::from_num(u32::from(value_reg) & 31)),
+        MemOp::StoreConditional => {
+            value = ctx.cpu.reg(Reg::from_num(u32::from(value_reg) & 31));
+            sc_success = ctx.cpu.reservation() == Some(addr);
+            ctx.cpu.set_reg(Reg::from_num(u32::from(dst) & 31), u32::from(!sc_success));
+            ctx.cpu.set_reservation(None);
+            // rd got its value at issue; keep it for the scoreboard
+            // correction only — the replay never writes it back.
         }
+        MemOp::Amo(_) => value = ctx.cpu.reg(Reg::from_num(u32::from(value_reg) & 31)),
+        MemOp::None => unreachable!("only memory operations are deferred"),
     }
+    if post_inc != NO_REG {
+        ctx.cpu.set_reg(Reg::from_num(u32::from(post_inc) & 31), base.wrapping_add(ea_offset as u32));
+    }
+    // Bump the WAW counters for this op's own (logical) writes, then
+    // capture rd's counter: the replay writes rd back only while it is
+    // still the last writer — a later same-epoch writer wins, exactly as
+    // it would against the kernel's issue-time write.
+    ctx.note_reg_writes(dst, post_inc);
+    let wseq = if rd != NO_REG { ctx.reg_wseq[rd as usize] } else { 0 };
+    outbox.push(XRequest {
+        cycle: now,
+        depart,
+        core: ctx.cpu.hart_id(),
+        pc,
+        addr,
+        value,
+        bank,
+        op,
+        rd,
+        wseq,
+        slot: slot as u8,
+        hop,
+        sc_success,
+    });
 
-    /// Queues `core` to issue at cycle `at` (`at ≥ now`).
-    #[inline]
-    fn push(&mut self, now: u64, at: u64, core: u32) {
-        if at - now < WHEEL_SLOTS {
-            let slot = (at & WHEEL_MASK) as usize;
-            self.slots[slot * self.words + (core / 64) as usize] |= 1u64 << (core % 64);
-            self.counts[slot] += 1;
-            self.pending += 1;
-        } else {
-            self.overflow.push(Reverse((at, core)));
-        }
+    // Issue-time epilogue, mirroring the kernel path: retire, count,
+    // scoreboard (lower-bound or exact latency), next-cycle wake. Memory
+    // instructions never redirect the PC and always continue.
+    ctx.cpu.retire_fallthrough();
+    ctx.stats.instructions += 1;
+    ctx.cpu.set_mcycle(now);
+    if dst != NO_REG {
+        ctx.reg_ready[dst as usize] = now + result_latency;
     }
-
-    /// Moves overflow entries inside the `[now, now + WHEEL_SLOTS)` horizon
-    /// into the wheel.
-    fn migrate(&mut self, now: u64) {
-        while let Some(&Reverse((at, core))) = self.overflow.peek() {
-            if at >= now + WHEEL_SLOTS {
-                break;
-            }
-            self.overflow.pop();
-            self.push(now, at, core);
-        }
+    if post_inc != NO_REG {
+        ctx.reg_ready[post_inc as usize] = now + 1;
     }
-
-    /// Empties the slot for cycle `now`, OR-ing its core bitmap into
-    /// `cur`. No-op (and no memory traffic) when the slot is empty.
-    fn drain_slot_into(&mut self, now: u64, cur: &mut [u64]) {
-        let slot = (now & WHEEL_MASK) as usize;
-        let count = self.counts[slot];
-        if count == 0 {
-            return;
-        }
-        self.pending -= count;
-        self.counts[slot] = 0;
-        for (w, s) in cur.iter_mut().enumerate() {
-            *s |= std::mem::take(&mut self.slots[slot * self.words + w]);
-        }
-    }
+    ctx.wake_at = now + 1;
 }
 
 /// The cycle-accurate cluster simulator.
@@ -394,25 +506,32 @@ impl CycleSim {
         self.topo
     }
 
+    fn fresh_ctx<M: Memory>(&self, core: u32, mem: M) -> CoreCtx<M> {
+        let mut cpu = Cpu::new(core);
+        cpu.set_pc(self.program.entry());
+        CoreCtx {
+            cpu,
+            mem,
+            reg_ready: [0; 32],
+            reg_wseq: [0; 32],
+            wake_at: 0,
+            lsu_free: [0; LSU_DEPTH],
+            parked_at: 0,
+            fpu_busy_until: 0,
+            state: CoreState::Ready,
+            stats: CycleStats::default(),
+            tile: self.topo.tile_of_core(core),
+        }
+    }
+
+    /// One core context on the engine-fast memory view (used per domain
+    /// by the sharded engine).
+    fn make_ctx(&self, core: u32) -> CoreCtx<TurboMem> {
+        self.fresh_ctx(core, self.mem.turbo_view(core))
+    }
+
     fn make_ctxs<M: Memory>(&self, cores: u32, view: impl Fn(u32) -> M) -> Vec<CoreCtx<M>> {
-        (0..cores)
-            .map(|core| {
-                let mut cpu = Cpu::new(core);
-                cpu.set_pc(self.program.entry());
-                CoreCtx {
-                    cpu,
-                    mem: view(core),
-                    reg_ready: [0; 32],
-                    wake_at: 0,
-                    lsu_free: [0; LSU_DEPTH],
-                    parked_at: 0,
-                    fpu_busy_until: 0,
-                    state: CoreState::Ready,
-                    stats: CycleStats::default(),
-                    tile: self.topo.tile_of_core(core),
-                }
-            })
-            .collect()
+        (0..cores).map(|core| self.fresh_ctx(core, view(core))).collect()
     }
 
     fn result_of<M>(ctxs: &[CoreCtx<M>]) -> CycleResult {
@@ -438,6 +557,12 @@ impl CycleSim {
     /// bit-identical [`CycleStats`] and memory contents to
     /// [`CycleSim::run_naive`].
     ///
+    /// On multi-group topologies this runs the epoch-sharded engine on
+    /// the calling thread (see [`CycleSim::run_parallel`] and the
+    /// module-level *epoch-deferred model* notes); results stay
+    /// bit-identical to `run_parallel` at every thread count and to
+    /// `run_naive`.
+    ///
     /// # Errors
     ///
     /// Returns the first [`Trap`] raised by any hart.
@@ -447,13 +572,15 @@ impl CycleSim {
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run(&mut self, cores: u32) -> Result<CycleResult, Trap> {
         assert!(cores <= self.topo.num_cores(), "core count out of range");
+        if self.topo.num_domains() > 1 {
+            return epoch::run_sharded(self, cores, 1);
+        }
         let mut ctxs = self.make_ctxs(cores, |core| self.mem.turbo_view(core));
         let tables = RunTables::new(self.topo, &self.program, &self.latency);
         let mut icaches: Vec<FastICache> = (0..self.topo.num_tiles())
             .map(|_| FastICache::new(self.topo.icache_bytes, self.topo.icache_line))
             .collect();
-        let mut bank_free: Vec<u64> = vec![0; self.topo.num_banks() as usize];
-        let mut port_free: Vec<u64> = vec![0; self.topo.num_tiles() as usize];
+        let mut banks = DomainBanks::whole_cluster(self.topo);
 
         let mut wheel = Wheel::new(cores);
         let words = wheel.words;
@@ -481,8 +608,7 @@ impl CycleSim {
                     let core = (w * 64) as u32 + bits.trailing_zeros();
                     bits ^= bit;
                     let ctx = &mut ctxs[core as usize];
-                    let did_mem =
-                        self.issue_fast(ctx, &tables, &mut icaches, &mut bank_free, &mut port_free, now)?;
+                    let did_mem = self.issue_fast(ctx, &tables, &mut icaches, &mut banks, now, None)?;
                     match ctx.state {
                         CoreState::Ready => {
                             // `.max(now + 1)` mirrors the naive scan's
@@ -544,8 +670,8 @@ impl CycleSim {
             // (or beyond its horizon in the overflow heap).
             wheel.migrate(now);
             if wheel.pending == 0 {
-                match wheel.overflow.peek() {
-                    Some(&Reverse((at, _))) => {
+                match wheel.next_overflow() {
+                    Some(at) => {
                         now = at;
                         wheel.migrate(now);
                     }
@@ -557,7 +683,7 @@ impl CycleSim {
             } else {
                 now += 1;
             }
-            while wheel.counts[(now & WHEEL_MASK) as usize] == 0 {
+            while wheel.slot_empty(now) {
                 now += 1;
             }
             wheel.drain_slot_into(now, &mut cur);
@@ -566,11 +692,48 @@ impl CycleSim {
         Ok(Self::result_of(&ctxs))
     }
 
+    /// Runs harts `0..cores` with the epoch-sharded engine, distributing
+    /// the topology's arbitration domains (one per group) over up to
+    /// `threads` host threads.
+    ///
+    /// Domains advance in lockstep epochs sized to the minimum
+    /// cross-group latency; intra-group traffic is simulated with no
+    /// synchronization and cross-group accesses are exchanged at epoch
+    /// boundaries (module-level docs). The result — per-core
+    /// [`CycleStats`], makespan, deadlock report and memory contents — is
+    /// **bit-identical for every `threads` value** and to [`CycleSim::run`]
+    /// and [`CycleSim::run_naive`], because the schedule inside an epoch
+    /// never depends on thread interleaving.
+    ///
+    /// `threads` is clamped to `1..=num_domains`; on single-group
+    /// topologies there is nothing to shard and the event-driven engine
+    /// runs on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart (deterministic:
+    /// global `(issue cycle, core id)` order, then replay order — the
+    /// same trap the sequential full scan reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` exceeds the topology's core count.
+    pub fn run_parallel(&mut self, cores: u32, threads: usize) -> Result<CycleResult, Trap> {
+        assert!(cores <= self.topo.num_cores(), "core count out of range");
+        if self.topo.num_domains() == 1 {
+            return self.run(cores);
+        }
+        epoch::run_sharded(self, cores, threads.max(1))
+    }
+
     /// Runs harts `0..cores` with the original full-scan scheduler.
     ///
     /// Retained as the semantic baseline: every event step rescans every
-    /// core context, exactly as the seed engine did. Use [`CycleSim::run`]
-    /// for anything but differential validation and speedup measurement.
+    /// core context, exactly as the seed engine did (on multi-group
+    /// topologies the scan is epoch-clamped so it implements the same
+    /// epoch-deferred model as the other engines, with its own
+    /// independent boundary replay). Use [`CycleSim::run`] for anything
+    /// but differential validation and speedup measurement.
     ///
     /// # Errors
     ///
@@ -581,12 +744,14 @@ impl CycleSim {
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run_naive(&mut self, cores: u32) -> Result<CycleResult, Trap> {
         assert!(cores <= self.topo.num_cores(), "core count out of range");
+        if self.topo.num_domains() > 1 {
+            return self.run_naive_epochs(cores);
+        }
         let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
         let mut icaches: Vec<ICache> = (0..self.topo.num_tiles())
             .map(|_| ICache::new(self.topo.icache_bytes, self.topo.icache_line))
             .collect();
-        let mut bank_free: Vec<u64> = vec![0; self.topo.num_banks() as usize];
-        let mut port_free: Vec<u64> = vec![0; self.topo.num_tiles() as usize];
+        let mut banks = DomainBanks::whole_cluster(self.topo);
 
         let mut now: u64 = 0;
         loop {
@@ -615,7 +780,7 @@ impl CycleSim {
                     continue;
                 }
 
-                self.issue_one(ctx, &mut icaches, &mut bank_free, &mut port_free, now)?;
+                self.issue_one(ctx, &mut icaches, &mut banks, now, None)?;
                 next_event = next_event.min(ctx.wake_at.max(now + 1));
             }
 
@@ -633,16 +798,165 @@ impl CycleSim {
         Ok(Self::result_of(&ctxs))
     }
 
+    /// The full-scan reference scheduler under the epoch-deferred model
+    /// (multi-group topologies): the seed scan loop, clamped to lockstep
+    /// epochs, with its **own** boundary replay — independent of the
+    /// sharded engine's coordinator — so the differential tests exercise
+    /// two separate implementations of the deferred semantics.
+    fn run_naive_epochs(&mut self, cores: u32) -> Result<CycleResult, Trap> {
+        let topo = self.topo;
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
+        let mut icaches: Vec<ICache> =
+            (0..topo.num_tiles()).map(|_| ICache::new(topo.icache_bytes, topo.icache_line)).collect();
+        let mut banks = DomainBanks::whole_cluster(topo);
+        let epoch = topo.epoch_len();
+        let mut mailbox: Vec<XRequest> = Vec::new();
+
+        let mut now: u64 = 0;
+        let mut epoch_end = epoch;
+        loop {
+            // Scan passes within the epoch; cross-domain accesses defer
+            // into the mailbox (in (cycle, core) order by construction of
+            // the cycle-major, core-minor scan).
+            let mut alive = false;
+            let mut next_event = u64::MAX;
+            for ctx in ctxs.iter_mut() {
+                match ctx.state {
+                    CoreState::Done => continue,
+                    // Parked cores wake only at epoch boundaries: the
+                    // wake-all register is a (deferred) control store, so
+                    // the wake bits cannot move mid-epoch.
+                    CoreState::Parked => {
+                        alive = true;
+                        continue;
+                    }
+                    CoreState::Ready => {}
+                }
+                alive = true;
+                if ctx.wake_at > now {
+                    next_event = next_event.min(ctx.wake_at);
+                    continue;
+                }
+                let mut defer =
+                    Defer { domain: topo.domain_of_core(ctx.cpu.hart_id()), topo, outbox: &mut mailbox };
+                self.issue_one(ctx, &mut icaches, &mut banks, now, Some(&mut defer))?;
+                next_event = next_event.min(ctx.wake_at.max(now + 1));
+            }
+            if !alive && mailbox.is_empty() {
+                break;
+            }
+            if alive {
+                let next = next_event.max(now + 1);
+                if next < epoch_end {
+                    now = next;
+                    continue;
+                }
+            }
+            // (The last retiring pass always has `alive == true`, so a
+            // non-empty mailbox normally reaches the boundary below; the
+            // guard above keeps that true even for degenerate schedules.)
+
+            // Epoch boundary: replay the mailbox in (cycle, core) order
+            // against the global reservation books, then deliver wakes.
+            mailbox.sort_by_key(|x| (x.cycle, x.core));
+            for x in mailbox.drain(..) {
+                let granted = (x.bank != u32::MAX).then(|| {
+                    let arrive = x.depart + u64::from(x.hop);
+                    let busy = if matches!(x.op, MemOp::Amo(_)) { 2 } else { 1 };
+                    let slot = banks.local_bank(x.bank);
+                    let grant = arrive.max(banks.bank_free[slot]);
+                    banks.bank_free[slot] = grant + busy;
+                    ((grant + busy - x.cycle) + u64::from(x.hop), grant - (x.cycle + u64::from(x.hop)))
+                });
+                let ctx = &mut ctxs[x.core as usize];
+                // WAW guard, mirroring the coordinator's replay: rd is
+                // only touched while this request is still its last
+                // writer (see `CoreCtx::reg_wseq`).
+                let owns_rd = x.rd != NO_REG && ctx.reg_wseq[x.rd as usize] == x.wseq;
+                if let Some((result_latency, contention)) = granted {
+                    ctx.stats.stall_lsu += contention;
+                    ctx.lsu_free[x.slot as usize] = x.cycle + result_latency;
+                    if owns_rd {
+                        ctx.reg_ready[x.rd as usize] = x.cycle + result_latency;
+                    }
+                }
+                let merr = |err| Trap::Mem { pc: x.pc, err };
+                match x.op {
+                    MemOp::Load { size, signed } => {
+                        let raw = ctx.mem.load(x.addr, u32::from(size)).map_err(merr)?;
+                        let value = match (size, signed) {
+                            (1, true) => raw as u8 as i8 as i32 as u32,
+                            (2, true) => raw as u16 as i16 as i32 as u32,
+                            _ => raw,
+                        };
+                        if owns_rd {
+                            ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), value);
+                        }
+                    }
+                    MemOp::LoadReserved => {
+                        let raw = ctx.mem.load(x.addr, 4).map_err(merr)?;
+                        if owns_rd {
+                            ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), raw);
+                        }
+                    }
+                    MemOp::Store { size } => ctx.mem.store(x.addr, u32::from(size), x.value).map_err(merr)?,
+                    MemOp::StoreConditional => {
+                        if x.sc_success {
+                            ctx.mem.store(x.addr, 4, x.value).map_err(merr)?;
+                        }
+                    }
+                    MemOp::Amo(op) => {
+                        let old = ctx.mem.amo(op, x.addr, x.value).map_err(merr)?;
+                        if owns_rd {
+                            ctx.cpu.set_reg(Reg::from_num(u32::from(x.rd) & 31), old);
+                        }
+                    }
+                    MemOp::None => unreachable!("only memory operations are deferred"),
+                }
+            }
+            for ctx in ctxs.iter_mut() {
+                if ctx.state == CoreState::Parked && self.mem.wake_pending(ctx.cpu.hart_id()) {
+                    let _ = self.mem.take_wake(ctx.cpu.hart_id());
+                    ctx.stats.stall_wfi += epoch_end.saturating_sub(ctx.parked_at);
+                    ctx.state = CoreState::Ready;
+                    ctx.wake_at = epoch_end + 1;
+                }
+            }
+
+            // Resume at the earliest ready event, fast-forwarding over
+            // empty epochs (boundaries stay on the absolute grid).
+            let resume = ctxs
+                .iter()
+                .filter(|c| c.state == CoreState::Ready)
+                .map(|c| c.wake_at)
+                .min()
+                .unwrap_or(u64::MAX);
+            if resume == u64::MAX {
+                // Every core done, or parked with no wake in flight.
+                break;
+            }
+            now = resume.max(epoch_end);
+            epoch_end = now / epoch * epoch + epoch;
+        }
+
+        Ok(Self::result_of(&ctxs))
+    }
+
     /// Attempts to issue one instruction on `ctx` at cycle `now`; updates
     /// `wake_at` to the next cycle the core can act. (Reference path used
     /// by [`CycleSim::run_naive`].)
+    ///
+    /// With `defer` present (multi-group topologies), accesses leaving
+    /// the issuing core's domain are deferred to the epoch boundary
+    /// instead of executing — see the module-level *epoch-deferred model*
+    /// notes and [`defer_issue`].
     fn issue_one(
         &self,
         ctx: &mut CoreCtx<CoreMem>,
         icaches: &mut [ICache],
-        bank_free: &mut [u64],
-        port_free: &mut [u64],
+        banks: &mut DomainBanks,
         now: u64,
+        defer: Option<&mut Defer>,
     ) -> Result<(), Trap> {
         if ctx.stats.instructions >= self.max_instructions {
             ctx.state = CoreState::Done;
@@ -653,7 +967,7 @@ impl CycleSim {
         let pc = ctx.cpu.pc();
         let inst = self.program.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
         let core = ctx.cpu.hart_id();
-        let tile = self.topo.tile_of_core(core) as usize;
+        let tile = banks.local_tile(ctx.tile);
 
         // 1. Instruction fetch through the shared tile I$.
         if !icaches[tile].access(pc) {
@@ -696,22 +1010,79 @@ impl CycleSim {
                 return Ok(());
             }
             let addr = effective_address(&ctx.cpu, &inst);
-            if let Some((bank, _)) = self.topo.l1_slot(addr & !3) {
+            let l1 = self.topo.l1_slot(addr & !3);
+            if let Some(df) = defer {
+                let meta = UopMeta::of(&inst, &self.latency);
+                let remote_bank = match l1 {
+                    Some((bank, _)) if self.topo.domain_of_bank(bank) != df.domain => Some(bank),
+                    _ => None,
+                };
+                // Everything outside L1 (L2, control region) is shared by
+                // all groups: defer loads too, so a core's own deferred
+                // store is visible to its later load (same boundary,
+                // earlier (cycle, core) key) and cross-core order stays
+                // deterministic.
+                if remote_bank.is_some() || l1.is_none() {
+                    let value_reg = match inst {
+                        Inst::Store { rs2, .. } | Inst::ScW { rs2, .. } | Inst::Amo { rs2, .. } => {
+                            rs2.index() as u8
+                        }
+                        _ => 0,
+                    };
+                    let base = ctx.cpu.reg(Reg::from_num(u32::from(meta.ea_base) & 31));
+                    let (bank, depart, hop) = match remote_bank {
+                        Some(bank) => {
+                            let hop = self.topo.request_latency(core, bank);
+                            let depart = now.max(banks.port_free[tile]);
+                            banks.port_free[tile] = depart + 1;
+                            let busy: u64 = if matches!(class, InstClass::Amo) { 2 } else { 1 };
+                            result_latency = (depart + u64::from(hop) + busy - now) + u64::from(hop);
+                            (bank, depart, hop as u8)
+                        }
+                        // Shared L2/ctrl mutation: latency exact at issue.
+                        None => {
+                            result_latency = 16;
+                            (u32::MAX, now, 0)
+                        }
+                    };
+                    ctx.lsu_free[slot] = now + result_latency;
+                    defer_issue(
+                        ctx,
+                        meta.mem,
+                        meta.dst,
+                        meta.post_inc,
+                        value_reg,
+                        base,
+                        meta.ea_offset,
+                        pc,
+                        addr,
+                        now,
+                        result_latency,
+                        slot,
+                        bank,
+                        depart,
+                        hop,
+                        df.outbox,
+                    );
+                    return Ok(());
+                }
+            }
+            if let Some((bank, _)) = l1 {
                 let hop = u64::from(self.topo.request_latency(core, bank));
                 // Remote requests serialize on the tile's shared outbound
                 // port (one request per cycle per tile, paper §II).
                 let depart = if hop > 0 {
-                    let port = tile;
-                    let d = now.max(port_free[port]);
-                    port_free[port] = d + 1;
+                    let d = now.max(banks.port_free[tile]);
+                    banks.port_free[tile] = d + 1;
                     d
                 } else {
                     now
                 };
                 let arrive = depart + hop;
                 let busy = if matches!(class, InstClass::Amo) { 2 } else { 1 };
-                let grant = arrive.max(bank_free[bank as usize]);
-                bank_free[bank as usize] = grant + busy;
+                let b = banks.local_bank(bank);
+                let grant = arrive.max(banks.bank_free[b]);
+                banks.bank_free[b] = grant + busy;
                 let contention = grant - (now + hop);
                 ctx.stats.stall_lsu += contention;
                 // Response returns after the bank access + the way back.
@@ -730,9 +1101,11 @@ impl CycleSim {
 
         if let Some(rd) = inst.dst() {
             ctx.reg_ready[rd.index()] = now + result_latency;
+            ctx.reg_wseq[rd.index()] += 1;
         }
         if let Some(base) = inst.post_inc_dst() {
             ctx.reg_ready[base.index()] = now + 1;
+            ctx.reg_wseq[base.index()] += 1;
         }
         if uses_fpu && matches!(class, InstClass::FpDivSqrt) {
             ctx.fpu_busy_until = now + u64::from(self.latency.result_latency(class));
@@ -766,11 +1139,16 @@ impl CycleSim {
         Ok(())
     }
 
-    /// Hot-path issue used by the event-driven engine: identical semantics
-    /// to [`CycleSim::issue_one`], running from the pre-lowered micro-op
-    /// table (operands, metadata and a direct kernel pointer resolved once
-    /// at load — no per-issue field extraction or nested matching), the
-    /// tile-pair hop table and shift-based bank decoding.
+    /// Hot-path issue used by the event-driven engines: identical
+    /// semantics to [`CycleSim::issue_one`], running from the pre-lowered
+    /// micro-op table (operands, metadata and a direct kernel pointer
+    /// resolved once at load — no per-issue field extraction or nested
+    /// matching), the tile-pair hop table and shift-based bank decoding.
+    ///
+    /// With `defer` present (the per-domain engines of the sharded
+    /// scheduler), accesses leaving the issuing core's domain are
+    /// deferred to the epoch boundary instead of executing.
+    ///
     /// Returns `true` when a memory-class instruction *executed* (the
     /// only case in which a wake-all can have been published).
     #[inline]
@@ -779,9 +1157,9 @@ impl CycleSim {
         ctx: &mut CoreCtx<TurboMem>,
         tables: &RunTables,
         icaches: &mut [FastICache],
-        bank_free: &mut [u64],
-        port_free: &mut [u64],
+        banks: &mut DomainBanks,
         now: u64,
+        defer: Option<&mut Defer>,
     ) -> Result<bool, Trap> {
         if ctx.stats.instructions >= self.max_instructions {
             ctx.state = CoreState::Done;
@@ -792,7 +1170,7 @@ impl CycleSim {
         let pc = ctx.cpu.pc();
         let lu = tables.uops.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
         let meta = &lu.meta;
-        let tile = ctx.tile as usize;
+        let tile = banks.local_tile(ctx.tile);
 
         // 1. Instruction fetch through the shared tile I$.
         if !icaches[tile].access(pc) {
@@ -838,23 +1216,70 @@ impl CycleSim {
                 ctx.wake_at = slot_free;
                 return Ok(false);
             }
-            let base = ctx.cpu.reg(terasim_riscv::Reg::from_num(u32::from(meta.ea_base) & 31));
+            let base = ctx.cpu.reg(Reg::from_num(u32::from(meta.ea_base) & 31));
             let addr = if meta.ea_no_offset { base } else { base.wrapping_add(meta.ea_offset as u32) };
-            if let Some((bank, off)) = tables.l1_slot(addr & !3) {
+            let l1 = tables.l1_slot(addr & !3);
+            if let Some(df) = defer {
+                let remote_bank = match l1 {
+                    Some((bank, _)) if df.topo.domain_of_bank(bank) != df.domain => Some(bank),
+                    _ => None,
+                };
+                // L2/ctrl accesses (loads included) are shared by all
+                // groups and defer wholesale — see `issue_one`.
+                if remote_bank.is_some() || l1.is_none() {
+                    let (bank, depart, hop) = match remote_bank {
+                        Some(bank) => {
+                            let hop = tables.hop(ctx.tile, tables.tile_of_bank(bank));
+                            let depart = now.max(banks.port_free[tile]);
+                            banks.port_free[tile] = depart + 1;
+                            let busy: u64 = if meta.is_amo { 2 } else { 1 };
+                            result_latency = (depart + hop + busy - now) + hop;
+                            (bank, depart, hop as u8)
+                        }
+                        // Shared L2/ctrl mutation: latency exact at issue.
+                        None => {
+                            result_latency = 16;
+                            (u32::MAX, now, 0)
+                        }
+                    };
+                    ctx.lsu_free[slot] = now + result_latency;
+                    defer_issue(
+                        ctx,
+                        meta.mem,
+                        meta.dst,
+                        meta.post_inc,
+                        lu.uop.rs2,
+                        base,
+                        meta.ea_offset,
+                        pc,
+                        addr,
+                        now,
+                        result_latency,
+                        slot,
+                        bank,
+                        depart,
+                        hop,
+                        df.outbox,
+                    );
+                    return Ok(true);
+                }
+            }
+            if let Some((bank, off)) = l1 {
                 // Hand the kernel the decode we just did (one-entry memo).
                 ctx.mem.prime(addr & !3, bank, off);
                 let hop = tables.hop(ctx.tile, tables.tile_of_bank(bank));
                 let depart = if hop > 0 {
-                    let d = now.max(port_free[tile]);
-                    port_free[tile] = d + 1;
+                    let d = now.max(banks.port_free[tile]);
+                    banks.port_free[tile] = d + 1;
                     d
                 } else {
                     now
                 };
                 let arrive = depart + hop;
                 let busy = if meta.is_amo { 2 } else { 1 };
-                let grant = arrive.max(bank_free[bank as usize]);
-                bank_free[bank as usize] = grant + busy;
+                let b = banks.local_bank(bank);
+                let grant = arrive.max(banks.bank_free[b]);
+                banks.bank_free[b] = grant + busy;
                 ctx.stats.stall_lsu += grant - (now + hop);
                 result_latency = (grant + busy - now) + hop;
             } else {
@@ -874,6 +1299,7 @@ impl CycleSim {
         if meta.post_inc != NO_REG {
             ctx.reg_ready[meta.post_inc as usize] = now + 1;
         }
+        ctx.note_reg_writes(meta.dst, meta.post_inc);
         if meta.is_div_sqrt {
             ctx.fpu_busy_until = now + meta.result_lat;
         }
@@ -1104,5 +1530,19 @@ mod tests {
             // The other seven harts finished cleanly.
             assert_eq!(result.per_core.iter().filter(|s| s.done_at > 0).count(), 7);
         }
+    }
+
+    #[test]
+    fn per_group_aggregation_partitions_the_cluster() {
+        let topo = Topology::scaled(8);
+        let mut sim = CycleSim::new(topo, &barrier_image(8)).unwrap();
+        let result = sim.run(8).unwrap();
+        let groups = result.aggregate_groups(&topo);
+        assert_eq!(groups.len(), topo.num_domains() as usize);
+        let mut sum = CycleStats::default();
+        for g in &groups {
+            sum.accumulate(g);
+        }
+        assert_eq!(sum, result.aggregate(), "group partition must cover every core exactly once");
     }
 }

@@ -18,7 +18,12 @@
 //!   non-pipelined FP divide/sqrt unit and `wfi` sleep — the reference
 //!   timing the paper's Figures 7–8 are measured against. Scheduling is
 //!   event-driven (a calendar-wheel ready queue keyed on per-core wake
-//!   cycles); the original full-scan scheduler is retained as
+//!   cycles), and on multi-group topologies the engine **shards by
+//!   group**: each group is an independent arbitration domain advancing
+//!   in lockstep epochs, with cross-group traffic exchanged through
+//!   mailboxes at epoch boundaries ([`CycleSim::run_parallel`] runs the
+//!   domains on host threads; results are bit-identical at every thread
+//!   count). The original full-scan scheduler is retained as
 //!   [`CycleSim::run_naive`] and pinned bit-identical by the workspace's
 //!   differential tests.
 //!

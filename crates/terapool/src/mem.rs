@@ -1,9 +1,12 @@
-//! The shared cluster memory: banked L1 (both views), L2, control region.
+//! The shared cluster memory: banked L1 (both views), L2, control region —
+//! plus the domain-partitioned timing state ([`DomainBanks`]) and the
+//! cross-domain request record ([`XRequest`]) the epoch-sharded cycle
+//! engine exchanges at epoch boundaries.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use terasim_iss::{MemError, Memory};
+use terasim_iss::{MemError, MemOp, Memory};
 use terasim_riscv::{AmoOp, Image};
 
 use crate::topology::{L1Decode, Topology};
@@ -251,6 +254,103 @@ impl ClusterMem {
     }
 }
 
+/// Per-domain partition of the cycle engine's arbitration timing state:
+/// the `bank_free` / `port_free` reservation books of the banks and tile
+/// ports one arbitration domain owns, indexed locally so each domain's
+/// hot state is compact and exclusively its own during an epoch.
+///
+/// The single-domain engines use a [`whole_cluster`](Self::whole_cluster)
+/// instance (bases 0), so every issue path arbitrates through the same
+/// structure.
+#[derive(Debug, Clone)]
+pub(crate) struct DomainBanks {
+    /// Cycle at which each owned bank is next free (local index).
+    pub bank_free: Vec<u64>,
+    /// Cycle at which each owned tile's outbound port is next free.
+    pub port_free: Vec<u64>,
+    bank_base: u32,
+    tile_base: u32,
+}
+
+impl DomainBanks {
+    /// Timing state covering every bank and tile (single-domain engines).
+    pub fn whole_cluster(topo: Topology) -> Self {
+        Self {
+            bank_free: vec![0; topo.num_banks() as usize],
+            port_free: vec![0; topo.num_tiles() as usize],
+            bank_base: 0,
+            tile_base: 0,
+        }
+    }
+
+    /// Timing state of one arbitration domain (group).
+    pub fn for_domain(topo: Topology, domain: u32) -> Self {
+        Self {
+            bank_free: vec![0; topo.banks_per_group() as usize],
+            port_free: vec![0; topo.tiles_per_group() as usize],
+            bank_base: domain * topo.banks_per_group(),
+            tile_base: domain * topo.tiles_per_group(),
+        }
+    }
+
+    /// Local index of a (globally numbered) owned bank.
+    #[inline]
+    pub fn local_bank(&self, bank: u32) -> usize {
+        debug_assert!(bank >= self.bank_base, "bank {bank} not owned by this domain");
+        (bank - self.bank_base) as usize
+    }
+
+    /// Local index of a (globally numbered) owned tile.
+    #[inline]
+    pub fn local_tile(&self, tile: u32) -> usize {
+        debug_assert!(tile >= self.tile_base, "tile {tile} not owned by this domain");
+        (tile - self.tile_base) as usize
+    }
+}
+
+/// One deferred cross-domain memory operation, queued during an epoch and
+/// replayed — bank grant, architectural effect, destination writeback —
+/// at the next epoch boundary in global `(issue cycle, core id)` order.
+///
+/// `bank == u32::MAX` marks an L2/control access: those have a fixed
+/// 16-cycle latency with no bank arbitration, so only the architectural
+/// effect (load value / store / AMO / wake publication) is deferred; the
+/// issuing core's timing was already exact at issue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct XRequest {
+    /// Issue cycle (primary replay sort key).
+    pub cycle: u64,
+    /// Departure cycle after the issuing tile's port arbitration.
+    pub depart: u64,
+    /// Issuing hart (secondary replay sort key).
+    pub core: u32,
+    /// PC of the deferred instruction (trap attribution).
+    pub pc: u32,
+    /// Effective address (unmasked).
+    pub addr: u32,
+    /// Captured store value / AMO operand (loads: unused).
+    pub value: u32,
+    /// Target bank, or `u32::MAX` for L2/control.
+    pub bank: u32,
+    /// What to do at the target.
+    pub op: MemOp,
+    /// Destination register index, or [`terasim_iss::NO_REG`] when the
+    /// writeback is suppressed (stores, `x0`, post-increment overwrite,
+    /// failed `sc.w`).
+    pub rd: u8,
+    /// `rd`'s per-register write counter captured at issue; the replay
+    /// touches `rd` (value and scoreboard) only while the counter is
+    /// unchanged, so a later same-epoch WAW writer is never clobbered.
+    pub wseq: u64,
+    /// LSU queue slot claimed at issue (its completion time is corrected
+    /// to the granted latency at replay).
+    pub slot: u8,
+    /// One-way hop latency to the target bank.
+    pub hop: u8,
+    /// `sc.w` only: whether the reservation check succeeded at issue.
+    pub sc_success: bool,
+}
+
 /// One hart's view of the cluster memory; implements
 /// [`Memory`](terasim_iss::Memory) with topology-aware latencies.
 #[derive(Debug, Clone)]
@@ -326,22 +426,30 @@ impl Memory for CoreMem {
     }
 }
 
-/// Single-threaded fast view of the cluster memory, used by the
-/// event-driven cycle engine only.
+/// Fast view of the cluster memory used by the event-driven and
+/// epoch-sharded cycle engines.
 ///
 /// Same bytes and bit-identical values as [`CoreMem`], with two
-/// engine-local optimizations that are sound because the cycle engine
-/// runs every hart on one host thread:
+/// engine-local optimizations:
 ///
 /// * **Relaxed atomic orderings** (and plain read-modify-write instead of
-///   CAS loops for sub-word stores and AMOs) — program order is the only
-///   order there is.
+///   CAS loops for sub-word stores and AMOs).
 /// * **Shift-based bank decoding** when the topology's divisors are
 ///   powers of two (they are for every TeraPool configuration), instead
 ///   of the division/modulo chain in [`Topology::l1_slot`].
 ///
-/// Never hand this to code that shares the memory across host threads —
-/// use [`ClusterMem::core_view`] there.
+/// These are sound only under the cycle engines' access discipline, which
+/// guarantees no location is ever written concurrently:
+///
+/// * single-domain engines run every hart on one host thread;
+/// * the epoch-sharded engine lets a domain touch **only its own group's
+///   banks** during an epoch (cross-group and all L2/control accesses
+///   are deferred into [`XRequest`] mailboxes and applied single-threaded
+///   at the epoch boundary, which the domains' synchronization barrier
+///   orders against all phase reads/writes).
+///
+/// Never hand this to code outside that discipline — use
+/// [`ClusterMem::core_view`] there.
 #[derive(Debug, Clone)]
 pub(crate) struct TurboMem {
     mem: ClusterMem,

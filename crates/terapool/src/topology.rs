@@ -114,9 +114,59 @@ impl Topology {
         topo
     }
 
+    /// One-way pipeline hop cost of a request that crosses a group
+    /// boundary — the cluster-level crossbar stages of the paper's
+    /// hierarchy, and the *minimum* latency by which one group can affect
+    /// another. The epoch-sharded cycle engine sizes its lockstep epochs
+    /// to this value: effects a group publishes in one epoch cannot be
+    /// observable in another group before the next epoch begins.
+    pub const CROSS_GROUP_HOP: u32 = 4;
+
     /// Total core count.
     pub fn num_cores(&self) -> u32 {
         self.cores_per_tile * self.num_tiles()
+    }
+
+    /// Number of independent arbitration domains the cycle engine can
+    /// shard into — one per group. Everything a core arbitrates for
+    /// *within* an epoch (its tile's I$ and outbound port, the banks it
+    /// can reach in fewer than [`Self::CROSS_GROUP_HOP`] cycles) belongs
+    /// to exactly one group, which is what makes the group the natural
+    /// sharding boundary.
+    pub fn num_domains(&self) -> u32 {
+        self.groups
+    }
+
+    /// Tiles per group.
+    pub fn tiles_per_group(&self) -> u32 {
+        self.tiles_per_subgroup * self.subgroups_per_group
+    }
+
+    /// Cores per group.
+    pub fn cores_per_group(&self) -> u32 {
+        self.cores_per_tile * self.tiles_per_group()
+    }
+
+    /// Banks per group.
+    pub fn banks_per_group(&self) -> u32 {
+        self.banks_per_tile * self.tiles_per_group()
+    }
+
+    /// Arbitration domain (group index) owning a core.
+    pub fn domain_of_core(&self, core: u32) -> u32 {
+        core / self.cores_per_group()
+    }
+
+    /// Arbitration domain (group index) owning a bank.
+    pub fn domain_of_bank(&self, bank: u32) -> u32 {
+        bank / self.banks_per_group()
+    }
+
+    /// Epoch length (cycles) of the sharded cycle engine: the minimum
+    /// cross-group latency, so deferred cross-group effects applied at an
+    /// epoch boundary are never applied *after* their arrival time.
+    pub fn epoch_len(&self) -> u64 {
+        u64::from(Self::CROSS_GROUP_HOP)
     }
 
     /// Total tile count.
@@ -198,7 +248,7 @@ impl Topology {
         } else if self.group_of_tile(ct) == self.group_of_tile(bt) {
             2
         } else {
-            4
+            Self::CROSS_GROUP_HOP
         }
     }
 
@@ -207,7 +257,7 @@ impl Topology {
     /// (9 cycles on full TeraPool, smaller for scaled clusters).
     pub fn max_access_latency(&self) -> u32 {
         let max_hop = if self.groups > 1 {
-            4
+            Self::CROSS_GROUP_HOP
         } else if self.subgroups_per_group > 1 {
             2
         } else if self.tiles_per_subgroup > 1 {
@@ -408,6 +458,24 @@ mod tests {
             assert!(slot.1 < t.bank_words());
         }
         assert_eq!(seen.len(), (t.l1_bytes() / 4) as usize);
+    }
+
+    #[test]
+    fn domain_mapping_follows_groups() {
+        let t = Topology::terapool();
+        assert_eq!(t.num_domains(), 4);
+        assert_eq!(t.cores_per_group(), 256);
+        assert_eq!(t.banks_per_group(), 1024);
+        for core in [0, 255, 256, 1023] {
+            assert_eq!(t.domain_of_core(core), t.group_of_tile(t.tile_of_core(core)), "core {core}");
+        }
+        for bank in [0, 1023, 1024, 4095] {
+            assert_eq!(t.domain_of_bank(bank), t.group_of_tile(t.tile_of_bank(bank)), "bank {bank}");
+        }
+        assert_eq!(Topology::scaled(64).num_domains(), 1);
+        assert_eq!(Topology::scaled(512).num_domains(), 2);
+        assert_eq!(Topology::scaled(1024).num_domains(), 4);
+        assert_eq!(t.epoch_len(), u64::from(Topology::CROSS_GROUP_HOP));
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //! (paper Figure 8 style).
 //!
 //! Runs the parallel MMSE on the cycle-stepped backend — the framework's
-//! RTL-simulation stand-in — and prints where the cycles go: issued
-//! instructions vs RAW, LSU-contention, I$-refill, FPU and barrier stalls.
+//! RTL-simulation stand-in — through the epoch-sharded engine
+//! (`CycleSim::run_parallel`) and prints where the cycles go: issued
+//! instructions vs RAW, LSU-contention, I$-refill, FPU and barrier
+//! stalls, cluster-wide and per group (the engine's arbitration
+//! domains).
 //!
-//! Run with: `cargo run --release --example cycle_accurate -- [--cores N] [--mimo N]`
+//! Run with:
+//! `cargo run --release --example cycle_accurate -- [--cores N] [--mimo N] [--threads N]`
 
 use terasim::experiments::{self, ParallelConfig};
 use terasim_kernels::Precision;
@@ -22,12 +26,17 @@ fn arg(name: &str, default: u32) -> u32 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores = arg("--cores", 64);
     let n = arg("--mimo", 4);
-    println!("cycle-accurate parallel MMSE: {cores} cores, {n}x{n} MIMO\n");
+    let default_threads = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1).min(4);
+    let threads = arg("--threads", default_threads) as usize;
+    println!("cycle-accurate parallel MMSE: {cores} cores, {n}x{n} MIMO, {threads} host thread(s)\n");
     println!(" precision | makespan | instr%  | raw%   | lsu%   | ins%   | acc%   | wfi%   | wall");
     println!(" ----------+----------+---------+--------+--------+--------+--------+--------+---------");
+    let mut last_groups = Vec::new();
     for precision in Precision::TIMED {
         let config = ParallelConfig { cores, n, precision, seed: 3, unroll: 2 };
-        let out = experiments::parallel_cycle(&config)?;
+        // The epoch-sharded engine: one arbitration domain per topology
+        // group, bit-identical to `run`/`run_naive` at any thread count.
+        let out = experiments::parallel_cycle_threads(&config, threads)?;
         let b = out.breakdown;
         let total = b.total() as f64;
         let pct = |x: u64| 100.0 * x as f64 / total;
@@ -44,7 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.wall,
         );
         assert!(out.verified, "architectural results diverged");
+        last_groups = out.per_group;
     }
     println!("\n(The 16bHalf row shows the highest LSU share: twice the memory ops, paper §V-B.)");
+
+    // Per-group breakdown of the last run: the sharded engine's domains.
+    // A balanced workload should stay balanced across groups.
+    println!("\nper-group breakdown ({} domain(s), last precision above):", last_groups.len());
+    println!(" group | instructions | raw      | lsu      | ins      | acc      | wfi");
+    println!(" ------+--------------+----------+----------+----------+----------+----------");
+    for (g, s) in last_groups.iter().enumerate() {
+        println!(
+            " {g:>5} | {:>12} | {:>8} | {:>8} | {:>8} | {:>8} | {:>8}",
+            s.instructions, s.stall_raw, s.stall_lsu, s.stall_ins, s.stall_acc, s.stall_wfi,
+        );
+    }
     Ok(())
 }
