@@ -10,8 +10,9 @@
 //!
 //! Run: `cargo run -p terasim-bench --release --bin ablation_latency [--full]`
 
-use terasim::experiments::{self, ParallelConfig};
-use terasim_bench::{par_map, Scale};
+use terasim::experiments::{CycleEngine, ParallelConfig, ParallelScenario};
+use terasim::serve::BatchRunner;
+use terasim_bench::Scale;
 use terasim_iss::{LatencyModel, RunConfig};
 use terasim_kernels::Precision;
 
@@ -29,20 +30,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             configs.push((n, precision));
         }
     }
-    // One configuration per worker; the fast-mode runs inside each task are
-    // single-threaded (results are host-thread-invariant anyway).
-    let rows = par_map(configs, |(n, precision)| -> Result<_, String> {
+    // One configuration per batch job: the cycle-accurate reference and
+    // all three fast-mode latency models run over that job's shared
+    // artifact set (the fast-mode runs are single-threaded; results are
+    // host-thread-invariant anyway).
+    let rows = BatchRunner::new().run(configs, |ctx, (n, precision)| -> Result<_, String> {
         let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 7, unroll: 2 };
-        let reference = experiments::parallel_cycle(&config).map_err(|e| e.to_string())?.cycles;
+        let scenario = ParallelScenario::prepare(&config).map_err(|e| e.to_string())?;
+        let reference = scenario
+            .run_cycle(CycleEngine::Parallel(ctx.claimable_threads()))
+            .map_err(|e| e.to_string())?
+            .cycles;
         let run = |per_address: bool, load: u32| -> Result<u64, String> {
             let rc = RunConfig {
                 per_address_latency: per_address,
                 latency: LatencyModel { load, ..LatencyModel::default() },
                 ..RunConfig::default()
             };
-            Ok(experiments::parallel_fast_configured(&config, 1, rc)
-                .map_err(|e| e.to_string())?
-                .cluster_cycles)
+            Ok(scenario.run_fast_configured(1, rc).map_err(|e| e.to_string())?.cluster_cycles)
         };
         Ok((n, precision, reference, run(false, 9)?, run(true, 9)?, run(false, 1)?))
     });

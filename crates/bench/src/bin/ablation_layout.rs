@@ -52,9 +52,9 @@ fn main() {
             configs.push((n, precision));
         }
     }
-    // Both layouts of one configuration per worker (independent cluster
-    // simulations; the printed table keeps input order).
-    let rows = terasim_bench::par_map(configs, |(n, precision)| {
+    // Both layouts of one configuration per batch job (independent
+    // cluster simulations; `BatchRunner` returns rows in input order).
+    let rows = terasim::serve::BatchRunner::new().run(configs, |_ctx, (n, precision)| {
         (n, precision, run(n, precision, cores, false), run(n, precision, cores, true))
     });
     for (n, precision, (base_cycles, base_lsu), (bad_cycles, bad_lsu)) in rows {

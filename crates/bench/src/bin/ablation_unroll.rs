@@ -22,12 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             configs.push((n, precision));
         }
     }
-    // Both unroll factors of one configuration per worker (independent
-    // cycle-accurate simulations; printed in input order).
-    let rows = terasim_bench::par_map(configs, |(n, precision)| -> Result<_, String> {
+    // Both unroll factors of one configuration per batch job (independent
+    // cycle-accurate simulations — different unrolls are different guest
+    // programs, hence separate artifact sets; `BatchRunner` returns rows
+    // in input order and lets each job widen into idle worker lanes).
+    let rows = terasim::serve::BatchRunner::new().run(configs, |ctx, (n, precision)| -> Result<_, String> {
         let run = |unroll: u32| {
             let config = ParallelConfig { cores: scale.cores(), n, precision, seed: 8, unroll };
-            let out = experiments::parallel_cycle(&config).map_err(|e| e.to_string())?;
+            let out = experiments::parallel_cycle_threads(&config, ctx.claimable_threads())
+                .map_err(|e| e.to_string())?;
             assert!(out.verified);
             Ok::<_, String>(out)
         };

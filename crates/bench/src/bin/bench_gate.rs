@@ -9,10 +9,12 @@
 //!   runners are noisy, the gate is for real regressions, not jitter);
 //! * the barrier-skew speedup falls below the baseline by more than the
 //!   same tolerance;
-//! * any domain-sharded scaling entry present in the baseline
-//!   (`speedup_threads_2`, `speedup_threads_4`,
-//!   `speedup_event_vs_naive_at_scale`) is missing from the candidate or
-//!   falls below the baseline beyond the same tolerance band;
+//! * any domain-sharded scaling or batch-serving entry present in the
+//!   baseline (`speedup_threads_2`, `speedup_threads_4`,
+//!   `speedup_event_vs_naive_at_scale`, `batch_amortization` — the
+//!   jobs/sec win of shared artifacts over per-job rebuild) is missing
+//!   from the candidate or falls below the baseline beyond the same
+//!   tolerance band;
 //! * the 4-thread sharded speedup falls below the absolute floor
 //!   (`--floor-threads4`, default 2.0) **when the candidate runner has
 //!   at least 4 host CPUs** (`host_cpus` in the report) — a 1-core
@@ -81,6 +83,9 @@ struct Report {
     threads2: Option<f64>,
     threads4: Option<f64>,
     at_scale: Option<f64>,
+    /// Batch-serving amortization (jobs/sec, shared artifacts vs per-job
+    /// rebuild; absent in pre-serve-layer reports).
+    batch_amortization: Option<f64>,
     /// Host CPUs of the reporting machine (absent in older reports).
     host_cpus: Option<f64>,
 }
@@ -94,6 +99,7 @@ fn parse(path: &str) -> Result<Report, String> {
     let threads2 = numbers_after(&json, "speedup_threads_2").first().copied();
     let threads4 = numbers_after(&json, "speedup_threads_4").first().copied();
     let at_scale = numbers_after(&json, "speedup_event_vs_naive_at_scale").first().copied();
+    let batch_amortization = numbers_after(&json, "batch_amortization").first().copied();
     let host_cpus = numbers_after(&json, "host_cpus").first().copied();
     let ns = numbers_after(&json, "ns_per_inst_event");
     let ns_per_inst = match ns.first() {
@@ -116,6 +122,7 @@ fn parse(path: &str) -> Result<Report, String> {
         threads2,
         threads4,
         at_scale,
+        batch_amortization,
         host_cpus,
     })
 }
@@ -161,14 +168,16 @@ fn main() -> ExitCode {
         }
     }
 
-    // Domain-sharded scaling entries: tolerance-banded against the
-    // baseline, like the engine speedups above. A baseline without them
-    // (pre-sharding format) waives the check; a candidate missing one the
-    // baseline has means the sweep silently disappeared — that fails.
+    // Domain-sharded scaling and batch-serving entries: tolerance-banded
+    // against the baseline, like the engine speedups above. A baseline
+    // without them (older format) waives the check; a candidate missing
+    // one the baseline has means the sweep silently disappeared — that
+    // fails.
     for (label, base, cand) in [
         ("threads x2 sharding", baseline.threads2, candidate.threads2),
         ("threads x4 sharding", baseline.threads4, candidate.threads4),
         ("event-vs-naive @1024", baseline.at_scale, candidate.at_scale),
+        ("batch amortization", baseline.batch_amortization, candidate.batch_amortization),
     ] {
         let Some(base) = base else { continue };
         let Some(cand) = cand else {

@@ -5,6 +5,10 @@
 //! 32-bit internal precision) follow the 64bDouble golden model — the
 //! co-simulation's headline design-space insight.
 //!
+//! Each curve is served as a batch: `experiments::ber_curve` fans the SNR
+//! points out as `BatchRunner` jobs (per-point seeds travel with the
+//! jobs, so the curve is identical at every worker count).
+//!
 //! Run: `cargo run -p terasim-bench --release --bin fig10 [--full]`
 
 use terasim::experiments::ber_curve;

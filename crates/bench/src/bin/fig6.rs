@@ -5,9 +5,15 @@
 //! Paper: NSC = 1638 (50 MHz NR), runtimes 9.44 s (4x4) to <3 min (32x32)
 //! per iteration on one EPYC thread; 73–121× speedup with 128 threads.
 //!
+//! Each (MIMO, precision) row prepares its scenario artifacts **once**
+//! (`SymbolScenario`); the single-thread measurement and the
+//! multi-symbol batch both run over that shared set, the batch through a
+//! work-stealing `BatchRunner` (one symbol per job, per-symbol seeds).
+//!
 //! Run: `cargo run -p terasim-bench --release --bin fig6 [--full]`
 
-use terasim::experiments::{self, BatchConfig};
+use terasim::experiments::{BatchConfig, SymbolScenario};
+use terasim::serve::BatchRunner;
 use terasim_bench::{host_threads, min_sec, Scale};
 use terasim_kernels::Precision;
 
@@ -30,11 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &n in scale.mimo_sizes() {
         for precision in Precision::TIMED {
             let config = BatchConfig { n, precision, nsc, seed: 60, unroll: 2 };
-            let single = experiments::mc_symbol_single(&config)?;
+            // One artifact set per row: the single-symbol reference and
+            // every symbol of the batch share it.
+            let scenario = SymbolScenario::prepare(&config)?;
+            let single = scenario.run_symbol(config.seed)?;
             assert!(single.verified, "symbol results diverged from native model");
             // Independent symbols over all host threads (paper: 128).
             let symbols = threads as u32;
-            let (wall, outs) = experiments::mc_symbols_parallel(&config, symbols, threads)?;
+            let start = std::time::Instant::now();
+            let outs = BatchRunner::with_workers(threads).run((0..symbols).collect(), |_ctx, sym| {
+                scenario.run_symbol(config.seed.wrapping_add(u64::from(sym))).map_err(|e| e.to_string())
+            });
+            let wall = start.elapsed();
+            let outs = outs.into_iter().collect::<Result<Vec<_>, String>>()?;
             assert!(outs.iter().all(|o| o.verified));
             // Aggregate simulated time vs elapsed: the paper's thread-scaling metric.
             let serial: f64 = outs.iter().map(|o| o.wall.as_secs_f64()).sum();

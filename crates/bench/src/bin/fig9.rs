@@ -5,6 +5,10 @@
 //! both 8-bit implementations lose ~10x BER at 18 dB because results are
 //! truncated before the 16-bit matrix inversion.
 //!
+//! Each curve is served as a batch: `experiments::ber_curve` fans the SNR
+//! points out as `BatchRunner` jobs (per-point seeds travel with the
+//! jobs, so the curve is identical at every worker count).
+//!
 //! Run: `cargo run -p terasim-bench --release --bin fig9 [--full]`
 
 use terasim::experiments::ber_curve;

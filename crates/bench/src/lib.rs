@@ -4,6 +4,11 @@
 //! MIMO sizes, NSC = 1638); the default is a reduced configuration that
 //! preserves the figures' *shape* on a laptop. The active scale is always
 //! printed so `EXPERIMENTS.md` can record it.
+//!
+//! The sweep binaries no longer hand-roll their own parallel loops: every
+//! multi-configuration sweep is a batch of jobs on
+//! [`terasim::serve::BatchRunner`] (work stealing, submission-order
+//! results, shared artifacts within a job's scenario).
 
 use std::time::Duration;
 
@@ -82,16 +87,6 @@ pub fn host_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Maps `f` over `items` with all host cores, preserving input order.
-///
-/// The experiment binaries use this to spread independent simulator
-/// configurations (one full cluster simulation each) over host cores —
-/// a thin wrapper over [`terasim_phy::par_map`], the workspace's single
-/// work-distribution helper.
-pub fn par_map<I: Send, T: Send>(items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
-    terasim_phy::par_map(items, host_threads(), f)
-}
-
 /// Formats a duration like the paper's `min:sec` axes.
 pub fn min_sec(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -138,13 +133,6 @@ mod tests {
         assert_eq!(Scale::Full.cores(), 1024);
         assert_eq!(Scale::Full.nsc(), 1638);
         assert!(Scale::Reduced.banner("Fig 5").contains("REDUCED"));
-    }
-
-    #[test]
-    fn par_map_preserves_order() {
-        let out = par_map((0..100u64).collect(), |x| x * x);
-        assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
-        assert!(par_map(Vec::<u32>::new(), |x| x).is_empty());
     }
 
     #[test]

@@ -6,14 +6,16 @@
 //! binaries in `terasim-bench` are thin wrappers over these.
 
 use std::error::Error;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use terasim_iss::RunConfig;
 use terasim_kernels::{data, native, MmseKernel, Precision, ProblemLayout, C64};
 use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
-use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, Topology};
+use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, SimArtifacts, Topology};
 
 use crate::detectors::DetectorKind;
+use crate::serve::BatchRunner;
 
 /// Configuration of the parallel-MMSE experiment (Figures 5, 7, 8): one
 /// subcarrier problem per core, all cores at once.
@@ -126,18 +128,164 @@ fn verify(mem: &ClusterMem, layout: &ProblemLayout, set: &ProblemSet) -> bool {
     })
 }
 
+/// A prepared parallel-MMSE scenario: the immutable artifact set —
+/// topology, generated kernel image, decoded program and lowered micro-op
+/// tables — built **once** and shared (via [`SimArtifacts`]) by every job
+/// run from it, on either backend, at any seed.
+///
+/// [`parallel_fast`] / [`parallel_cycle`] are one-shot wrappers; batch
+/// drivers ([`crate::serve::BatchRunner`] clients, the figure binaries)
+/// prepare a scenario and fan jobs out over it.
+#[derive(Debug)]
+pub struct ParallelScenario {
+    config: ParallelConfig,
+    layout: ProblemLayout,
+    arts: Arc<SimArtifacts>,
+}
+
+impl ParallelScenario {
+    /// Builds the scenario's shared artifacts: picks the topology,
+    /// generates and assembles the kernel, translates it, and configures
+    /// the fast mode with the paper's rule (every access charged the
+    /// topology's largest non-contended latency, 9 cycles on full
+    /// TeraPool).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare(config: &ParallelConfig) -> Result<Self, Box<dyn Error>> {
+        let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
+        let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
+        let layout = kernel.layout(&topo)?;
+        let image = kernel.build(&topo)?;
+        let mut rc = RunConfig::default();
+        rc.latency.load = topo.max_access_latency();
+        let arts = SimArtifacts::build_with(topo, &image, rc)?;
+        Ok(Self { config: *config, layout, arts })
+    }
+
+    /// The scenario's shared artifact set.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        &self.arts
+    }
+
+    /// The configuration the scenario was prepared from.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// One fast-mode job at the scenario's own seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_fast(&self, host_threads: usize) -> Result<FastOutcome, Box<dyn Error>> {
+        self.run_fast_seeded(host_threads, self.config.seed)
+    }
+
+    /// One fast-mode job with an explicit operand seed (batch drivers
+    /// derive per-job seeds; artifacts are shared regardless).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_fast_seeded(&self, host_threads: usize, seed: u64) -> Result<FastOutcome, Box<dyn Error>> {
+        self.fast_job(host_threads, seed, None)
+    }
+
+    /// One fast-mode job with an explicit ISS timing configuration (the
+    /// latency-model ablation, DESIGN.md D2). A configuration whose
+    /// latency model matches the scenario's still uses the shared table;
+    /// otherwise the job re-lowers privately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_fast_configured(
+        &self,
+        host_threads: usize,
+        run_config: RunConfig,
+    ) -> Result<FastOutcome, Box<dyn Error>> {
+        self.fast_job(host_threads, self.config.seed, Some(run_config))
+    }
+
+    fn fast_job(
+        &self,
+        host_threads: usize,
+        seed: u64,
+        run_config: Option<RunConfig>,
+    ) -> Result<FastOutcome, Box<dyn Error>> {
+        let mut sim = FastSim::from_artifacts(Arc::clone(&self.arts));
+        if let Some(rc) = run_config {
+            sim.set_config(rc);
+        }
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+
+        let start = Instant::now();
+        let result = sim.run_all(host_threads)?;
+        let wall = start.elapsed();
+
+        let instructions = result.total_instructions();
+        Ok(FastOutcome {
+            wall,
+            cluster_cycles: result.cycles,
+            instructions,
+            raw_stalls: result.per_core.iter().map(|s| s.raw_stalls).sum(),
+            wfi_stalls: result.per_core.iter().map(|s| s.wfi_stalls).sum(),
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
+    }
+
+    /// One cycle-accurate job at the scenario's own seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_cycle(&self, engine: CycleEngine) -> Result<CycleOutcome, Box<dyn Error>> {
+        self.run_cycle_seeded(engine, self.config.seed)
+    }
+
+    /// One cycle-accurate job with an explicit operand seed. In a batch,
+    /// pass `CycleEngine::Parallel(ctx.claimable_threads())` so a sharded
+    /// job widens into worker lanes the batch has stopped using — results
+    /// are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_cycle_seeded(&self, engine: CycleEngine, seed: u64) -> Result<CycleOutcome, Box<dyn Error>> {
+        let topo = self.arts.topology();
+        let mut sim = CycleSim::from_artifacts(Arc::clone(&self.arts));
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+
+        let start = Instant::now();
+        let result = match engine {
+            CycleEngine::EventDriven => sim.run(topo.num_cores())?,
+            CycleEngine::NaiveScan => sim.run_naive(topo.num_cores())?,
+            CycleEngine::Parallel(threads) => sim.run_parallel(topo.num_cores(), threads)?,
+        };
+        let wall = start.elapsed();
+
+        let breakdown = result.aggregate();
+        Ok(CycleOutcome {
+            wall,
+            cycles: result.cycles,
+            breakdown,
+            per_group: result.aggregate_groups(&topo),
+            instructions: breakdown.instructions,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
+    }
+}
+
 /// Runs the parallel MMSE on the fast (Banshee-style) backend.
 ///
 /// # Errors
 ///
 /// Propagates kernel build, translation and guest traps.
 pub fn parallel_fast(config: &ParallelConfig, host_threads: usize) -> Result<FastOutcome, Box<dyn Error>> {
-    // The paper's rule: every access is charged the topology's largest
-    // non-contended latency (9 cycles on full TeraPool).
-    let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
-    let mut rc = RunConfig::default();
-    rc.latency.load = topo.max_access_latency();
-    parallel_fast_configured(config, host_threads, rc)
+    ParallelScenario::prepare(config)?.run_fast(host_threads)
 }
 
 /// As [`parallel_fast`] with an explicit ISS timing configuration — used
@@ -153,28 +301,7 @@ pub fn parallel_fast_configured(
     host_threads: usize,
     run_config: RunConfig,
 ) -> Result<FastOutcome, Box<dyn Error>> {
-    let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
-    let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
-    let layout = kernel.layout(&topo)?;
-    let image = kernel.build(&topo)?;
-    let mut sim = FastSim::new(topo, &image)?;
-    sim.set_config(run_config);
-    let set = generate_problems(sim.memory(), &layout, config.seed);
-
-    let start = Instant::now();
-    let result = sim.run_all(host_threads)?;
-    let wall = start.elapsed();
-
-    let instructions = result.total_instructions();
-    Ok(FastOutcome {
-        wall,
-        cluster_cycles: result.cycles,
-        instructions,
-        raw_stalls: result.per_core.iter().map(|s| s.raw_stalls).sum(),
-        wfi_stalls: result.per_core.iter().map(|s| s.wfi_stalls).sum(),
-        mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
-        verified: verify(sim.memory(), &layout, &set),
-    })
+    ParallelScenario::prepare(config)?.run_fast_configured(host_threads, run_config)
 }
 
 /// Which cycle-accurate scheduler to drive (see [`CycleSim`]).
@@ -223,30 +350,7 @@ pub fn parallel_cycle_with_engine(
     config: &ParallelConfig,
     engine: CycleEngine,
 ) -> Result<CycleOutcome, Box<dyn Error>> {
-    let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
-    let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
-    let layout = kernel.layout(&topo)?;
-    let image = kernel.build(&topo)?;
-    let mut sim = CycleSim::new(topo, &image)?;
-    let set = generate_problems(sim.memory(), &layout, config.seed);
-
-    let start = Instant::now();
-    let result = match engine {
-        CycleEngine::EventDriven => sim.run(topo.num_cores())?,
-        CycleEngine::NaiveScan => sim.run_naive(topo.num_cores())?,
-        CycleEngine::Parallel(threads) => sim.run_parallel(topo.num_cores(), threads)?,
-    };
-    let wall = start.elapsed();
-
-    let breakdown = result.aggregate();
-    Ok(CycleOutcome {
-        wall,
-        cycles: result.cycles,
-        breakdown,
-        per_group: result.aggregate_groups(&topo),
-        instructions: breakdown.instructions,
-        verified: verify(sim.memory(), &layout, &set),
-    })
+    ParallelScenario::prepare(config)?.run_cycle(engine)
 }
 
 /// Configuration of the batched Monte-Carlo experiment (Figure 6): all
@@ -281,39 +385,88 @@ pub struct BatchOutcome {
     pub verified: bool,
 }
 
+/// A prepared OFDM-symbol scenario: the batched single-Snitch kernel and
+/// its shared artifact set, built once; every simulated symbol is then a
+/// cheap per-job instantiation ([`SymbolScenario::run_symbol`]) that only
+/// pays for fresh memory, operand generation, the run and verification.
+#[derive(Debug)]
+pub struct SymbolScenario {
+    config: BatchConfig,
+    layout: ProblemLayout,
+    arts: Arc<SimArtifacts>,
+}
+
+impl SymbolScenario {
+    /// Builds the scenario's shared artifacts: one Snitch of the full
+    /// TeraPool cluster, as in the paper, with banks deepened when `nsc`
+    /// outgrows the taped-out tile SPM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare(config: &BatchConfig) -> Result<Self, Box<dyn Error>> {
+        let topo = topology_for(1024, 1, config.n, config.precision, config.nsc);
+        let kernel = kernel_for(config.n, config.precision, config.nsc, 1, config.unroll);
+        let layout = kernel.layout(&topo)?;
+        let image = kernel.build(&topo)?;
+        let arts = SimArtifacts::build(topo, &image)?;
+        Ok(Self { config: *config, layout, arts })
+    }
+
+    /// The scenario's shared artifact set.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        &self.arts
+    }
+
+    /// The configuration the scenario was prepared from.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Simulates one OFDM symbol (`nsc` problems batched on a single
+    /// Snitch, one host thread) with operands drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_symbol(&self, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {
+        let mut sim = FastSim::from_artifacts(Arc::clone(&self.arts));
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+
+        let start = Instant::now();
+        let result = sim.run_cores(0..1, 1)?;
+        let wall = start.elapsed();
+
+        let instructions = result.total_instructions();
+        Ok(BatchOutcome {
+            wall,
+            cycles: result.cycles,
+            instructions,
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
+    }
+}
+
 /// Simulates one OFDM symbol (`nsc` problems) batched on a single core,
-/// on one host thread — the paper's single-thread MC iteration.
+/// on one host thread — the paper's single-thread MC iteration (a
+/// single-use [`SymbolScenario`]).
 ///
 /// # Errors
 ///
 /// Propagates kernel build, translation and guest traps.
 pub fn mc_symbol_single(config: &BatchConfig) -> Result<BatchOutcome, Box<dyn Error>> {
-    // One Snitch of the full TeraPool cluster, as in the paper; capacity
-    // scales with nsc, so the topology helper may deepen the banks.
-    let topo = topology_for(1024, 1, config.n, config.precision, config.nsc);
-    let kernel = kernel_for(config.n, config.precision, config.nsc, 1, config.unroll);
-    let layout = kernel.layout(&topo)?;
-    let image = kernel.build(&topo)?;
-    let mut sim = FastSim::new(topo, &image)?;
-    let set = generate_problems(sim.memory(), &layout, config.seed);
-
-    let start = Instant::now();
-    let result = sim.run_cores(0..1, 1)?;
-    let wall = start.elapsed();
-
-    let instructions = result.total_instructions();
-    Ok(BatchOutcome {
-        wall,
-        cycles: result.cycles,
-        instructions,
-        mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
-        verified: verify(sim.memory(), &layout, &set),
-    })
+    SymbolScenario::prepare(config)?.run_symbol(config.seed)
 }
 
-/// Simulates `symbols` independent OFDM symbols in parallel over
-/// `host_threads` host threads (the paper's 128-thread scaling experiment)
-/// and returns the wall time together with the per-symbol outcomes.
+/// Simulates `symbols` independent OFDM symbols over `host_threads`
+/// worker lanes of a [`BatchRunner`] (the paper's 128-thread scaling
+/// experiment) and returns the wall time together with the per-symbol
+/// outcomes in submission order.
+///
+/// All symbols share one artifact set; per-symbol seeds derive from the
+/// symbol index, so the outcomes are identical for any worker count and
+/// any work-stealing schedule.
 ///
 /// # Errors
 ///
@@ -324,26 +477,9 @@ pub fn mc_symbols_parallel(
     host_threads: usize,
 ) -> Result<(Duration, Vec<BatchOutcome>), Box<dyn Error>> {
     let start = Instant::now();
-    let outcomes: Vec<Result<BatchOutcome, String>> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        let chunk = (symbols as usize).div_ceil(host_threads).max(1);
-        for batch in (0..symbols).collect::<Vec<_>>().chunks(chunk) {
-            let batch = batch.to_vec();
-            let config = *config;
-            handles.push(s.spawn(move || {
-                batch
-                    .into_iter()
-                    .map(|sym| {
-                        // Per-symbol seed: results are independent of the
-                        // host thread count and batch assignment.
-                        let mut c = config;
-                        c.seed = config.seed.wrapping_add(u64::from(sym));
-                        mc_symbol_single(&c).map_err(|e| e.to_string())
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("symbol thread")).collect()
+    let scenario = SymbolScenario::prepare(config)?;
+    let outcomes = BatchRunner::with_workers(host_threads).run((0..symbols).collect(), |_ctx, sym| {
+        scenario.run_symbol(config.seed.wrapping_add(u64::from(sym))).map_err(|e| e.to_string())
     });
     let wall = start.elapsed();
     let outcomes: Result<Vec<_>, String> = outcomes.into_iter().collect();
@@ -351,7 +487,9 @@ pub fn mc_symbols_parallel(
 }
 
 /// Runs a BER-vs-SNR sweep for one scenario and detector kind
-/// (Figures 9–10).
+/// (Figures 9–10): one [`BatchRunner`] job per SNR point
+/// ([`terasim_phy::ber_jobs`]), bit-identical to [`terasim_phy::sweep`]
+/// for every worker count because each point's seed travels with its job.
 pub fn ber_curve(
     scenario: Mimo,
     snrs_db: &[f64],
@@ -361,7 +499,9 @@ pub fn ber_curve(
     seed: u64,
 ) -> Vec<BerPoint> {
     let detector = kind.instantiate(scenario.n_tx);
-    terasim_phy::sweep(scenario, snrs_db, detector.as_ref(), target_errors, max_iterations, seed)
+    BatchRunner::new().run(terasim_phy::ber_jobs(scenario, snrs_db, seed), |_ctx, job| {
+        job.run(detector.as_ref(), target_errors, max_iterations)
+    })
 }
 
 #[cfg(test)]

@@ -19,7 +19,12 @@
 //!   PHY's [`Detector`](terasim_phy::Detector) interface.
 //! * [`experiments`] — one function per evaluation axis: parallel-MMSE
 //!   runtime (Figures 5–8), batched Monte-Carlo symbol runtime (Figure 6)
-//!   and BER curves (Figures 9–10).
+//!   and BER curves (Figures 9–10), plus the prepared-scenario types
+//!   ([`experiments::ParallelScenario`], [`experiments::SymbolScenario`])
+//!   that share one immutable artifact set across a batch of jobs.
+//! * [`serve`] — the batched job-serving layer: a work-stealing
+//!   [`serve::BatchRunner`] that drives many independent simulations over
+//!   shared artifacts with submission-order (deterministic) results.
 //!
 //! # Examples
 //!
@@ -45,5 +50,7 @@
 
 pub mod detectors;
 pub mod experiments;
+pub mod serve;
 
 pub use detectors::{DetectorKind, IssDetector, NativeDut};
+pub use serve::{BatchRunner, JobCtx};

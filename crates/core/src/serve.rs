@@ -1,0 +1,232 @@
+//! The batched job-serving layer: a work-stealing [`BatchRunner`] that
+//! drives many independent simulation jobs over one shared artifact set.
+//!
+//! The paper's evaluation is inherently batched — BER curves, figure
+//! sweeps and ablations each run hundreds of *independent* cluster
+//! simulations. The cycle engine already parallelizes *within* a job
+//! (`CycleSim::run_parallel`); this module adds the throughput axis
+//! *across* jobs:
+//!
+//! * **Artifact sharing.** All jobs of a scenario run over one
+//!   [`SimArtifacts`](terasim_terapool::SimArtifacts) set — decoded
+//!   program, lowered micro-op tables, topology maps, initial memory
+//!   image — built once instead of once per run (the scenario types in
+//!   [`experiments`](crate::experiments) wrap this; `mips --jobs` records
+//!   the amortization win).
+//! * **Work stealing.** Jobs are dealt round-robin to per-worker queues;
+//!   a worker that drains its own queue steals from the busiest
+//!   neighbour, so a batch of wildly uneven jobs (BER points near the
+//!   error target differ by orders of magnitude) keeps every host thread
+//!   busy.
+//! * **Ordered results.** Results return in submission order, keyed by
+//!   job index — never by completion order or executing worker — so a
+//!   batch is deterministic for every worker count.
+//! * **Idle-worker claiming.** Fast-mode jobs run one-per-worker; a
+//!   sharded cycle job can widen into threads the batch is not using —
+//!   [`JobCtx::claimable_threads`] reports `1 +` the workers that have
+//!   gone idle (the tail of a draining batch), which the job passes to
+//!   `CycleSim::run_parallel`. Because the sharded engine is
+//!   bit-identical at every thread count, claiming is invisible in the
+//!   results.
+//!
+//! # Examples
+//!
+//! Run a BER sweep as a batch of per-SNR-point jobs:
+//!
+//! ```
+//! use terasim::serve::BatchRunner;
+//! use terasim_phy::{ber_jobs, ChannelKind, Mimo, MmseF64, Modulation};
+//!
+//! let scenario = Mimo { n_tx: 4, n_rx: 4, modulation: Modulation::Qam16, channel: ChannelKind::Awgn };
+//! let runner = BatchRunner::with_workers(2);
+//! let points = runner.run(ber_jobs(scenario, &[6.0, 12.0, 18.0], 1), |_ctx, job| {
+//!     job.run(&MmseF64, 200, 2_000)
+//! });
+//! assert_eq!(points.len(), 3);
+//! assert!(points[0].ber() > points[2].ber());
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Context handed to every job: which worker lane runs it and how much
+/// host parallelism the job may claim for itself.
+#[derive(Debug)]
+pub struct JobCtx<'a> {
+    worker: usize,
+    workers: usize,
+    idle: &'a AtomicUsize,
+}
+
+impl JobCtx<'_> {
+    /// The worker lane executing this job (`0..workers`).
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// The runner's total worker-lane count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Host threads this job may use for *intra-job* parallelism: its own
+    /// lane plus every lane currently idle (out of work, or never spawned
+    /// because the batch was smaller than the runner). A sharded cycle
+    /// job passes this to `CycleSim::run_parallel`; since that engine is
+    /// bit-identical at every thread count, the claim affects wall time
+    /// only, never results.
+    pub fn claimable_threads(&self) -> usize {
+        1 + self.idle.load(Ordering::Relaxed).min(self.workers.saturating_sub(1))
+    }
+}
+
+/// A batch executor over a fixed pool of worker lanes: work-stealing job
+/// distribution, submission-order results. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner with one worker lane per available host core.
+    pub fn new() -> Self {
+        Self::with_workers(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// A runner with an explicit worker-lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker lane");
+        Self { workers }
+    }
+
+    /// The worker-lane count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job through `f` and returns the results in submission
+    /// order.
+    ///
+    /// Jobs are dealt round-robin to per-worker queues; workers pop their
+    /// own queue front-first and steal from the fullest other queue when
+    /// empty. A worker with nothing left to do (or steal) retires into
+    /// the idle pool that [`JobCtx::claimable_threads`] reports. The
+    /// output is a pure function of `jobs` and `f` — worker count,
+    /// stealing order and completion order never show.
+    pub fn run<I: Send, T: Send>(&self, jobs: Vec<I>, f: impl Fn(&JobCtx, I) -> T + Sync) -> Vec<T> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let spawned = self.workers.min(n);
+        // Lanes the batch never fills are idle (claimable) from the start.
+        let idle = AtomicUsize::new(self.workers - spawned);
+
+        // Deal jobs round-robin so every lane starts with local work.
+        let mut queues: Vec<VecDeque<(usize, I)>> = (0..spawned).map(|_| VecDeque::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            queues[i % spawned].push_back((i, job));
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, I)>>> = queues.into_iter().map(Mutex::new).collect();
+
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let worker = |w: usize, tx: mpsc::Sender<(usize, T)>| {
+            let ctx = JobCtx { worker: w, workers: self.workers, idle: &idle };
+            loop {
+                // Own queue first (front: submission order within the lane)...
+                let mut job = queues[w].lock().expect("job queue").pop_front();
+                while job.is_none() {
+                    // ... then steal the *back* of the fullest other queue,
+                    // leaving the victim its locally-next work. A steal can
+                    // race to an emptied queue (the scan and the pop are
+                    // separate locks), so keep re-scanning and retire only
+                    // once a full pass observes every queue empty — queues
+                    // drain monotonically, so this terminates.
+                    let victim = (0..queues.len())
+                        .filter(|&v| v != w)
+                        .map(|v| (v, queues[v].lock().expect("job queue").len()))
+                        .filter(|&(_, len)| len > 0)
+                        .max_by_key(|&(_, len)| len);
+                    let Some((v, _)) = victim else { break };
+                    job = queues[v].lock().expect("job queue").pop_back();
+                }
+                let Some((i, item)) = job else { break };
+                let _ = tx.send((i, f(&ctx, item)));
+            }
+            // Out of work everywhere: this lane is claimable by the
+            // still-running jobs' intra-job parallelism.
+            idle.fetch_add(1, Ordering::Relaxed);
+        };
+
+        std::thread::scope(|s| {
+            for w in 1..spawned {
+                let tx = tx.clone();
+                let worker = &worker;
+                s.spawn(move || worker(w, tx));
+            }
+            worker(0, tx);
+        });
+
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("every job produced a result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 17] {
+            let runner = BatchRunner::with_workers(workers);
+            let out = runner.run((0..100u64).collect(), |_ctx, x| x * x);
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>(), "workers = {workers}");
+        }
+        assert!(BatchRunner::with_workers(4).run(Vec::<u32>::new(), |_c, x| x).is_empty());
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete_once() {
+        // Jobs with wildly different runtimes (the BER-point profile):
+        // every job must run exactly once and land at its own index.
+        let runner = BatchRunner::with_workers(4);
+        let counter = AtomicUsize::new(0);
+        let out = runner.run((0..40u64).collect(), |_ctx, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+        assert_eq!(out, (1..=40u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn claimable_threads_within_bounds() {
+        // Claimable parallelism is always >= 1 and <= the lane count; a
+        // batch smaller than the runner starts with the unfilled lanes
+        // already claimable.
+        let runner = BatchRunner::with_workers(4);
+        let claims = runner.run(vec![0u32], |ctx, _| ctx.claimable_threads());
+        assert_eq!(claims[0], 4, "3 never-spawned lanes + own lane");
+        let runner = BatchRunner::with_workers(2);
+        let claims = runner.run((0..8u32).collect(), |ctx, _| ctx.claimable_threads());
+        assert!(claims.iter().all(|&c| (1..=2).contains(&c)), "{claims:?}");
+    }
+}

@@ -227,6 +227,11 @@ impl<M> std::fmt::Debug for LoweredUop<M> {
 pub struct UopProgram<M> {
     entry: u32,
     text_base: u32,
+    /// The latency model the table was lowered under (timing metadata is
+    /// baked into every [`UopMeta`]). Drivers that share one table across
+    /// many runs compare against this to decide whether a re-lower is
+    /// needed — see [`UopProgram::latency_model`].
+    latency: LatencyModel,
     code: Vec<Option<LoweredUop<M>>>,
 }
 
@@ -253,12 +258,22 @@ impl<M: Memory> UopProgram<M> {
                 })
             })
             .collect();
-        Self { entry: program.entry(), text_base: program.text_base(), code }
+        Self { entry: program.entry(), text_base: program.text_base(), latency: latency.clone(), code }
     }
 
     /// The program entry point.
     pub fn entry(&self) -> u32 {
         self.entry
+    }
+
+    /// The latency model the table was lowered under.
+    ///
+    /// A lowered table is an immutable artifact; a driver holding a shared
+    /// table (e.g. one `Arc`'d across a batch of jobs) reuses it iff its
+    /// run configuration's latency model equals this one, and re-lowers
+    /// privately otherwise.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
     }
 
     /// Fetches the lowered instruction at `pc` (`None` = illegal fetch).

@@ -66,6 +66,45 @@ impl BerRun {
     }
 }
 
+/// One SNR point of a sweep, as a self-contained batchable job: scenario,
+/// SNR and the point's derived seed.
+///
+/// A BER curve is "inherently batched" work — every point is an
+/// independent Monte-Carlo run. Decomposing a sweep into `BerJob`s lets
+/// any batch scheduler (this crate's [`sweep_with_threads`], or a
+/// job-serving layer like `terasim::serve::BatchRunner`) distribute the
+/// points while the result stays a pure function of the job list: the
+/// seed travels *with* the job, never with the executing thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerJob {
+    /// The MIMO scenario swept.
+    pub scenario: Mimo,
+    /// This point's SNR in dB.
+    pub snr_db: f64,
+    /// This point's seed (derived from the point index by [`ber_jobs`]).
+    pub seed: u64,
+}
+
+impl BerJob {
+    /// Runs the point to completion: simulate until `target_errors` bit
+    /// errors or `max_iterations` channel uses, whichever comes first.
+    pub fn run(&self, detector: &dyn Detector, target_errors: u64, max_iterations: u64) -> BerPoint {
+        BerRun::new(self.scenario, self.snr_db, self.seed).run(detector, target_errors, max_iterations)
+    }
+}
+
+/// Decomposes a sweep into independent [`BerJob`]s, one per SNR point,
+/// with each point's seed derived from its *index* (never from the
+/// executing thread) — so any scheduling of the jobs reproduces the exact
+/// curve [`sweep`] computes.
+pub fn ber_jobs(scenario: Mimo, snrs_db: &[f64], seed: u64) -> Vec<BerJob> {
+    snrs_db
+        .iter()
+        .enumerate()
+        .map(|(i, &snr_db)| BerJob { scenario, snr_db, seed: seed.wrapping_add(i as u64) })
+        .collect()
+}
+
 /// Sweeps a detector over a list of SNR points (one [`BerRun`] each, seeds
 /// derived from `seed`), parallelized over the host's available cores.
 ///
@@ -100,14 +139,10 @@ pub fn sweep_with_threads(
     host_threads: usize,
 ) -> Vec<BerPoint> {
     // Dynamic work distribution (points near the error target finish at
-    // very different speeds); seeds derive from the point index, so
-    // scheduling order never affects the result.
-    crate::par::par_map((0..snrs_db.len()).collect(), host_threads, |i| {
-        BerRun::new(scenario, snrs_db[i], seed.wrapping_add(i as u64)).run(
-            detector,
-            target_errors,
-            max_iterations,
-        )
+    // very different speeds); seeds travel with the jobs, so scheduling
+    // order never affects the result.
+    crate::par::par_map(ber_jobs(scenario, snrs_db, seed), host_threads, |job| {
+        job.run(detector, target_errors, max_iterations)
     })
 }
 

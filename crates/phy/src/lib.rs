@@ -42,7 +42,7 @@ mod par;
 mod qam;
 pub mod rng;
 
-pub use ber::{sweep, sweep_with_threads, BerPoint, BerRun};
+pub use ber::{ber_jobs, sweep, sweep_with_threads, BerJob, BerPoint, BerRun};
 pub use channel::{ChannelKind, Mimo, Transmission, TxGenerator};
 pub use complex::Cplx;
 pub use detector::{Detector, MmseF64};

@@ -1,0 +1,252 @@
+//! Shared immutable simulation artifacts.
+//!
+//! Everything a cluster simulation needs that does *not* change while it
+//! runs — the decoded program, the lowered micro-op tables, the topology
+//! lookup tables and the initial memory image — is collected here in one
+//! [`SimArtifacts`] value, built **once** per scenario and shared across
+//! any number of jobs through an [`Arc`]. The simulators
+//! ([`FastSim`](crate::FastSim), [`CycleSim`](crate::CycleSim)) are then
+//! thin *per-job mutable state* — a fresh [`ClusterMem`], scoreboards and
+//! scheduler queues — instantiated from the shared artifacts via
+//! `from_artifacts`.
+//!
+//! The split is what makes batched serving cheap: a BER curve or figure
+//! sweep runs hundreds of independent cluster simulations of the *same*
+//! guest, and before this layer every one of them re-decoded the text,
+//! re-lowered the micro-op table and re-derived the topology maps. Those
+//! costs are now paid once per scenario, amortized across the batch (the
+//! `mips --jobs` bench records the win), and the artifact set is `Sync`,
+//! so concurrent jobs on different host threads share one allocation.
+//!
+//! Tables are lowered **lazily** (first use, [`OnceLock`]): a scenario
+//! that only ever drives one backend never pays for the other's table,
+//! exactly as the pre-split constructors behaved.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use terasim_terapool::{FastSim, SimArtifacts, Topology};
+//! use terasim_riscv::{Assembler, Image, Reg, Segment};
+//!
+//! let topo = Topology::scaled(8);
+//! let mut a = Assembler::new(Topology::L2_BASE);
+//! a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
+//! a.slli(Reg::T1, Reg::T0, 2);
+//! a.sw(Reg::T0, 0, Reg::T1);
+//! a.ecall();
+//! let mut image = Image::new(Topology::L2_BASE);
+//! image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish()?));
+//!
+//! // Build the immutable artifacts once ...
+//! let arts = SimArtifacts::build(topo, &image)?;
+//! // ... then instantiate as many independent jobs from them as needed.
+//! for _ in 0..3 {
+//!     let mut sim = FastSim::from_artifacts(Arc::clone(&arts));
+//!     sim.run_all(1)?;
+//!     assert_eq!(sim.memory().read_u32(4 * 7), 7);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::{Arc, OnceLock};
+
+use terasim_iss::uop::UopProgram;
+use terasim_iss::{LatencyModel, Program, RunConfig, TranslateError};
+use terasim_riscv::Image;
+
+use crate::cycle::RunTables;
+use crate::mem::{ClusterMem, CoreMem};
+use crate::topology::Topology;
+
+/// The immutable artifact set of one simulation scenario: everything
+/// derived from `(topology, image)` that every job of the scenario
+/// shares. See the [module docs](self) for the job/artifact split.
+pub struct SimArtifacts {
+    topo: Topology,
+    program: Arc<Program>,
+    image: Image,
+    /// Default run configuration of fast-mode jobs; its latency model is
+    /// the one the shared fast table is lowered under.
+    fast_config: RunConfig,
+    /// Cycle-engine latency model (the reference timing is part of the
+    /// scenario, not of a job).
+    cycle_latency: LatencyModel,
+    /// Lowered table for the fast mode's per-core memory view.
+    fast_table: OnceLock<Arc<UopProgram<CoreMem>>>,
+    /// Lowered table + hop/bank-decode tables for the cycle engines.
+    cycle_tables: OnceLock<RunTables>,
+}
+
+impl std::fmt::Debug for SimArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimArtifacts")
+            .field("cores", &self.topo.num_cores())
+            .field("text_insts", &self.program.len())
+            .field("fast_table", &self.fast_table.get().is_some())
+            .field("cycle_tables", &self.cycle_tables.get().is_some())
+            .finish()
+    }
+}
+
+// Jobs on different host threads share one artifact set; the lowered
+// tables hold only plain function pointers and POD records (asserted in
+// `terasim_iss::uop`), so the whole set is immutable-after-init shared
+// state. This assertion turns any future interior mutability into a
+// compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimArtifacts>();
+};
+
+impl SimArtifacts {
+    /// Builds the artifact set for `topo` and `image` with the default
+    /// fast-mode run configuration: translates the text once and snapshots
+    /// the image for per-job memory initialization. Micro-op tables are
+    /// lowered lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the translation error if the image's text cannot be
+    /// decoded.
+    pub fn build(topo: Topology, image: &Image) -> Result<Arc<Self>, TranslateError> {
+        Self::build_with(topo, image, RunConfig::default())
+    }
+
+    /// As [`build`](Self::build) with an explicit fast-mode run
+    /// configuration — the shared fast table is lowered under
+    /// `fast_config.latency`, and [`FastSim::from_artifacts`]
+    /// (crate::FastSim::from_artifacts) starts jobs with this
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the translation error if the image's text cannot be
+    /// decoded.
+    pub fn build_with(
+        topo: Topology,
+        image: &Image,
+        fast_config: RunConfig,
+    ) -> Result<Arc<Self>, TranslateError> {
+        let program = Arc::new(Program::translate(image)?);
+        Ok(Arc::new(Self {
+            topo,
+            program,
+            image: image.clone(),
+            fast_config,
+            cycle_latency: LatencyModel::default(),
+            fast_table: OnceLock::new(),
+            cycle_tables: OnceLock::new(),
+        }))
+    }
+
+    /// The cluster geometry.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The translated program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The default run configuration of fast-mode jobs.
+    pub fn fast_config(&self) -> &RunConfig {
+        &self.fast_config
+    }
+
+    /// Allocates a fresh per-job cluster memory with the scenario's image
+    /// loaded — the mutable half every job owns privately.
+    pub fn fresh_memory(&self) -> ClusterMem {
+        let mem = ClusterMem::new(self.topo);
+        mem.load_image(&self.image);
+        mem
+    }
+
+    /// The shared fast-mode micro-op table (lowered on first use under
+    /// `fast_config.latency`).
+    pub(crate) fn fast_table(&self) -> &Arc<UopProgram<CoreMem>> {
+        self.fast_table.get_or_init(|| Arc::new(UopProgram::lower(&self.program, &self.fast_config.latency)))
+    }
+
+    /// The shared cycle-engine tables (lowered on first use under the
+    /// scenario's cycle latency model).
+    pub(crate) fn cycle_tables(&self) -> &RunTables {
+        self.cycle_tables.get_or_init(|| RunTables::new(self.topo, &self.program, &self.cycle_latency))
+    }
+
+    /// The cycle-engine latency model.
+    pub(crate) fn cycle_latency(&self) -> &LatencyModel {
+        &self.cycle_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CycleSim, FastSim};
+    use terasim_riscv::{Assembler, Reg, Segment};
+
+    fn image_of(build: impl FnOnce(&mut Assembler)) -> Image {
+        let mut a = Assembler::new(Topology::L2_BASE);
+        build(&mut a);
+        a.ecall();
+        let mut image = Image::new(Topology::L2_BASE);
+        image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().unwrap()));
+        image
+    }
+
+    #[test]
+    fn jobs_from_shared_artifacts_are_independent() {
+        // Each job owns its memory: runs never observe each other.
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
+            a.slli(Reg::T1, Reg::T0, 2);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.sw(Reg::T0, 0x40, Reg::T1);
+        });
+        let arts = SimArtifacts::build(Topology::scaled(8), &image).unwrap();
+        let mut sims: Vec<FastSim> = (0..3).map(|_| FastSim::from_artifacts(Arc::clone(&arts))).collect();
+        for sim in &mut sims {
+            sim.run_all(1).unwrap();
+        }
+        for sim in &sims {
+            for core in 0..8u32 {
+                assert_eq!(sim.memory().read_u32(0x40 + 4 * core), core + 1);
+            }
+        }
+        // The table was lowered exactly once and is shared.
+        assert!(arts.fast_table.get().is_some());
+    }
+
+    #[test]
+    fn shared_artifacts_match_per_run_construction() {
+        let image = image_of(|a| {
+            a.li(Reg::T0, 40);
+            a.addi(Reg::T0, Reg::T0, 2);
+            a.sw(Reg::T0, 0x20, Reg::Zero);
+        });
+        let topo = Topology::scaled(8);
+        let arts = SimArtifacts::build(topo, &image).unwrap();
+
+        let mut fresh = CycleSim::new(topo, &image).unwrap();
+        let mut shared = CycleSim::from_artifacts(Arc::clone(&arts));
+        let a = fresh.run(8).unwrap();
+        let b = shared.run(8).unwrap();
+        assert_eq!(a.per_core, b.per_core);
+        assert_eq!(fresh.memory().read_u32(0x20), shared.memory().read_u32(0x20));
+    }
+
+    #[test]
+    fn tables_are_lazy() {
+        let image = image_of(|a| {
+            a.nop();
+        });
+        let arts = SimArtifacts::build(Topology::scaled(8), &image).unwrap();
+        assert!(arts.fast_table.get().is_none());
+        assert!(arts.cycle_tables.get().is_none());
+        let _ = CycleSim::from_artifacts(Arc::clone(&arts));
+        // Construction alone lowers nothing; the first run does.
+        assert!(arts.cycle_tables.get().is_none());
+    }
+}

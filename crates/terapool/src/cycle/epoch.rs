@@ -31,7 +31,7 @@ use terasim_iss::{MemOp, Memory, Trap, NO_REG};
 use terasim_riscv::Reg;
 
 use super::domain::DomainEngine;
-use super::{CoreCtx, CycleResult, CycleSim, RunTables};
+use super::{CoreCtx, CycleResult, CycleSim};
 use crate::mem::XRequest;
 
 /// Computes the bank grant of one replayed request against the target
@@ -200,7 +200,10 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     let topo = sim.topology();
     let ndom = topo.num_domains();
     debug_assert!(ndom > 1, "single-domain topologies use the plain event engine");
-    let tables = RunTables::new(topo, &sim.program, &sim.latency);
+    // The lowered tables are part of the shared artifact set: built once
+    // per scenario, shared by every domain worker (and every job of a
+    // batch) read-only.
+    let tables = sim.arts.cycle_tables();
     let epoch = topo.epoch_len();
     let mut domains: Vec<DomainEngine> = (0..ndom).map(|d| DomainEngine::new(sim, d, cores)).collect();
     let threads = threads.clamp(1, ndom as usize);
@@ -211,7 +214,7 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
         loop {
             let end = start + epoch;
             for d in domains.iter_mut() {
-                d.run_epoch(sim, &tables, start, end);
+                d.run_epoch(sim, tables, start, end);
             }
             let mut refs: Vec<&mut DomainEngine> = domains.iter_mut().collect();
             match decide(sim, &mut refs, &mut scratch, end, epoch) {
@@ -234,7 +237,6 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
 
     std::thread::scope(|scope| {
         let worker = |t: usize| {
-            let tables = &tables;
             let slots = &slots;
             let barrier = &barrier;
             let stop = &stop;

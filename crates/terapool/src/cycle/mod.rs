@@ -87,6 +87,7 @@ use terasim_iss::uop::UopProgram;
 use terasim_iss::{Cpu, InstClass, LatencyModel, MemOp, Memory, Outcome, Program, Trap, UopMeta, NO_REG};
 use terasim_riscv::{Image, Inst, Reg};
 
+use crate::artifacts::SimArtifacts;
 use crate::mem::{ClusterMem, CoreMem, DomainBanks, TurboMem, XRequest};
 use crate::topology::{L1Decode, Topology};
 
@@ -297,7 +298,10 @@ impl FastICache {
 /// fully lowered micro-op table (kernel pointers + operand records +
 /// timing metadata, resolved once at load — see [`terasim_iss::uop`])
 /// plus the topology-derived hop table and shift-based bank decode.
-struct RunTables {
+///
+/// Immutable after construction and shared read-only by every engine (and
+/// every job of a batch) through [`SimArtifacts::cycle_tables`].
+pub(crate) struct RunTables {
     uops: UopProgram<TurboMem>,
     /// `request_latency` for every (core tile, bank tile) pair.
     hops: Vec<u8>,
@@ -307,7 +311,7 @@ struct RunTables {
 }
 
 impl RunTables {
-    fn new(topo: Topology, program: &Program, latency: &LatencyModel) -> Self {
+    pub(crate) fn new(topo: Topology, program: &Program, latency: &LatencyModel) -> Self {
         let uops = UopProgram::lower(program, latency);
 
         let num_tiles = topo.num_tiles();
@@ -456,11 +460,17 @@ fn defer_issue<M: Memory>(
 }
 
 /// The cycle-accurate cluster simulator.
+///
+/// A `CycleSim` is *per-job mutable state* — a private [`ClusterMem`] and
+/// the per-run knobs below — over a shared immutable [`SimArtifacts`] set
+/// (decoded program, lowered micro-op/hop/bank-decode tables, initial
+/// image). Build the artifacts once per scenario and instantiate one
+/// `CycleSim` per job with [`CycleSim::from_artifacts`]; the convenience
+/// constructor [`CycleSim::new`] builds a single-use artifact set
+/// internally.
 pub struct CycleSim {
-    topo: Topology,
-    program: Arc<Program>,
+    arts: Arc<SimArtifacts>,
     mem: ClusterMem,
-    latency: LatencyModel,
     /// I$ refill penalty (L2 line fetch over AXI).
     pub icache_refill: u64,
     /// Instruction budget per core (safety net).
@@ -470,45 +480,59 @@ pub struct CycleSim {
 impl std::fmt::Debug for CycleSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CycleSim")
-            .field("cores", &self.topo.num_cores())
-            .field("text_insts", &self.program.len())
+            .field("cores", &self.arts.topology().num_cores())
+            .field("text_insts", &self.arts.program().len())
             .finish()
     }
 }
 
 impl CycleSim {
-    /// Builds a simulator: translates the image and loads all segments.
+    /// Builds a simulator: translates the image and loads all segments
+    /// (a single-use artifact set; batch drivers build one
+    /// [`SimArtifacts`] and use [`CycleSim::from_artifacts`] per job).
     ///
     /// # Errors
     ///
     /// Returns the translation error if the image's text cannot be decoded.
     pub fn new(topo: Topology, image: &Image) -> Result<Self, terasim_iss::TranslateError> {
-        let program = Arc::new(Program::translate(image)?);
-        let mem = ClusterMem::new(topo);
-        mem.load_image(image);
-        Ok(Self {
-            topo,
-            program,
-            mem,
-            latency: LatencyModel::default(),
-            icache_refill: 25,
-            max_instructions: u64::MAX,
-        })
+        Ok(Self::from_artifacts(SimArtifacts::build(topo, image)?))
     }
 
-    /// The shared cluster memory.
+    /// Instantiates one job over a shared artifact set: fresh per-job
+    /// memory (image loaded), shared lowered tables.
+    pub fn from_artifacts(arts: Arc<SimArtifacts>) -> Self {
+        let mem = arts.fresh_memory();
+        Self { arts, mem, icache_refill: 25, max_instructions: u64::MAX }
+    }
+
+    /// The shared artifact set this job runs over.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        &self.arts
+    }
+
+    /// The job-private cluster memory.
     pub fn memory(&self) -> &ClusterMem {
         &self.mem
     }
 
     /// The cluster geometry.
     pub fn topology(&self) -> Topology {
-        self.topo
+        self.arts.topology()
+    }
+
+    /// The translated program.
+    pub fn program(&self) -> &Program {
+        self.arts.program()
+    }
+
+    /// The cycle-engine latency model (part of the shared artifacts).
+    fn latency(&self) -> &LatencyModel {
+        self.arts.cycle_latency()
     }
 
     fn fresh_ctx<M: Memory>(&self, core: u32, mem: M) -> CoreCtx<M> {
         let mut cpu = Cpu::new(core);
-        cpu.set_pc(self.program.entry());
+        cpu.set_pc(self.arts.program().entry());
         CoreCtx {
             cpu,
             mem,
@@ -520,7 +544,7 @@ impl CycleSim {
             fpu_busy_until: 0,
             state: CoreState::Ready,
             stats: CycleStats::default(),
-            tile: self.topo.tile_of_core(core),
+            tile: self.arts.topology().tile_of_core(core),
         }
     }
 
@@ -571,16 +595,16 @@ impl CycleSim {
     ///
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run(&mut self, cores: u32) -> Result<CycleResult, Trap> {
-        assert!(cores <= self.topo.num_cores(), "core count out of range");
-        if self.topo.num_domains() > 1 {
+        let topo = self.arts.topology();
+        assert!(cores <= topo.num_cores(), "core count out of range");
+        if topo.num_domains() > 1 {
             return epoch::run_sharded(self, cores, 1);
         }
         let mut ctxs = self.make_ctxs(cores, |core| self.mem.turbo_view(core));
-        let tables = RunTables::new(self.topo, &self.program, &self.latency);
-        let mut icaches: Vec<FastICache> = (0..self.topo.num_tiles())
-            .map(|_| FastICache::new(self.topo.icache_bytes, self.topo.icache_line))
-            .collect();
-        let mut banks = DomainBanks::whole_cluster(self.topo);
+        let tables = self.arts.cycle_tables();
+        let mut icaches: Vec<FastICache> =
+            (0..topo.num_tiles()).map(|_| FastICache::new(topo.icache_bytes, topo.icache_line)).collect();
+        let mut banks = DomainBanks::whole_cluster(topo);
 
         let mut wheel = Wheel::new(cores);
         let words = wheel.words;
@@ -608,7 +632,7 @@ impl CycleSim {
                     let core = (w * 64) as u32 + bits.trailing_zeros();
                     bits ^= bit;
                     let ctx = &mut ctxs[core as usize];
-                    let did_mem = self.issue_fast(ctx, &tables, &mut icaches, &mut banks, now, None)?;
+                    let did_mem = self.issue_fast(ctx, tables, &mut icaches, &mut banks, now, None)?;
                     match ctx.state {
                         CoreState::Ready => {
                             // `.max(now + 1)` mirrors the naive scan's
@@ -719,8 +743,8 @@ impl CycleSim {
     ///
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run_parallel(&mut self, cores: u32, threads: usize) -> Result<CycleResult, Trap> {
-        assert!(cores <= self.topo.num_cores(), "core count out of range");
-        if self.topo.num_domains() == 1 {
+        assert!(cores <= self.arts.topology().num_cores(), "core count out of range");
+        if self.arts.topology().num_domains() == 1 {
             return self.run(cores);
         }
         epoch::run_sharded(self, cores, threads.max(1))
@@ -743,15 +767,15 @@ impl CycleSim {
     ///
     /// Panics if `cores` exceeds the topology's core count.
     pub fn run_naive(&mut self, cores: u32) -> Result<CycleResult, Trap> {
-        assert!(cores <= self.topo.num_cores(), "core count out of range");
-        if self.topo.num_domains() > 1 {
+        let topo = self.arts.topology();
+        assert!(cores <= topo.num_cores(), "core count out of range");
+        if topo.num_domains() > 1 {
             return self.run_naive_epochs(cores);
         }
         let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
-        let mut icaches: Vec<ICache> = (0..self.topo.num_tiles())
-            .map(|_| ICache::new(self.topo.icache_bytes, self.topo.icache_line))
-            .collect();
-        let mut banks = DomainBanks::whole_cluster(self.topo);
+        let mut icaches: Vec<ICache> =
+            (0..topo.num_tiles()).map(|_| ICache::new(topo.icache_bytes, topo.icache_line)).collect();
+        let mut banks = DomainBanks::whole_cluster(topo);
 
         let mut now: u64 = 0;
         loop {
@@ -804,7 +828,7 @@ impl CycleSim {
     /// sharded engine's coordinator — so the differential tests exercise
     /// two separate implementations of the deferred semantics.
     fn run_naive_epochs(&mut self, cores: u32) -> Result<CycleResult, Trap> {
-        let topo = self.topo;
+        let topo = self.arts.topology();
         let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
         let mut icaches: Vec<ICache> =
             (0..topo.num_tiles()).map(|_| ICache::new(topo.icache_bytes, topo.icache_line)).collect();
@@ -965,7 +989,7 @@ impl CycleSim {
         }
 
         let pc = ctx.cpu.pc();
-        let inst = self.program.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let inst = self.arts.program().fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
         let core = ctx.cpu.hart_id();
         let tile = banks.local_tile(ctx.tile);
 
@@ -999,7 +1023,7 @@ impl CycleSim {
         }
 
         // 4. Memory: arbitrate for the target bank.
-        let mut result_latency = u64::from(self.latency.result_latency(class));
+        let mut result_latency = u64::from(self.latency().result_latency(class));
         if inst.is_mem() {
             // A full LSU queue back-pressures issue.
             let (slot, slot_free) =
@@ -1010,11 +1034,11 @@ impl CycleSim {
                 return Ok(());
             }
             let addr = effective_address(&ctx.cpu, &inst);
-            let l1 = self.topo.l1_slot(addr & !3);
+            let l1 = self.arts.topology().l1_slot(addr & !3);
             if let Some(df) = defer {
-                let meta = UopMeta::of(&inst, &self.latency);
+                let meta = UopMeta::of(&inst, self.latency());
                 let remote_bank = match l1 {
-                    Some((bank, _)) if self.topo.domain_of_bank(bank) != df.domain => Some(bank),
+                    Some((bank, _)) if self.arts.topology().domain_of_bank(bank) != df.domain => Some(bank),
                     _ => None,
                 };
                 // Everything outside L1 (L2, control region) is shared by
@@ -1032,7 +1056,7 @@ impl CycleSim {
                     let base = ctx.cpu.reg(Reg::from_num(u32::from(meta.ea_base) & 31));
                     let (bank, depart, hop) = match remote_bank {
                         Some(bank) => {
-                            let hop = self.topo.request_latency(core, bank);
+                            let hop = self.arts.topology().request_latency(core, bank);
                             let depart = now.max(banks.port_free[tile]);
                             banks.port_free[tile] = depart + 1;
                             let busy: u64 = if matches!(class, InstClass::Amo) { 2 } else { 1 };
@@ -1068,7 +1092,7 @@ impl CycleSim {
                 }
             }
             if let Some((bank, _)) = l1 {
-                let hop = u64::from(self.topo.request_latency(core, bank));
+                let hop = u64::from(self.arts.topology().request_latency(core, bank));
                 // Remote requests serialize on the tile's shared outbound
                 // port (one request per cycle per tile, paper §II).
                 let depart = if hop > 0 {
@@ -1108,12 +1132,12 @@ impl CycleSim {
             ctx.reg_wseq[base.index()] += 1;
         }
         if uses_fpu && matches!(class, InstClass::FpDivSqrt) {
-            ctx.fpu_busy_until = now + u64::from(self.latency.result_latency(class));
+            ctx.fpu_busy_until = now + u64::from(self.latency().result_latency(class));
         }
 
         ctx.wake_at = now + 1;
         if inst.is_control_flow() && ctx.cpu.pc() != pc.wrapping_add(4) {
-            ctx.wake_at = now + 1 + u64::from(self.latency.taken_branch_penalty);
+            ctx.wake_at = now + 1 + u64::from(self.latency().taken_branch_penalty);
             // Fetch bubbles are charged to stall-ins? No: the paper folds
             // branch penalties into the instruction stream; we keep them as
             // issue gaps (they appear in no stall class, matching Snitch's
@@ -1306,7 +1330,7 @@ impl CycleSim {
 
         ctx.wake_at = now + 1;
         if meta.is_control_flow && ctx.cpu.pc() != pc.wrapping_add(4) {
-            ctx.wake_at = now + 1 + u64::from(self.latency.taken_branch_penalty);
+            ctx.wake_at = now + 1 + u64::from(self.latency().taken_branch_penalty);
         }
 
         match outcome {

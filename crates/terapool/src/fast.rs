@@ -14,6 +14,7 @@ use terasim_iss::uop::UopProgram;
 use terasim_iss::{resume_lowered, Cpu, Program, RunConfig, RunStats, Scoreboard, StopReason, Trap};
 use terasim_riscv::Image;
 
+use crate::artifacts::SimArtifacts;
 use crate::mem::{ClusterMem, CoreMem};
 use crate::topology::Topology;
 
@@ -51,17 +52,22 @@ struct Hart {
 
 /// The fast (Banshee-equivalent) cluster simulator.
 ///
+/// A `FastSim` is *per-job mutable state* — a private [`ClusterMem`] and a
+/// run configuration — over a shared immutable [`SimArtifacts`] set
+/// (decoded program, lowered micro-op table, initial image). Build the
+/// artifacts once per scenario and instantiate one `FastSim` per job with
+/// [`FastSim::from_artifacts`]; the convenience constructor
+/// [`FastSim::new`] builds a single-use artifact set internally.
+///
 /// # Examples
 ///
-/// See the [crate-level example](crate).
+/// See the [crate-level example](crate) and [`SimArtifacts`].
 pub struct FastSim {
-    topo: Topology,
-    program: Arc<Program>,
-    /// Pre-lowered micro-op table all harts share (kernel pointers and
-    /// timing metadata resolved once; see [`terasim_iss::uop`]). Lowered
-    /// lazily on the first run so a `set_config` right after construction
-    /// does not pay for (and discard) a default-latency table.
-    table: Option<Arc<UopProgram<CoreMem>>>,
+    arts: Arc<SimArtifacts>,
+    /// Privately re-lowered table when [`set_config`](Self::set_config)
+    /// departs from the artifacts' latency model (lazily, on the first
+    /// run, so reconfiguring never pays for a table it discards).
+    local_table: Option<Arc<UopProgram<CoreMem>>>,
     mem: ClusterMem,
     config: RunConfig,
 }
@@ -69,46 +75,82 @@ pub struct FastSim {
 impl std::fmt::Debug for FastSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FastSim")
-            .field("cores", &self.topo.num_cores())
-            .field("text_insts", &self.program.len())
+            .field("cores", &self.arts.topology().num_cores())
+            .field("text_insts", &self.arts.program().len())
             .finish()
     }
 }
 
 impl FastSim {
-    /// Builds a simulator: translates the image and loads all segments.
+    /// Builds a simulator: translates the image and loads all segments
+    /// (a single-use artifact set; batch drivers build one
+    /// [`SimArtifacts`] and use [`FastSim::from_artifacts`] per job).
     ///
     /// # Errors
     ///
     /// Returns the translation error if the image's text cannot be decoded.
     pub fn new(topo: Topology, image: &Image) -> Result<Self, terasim_iss::TranslateError> {
-        let program = Arc::new(Program::translate(image)?);
-        let mem = ClusterMem::new(topo);
-        mem.load_image(image);
-        Ok(Self { topo, program, table: None, mem, config: RunConfig::default() })
+        Ok(Self::from_artifacts(SimArtifacts::build(topo, image)?))
     }
 
-    /// Replaces the run configuration (latency model, budgets) and drops
-    /// the lowered micro-op table so static latencies are re-derived on
-    /// the next run.
+    /// Instantiates one job over a shared artifact set: fresh per-job
+    /// memory (image loaded), run configuration taken from
+    /// [`SimArtifacts::fast_config`], micro-op table shared.
+    pub fn from_artifacts(arts: Arc<SimArtifacts>) -> Self {
+        let mem = arts.fresh_memory();
+        let config = arts.fast_config().clone();
+        Self { arts, local_table: None, mem, config }
+    }
+
+    /// Replaces the run configuration (latency model, budgets). If the new
+    /// latency model differs from the artifacts' table, a private table is
+    /// re-lowered on the next run; otherwise the shared table keeps being
+    /// used.
     pub fn set_config(&mut self, config: RunConfig) {
-        self.table = None;
+        self.local_table = None;
         self.config = config;
     }
 
-    /// The shared cluster memory (for operand setup and result readback).
+    /// The shared artifact set this job runs over.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        &self.arts
+    }
+
+    /// The job-private cluster memory (for operand setup and result
+    /// readback).
     pub fn memory(&self) -> &ClusterMem {
         &self.mem
     }
 
     /// The cluster geometry.
     pub fn topology(&self) -> Topology {
-        self.topo
+        self.arts.topology()
     }
 
     /// The translated program.
     pub fn program(&self) -> &Program {
-        &self.program
+        self.arts.program()
+    }
+
+    /// The micro-op table for the current configuration: the artifacts'
+    /// shared table when the latency models agree, a job-private lowering
+    /// otherwise (cached across runs).
+    fn table(&mut self) -> Arc<UopProgram<CoreMem>> {
+        if let Some(table) = &self.local_table {
+            return Arc::clone(table);
+        }
+        // Compare against the artifacts' configuration (the model the
+        // shared table is lowered under, by construction) *before*
+        // touching it, so a mismatching job never forces the lazy shared
+        // lowering it would immediately reject.
+        if self.arts.fast_config().latency == self.config.latency {
+            let shared = self.arts.fast_table();
+            debug_assert_eq!(*shared.latency_model(), self.config.latency);
+            return Arc::clone(shared);
+        }
+        let table = Arc::new(UopProgram::lower(self.arts.program(), &self.config.latency));
+        self.local_table = Some(Arc::clone(&table));
+        table
     }
 
     /// Runs every hart to completion using `host_threads` worker threads.
@@ -122,7 +164,7 @@ impl FastSim {
     ///
     /// Returns the first [`Trap`] raised by any hart.
     pub fn run_all(&mut self, host_threads: usize) -> Result<ClusterResult, Trap> {
-        self.run_cores(0..self.topo.num_cores(), host_threads)
+        self.run_cores(0..self.arts.topology().num_cores(), host_threads)
     }
 
     /// Runs a contiguous subset of harts (single-core and batching
@@ -141,12 +183,13 @@ impl FastSim {
         host_threads: usize,
     ) -> Result<ClusterResult, Trap> {
         assert!(host_threads > 0, "need at least one host thread");
-        assert!(cores.end <= self.topo.num_cores(), "core range out of bounds");
+        assert!(cores.end <= self.arts.topology().num_cores(), "core range out of bounds");
 
+        let entry = self.arts.program().entry();
         let mut harts: Vec<Hart> = cores
             .map(|core| {
                 let mut cpu = Cpu::new(core);
-                cpu.set_pc(self.program.entry());
+                cpu.set_pc(entry);
                 Hart {
                     cpu,
                     mem: self.mem.core_view(core),
@@ -167,10 +210,7 @@ impl FastSim {
                 if runnable.is_empty() {
                     break;
                 }
-                let table =
-                    Arc::clone(self.table.get_or_insert_with(|| {
-                        Arc::new(UopProgram::lower(&self.program, &self.config.latency))
-                    }));
+                let table = self.table();
                 let config = &self.config;
                 let chunk = runnable.len().div_ceil(host_threads).max(1);
                 let first_trap = std::thread::scope(|s| {

@@ -31,6 +31,19 @@
 //! [`Cpu`](terasim_iss::Cpu) semantics, so results are bit-identical and
 //! only timing differs.
 //!
+//! # Artifacts vs. jobs
+//!
+//! Construction is split into two layers (see [`SimArtifacts`]):
+//! everything immutable — decoded program, lowered micro-op tables,
+//! topology maps, the initial memory image — lives in a shared
+//! `Arc<SimArtifacts>` built once per scenario, while `FastSim`/`CycleSim`
+//! are thin per-job mutable state (private [`ClusterMem`], scoreboards,
+//! scheduler queues) instantiated from it via `from_artifacts`. The
+//! plain `new(topo, &image)` constructors build a single-use artifact set
+//! internally, so one-shot use reads exactly as before; batch drivers
+//! (e.g. `terasim::serve::BatchRunner`) share one set across hundreds of
+//! jobs and skip the per-run rebuild entirely.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,11 +70,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod artifacts;
 mod cycle;
 mod fast;
 mod mem;
 mod topology;
 
+pub use artifacts::SimArtifacts;
 pub use cycle::{CycleResult, CycleSim, CycleStats};
 pub use fast::{ClusterResult, FastSim};
 pub use mem::{ClusterMem, CoreMem};

@@ -3,11 +3,17 @@
 //! A 50 MHz NR carrier has NSC = 1638 subcarriers; the paper batches all
 //! of them on one Snitch and reports the single-thread simulation runtime,
 //! then parallelizes independent symbols over host threads. This example
-//! runs a reduced batch by default; pass `--nsc 1638` for paper scale.
+//! prepares each scenario's immutable artifacts **once**
+//! (`SymbolScenario`: kernel image, decoded program, lowered micro-op
+//! tables) and reuses them across every simulated symbol — the
+//! multi-symbol sweep at the end is a `BatchRunner` batch of thin per-job
+//! states over that shared set. It runs a reduced batch by default; pass
+//! `--nsc 1638` for paper scale.
 //!
 //! Run with: `cargo run --release --example ofdm_symbol -- [--nsc N] [--mimo N]`
 
-use terasim::experiments::{self, BatchConfig};
+use terasim::experiments::{BatchConfig, SymbolScenario};
+use terasim::serve::BatchRunner;
 use terasim_kernels::Precision;
 
 fn arg(name: &str, default: u32) -> u32 {
@@ -27,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(" ----------+------------+---------------+--------------+--------+---------");
     for precision in Precision::TIMED {
         let config = BatchConfig { n, precision, nsc, seed: 7, unroll: 2 };
-        let out = experiments::mc_symbol_single(&config)?;
+        let scenario = SymbolScenario::prepare(&config)?;
+        let out = scenario.run_symbol(config.seed)?;
         println!(
             " {:<9} | {:>8.2?}   | {:>13} | {:>12} | {:>6.2} | {}",
             precision.paper_name(),
@@ -39,15 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Parallel symbols over host threads (reduced count for the example).
+    // Parallel symbols over host threads (reduced count for the example):
+    // one shared artifact set, one batch job per symbol with its own seed.
     let threads = std::thread::available_parallelism()?.get();
     let symbols = threads as u32 * 2;
     let config = BatchConfig { n, precision: Precision::CDotp16, nsc, seed: 7, unroll: 2 };
-    let _ = experiments::mc_symbol_single(&config)?; // warm-up
-    let (wall, outs) = experiments::mc_symbols_parallel(&config, symbols, threads)?;
+    let scenario = SymbolScenario::prepare(&config)?;
+    let _ = scenario.run_symbol(config.seed)?; // warm-up
+    let start = std::time::Instant::now();
+    let outs = BatchRunner::with_workers(threads).run((0..symbols).collect(), |_ctx, sym| {
+        scenario.run_symbol(config.seed.wrapping_add(u64::from(sym))).map_err(|e| e.to_string())
+    });
+    let wall = start.elapsed();
+    let outs = outs.into_iter().collect::<Result<Vec<_>, String>>()?;
     let serial: f64 = outs.iter().map(|o| o.wall.as_secs_f64()).sum();
     println!(
-        "\n{} independent symbols on {} threads: {:.2?} elapsed for {:.2}s of simulation (speedup {:.1}x)",
+        "\n{} independent symbols on {} threads (shared artifacts): {:.2?} elapsed for {:.2}s of simulation (speedup {:.1}x)",
         symbols,
         threads,
         wall,
