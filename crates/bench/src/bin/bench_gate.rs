@@ -12,9 +12,17 @@
 //! * any domain-sharded scaling or batch-serving entry present in the
 //!   baseline (`speedup_threads_2`, `speedup_threads_4`,
 //!   `speedup_event_vs_naive_at_scale`, `batch_amortization` — the
-//!   jobs/sec win of shared artifacts over per-job rebuild) is missing
-//!   from the candidate or falls below the baseline beyond the same
-//!   tolerance band;
+//!   jobs/sec win of shared artifacts over per-job rebuild —
+//!   `symbol_amortization_pooled` — the small-symbol-job jobs/sec win of
+//!   pool-recycled cluster memory over per-job rebuild) is missing from
+//!   the candidate or falls below the baseline beyond the same tolerance
+//!   band;
+//! * the pooled small-job throughput (`jobs_per_sec_pooled`) is missing
+//!   from the candidate while the baseline has it, or falls below the
+//!   baseline by more than the factor `--tol-jobs` (default 3.0 —
+//!   absolute jobs/sec varies across machines far more than the
+//!   amortization ratios, so this is a did-the-pool-break check, not a
+//!   jitter band);
 //! * the 4-thread sharded speedup falls below the absolute floor
 //!   (`--floor-threads4`, default 2.0) **when the candidate runner has
 //!   at least 4 host CPUs** (`host_cpus` in the report) — a 1-core
@@ -28,7 +36,8 @@
 //!
 //! Usage:
 //! `bench_gate [--baseline BENCH_baseline.json] [--candidate BENCH_smoke.json]
-//!             [--tol-speedup 0.35] [--tol-ns 2.5] [--floor-threads4 2.0]`
+//!             [--tol-speedup 0.35] [--tol-ns 2.5] [--tol-jobs 3.0]
+//!             [--floor-threads4 2.0]`
 //!
 //! The parser is a deliberately small scanner over the fixed report
 //! format written by the `mips` binary (this workspace has no JSON
@@ -86,6 +95,12 @@ struct Report {
     /// Batch-serving amortization (jobs/sec, shared artifacts vs per-job
     /// rebuild; absent in pre-serve-layer reports).
     batch_amortization: Option<f64>,
+    /// Small-symbol-job amortization with pool-recycled cluster memory
+    /// (absent in pre-pooling reports).
+    symbol_amortization_pooled: Option<f64>,
+    /// Absolute pooled small-job throughput (jobs/sec; absent in
+    /// pre-pooling reports).
+    jobs_per_sec_pooled: Option<f64>,
     /// Host CPUs of the reporting machine (absent in older reports).
     host_cpus: Option<f64>,
 }
@@ -100,6 +115,8 @@ fn parse(path: &str) -> Result<Report, String> {
     let threads4 = numbers_after(&json, "speedup_threads_4").first().copied();
     let at_scale = numbers_after(&json, "speedup_event_vs_naive_at_scale").first().copied();
     let batch_amortization = numbers_after(&json, "batch_amortization").first().copied();
+    let symbol_amortization_pooled = numbers_after(&json, "symbol_amortization_pooled").first().copied();
+    let jobs_per_sec_pooled = numbers_after(&json, "jobs_per_sec_pooled").first().copied();
     let host_cpus = numbers_after(&json, "host_cpus").first().copied();
     let ns = numbers_after(&json, "ns_per_inst_event");
     let ns_per_inst = match ns.first() {
@@ -123,6 +140,8 @@ fn parse(path: &str) -> Result<Report, String> {
         threads4,
         at_scale,
         batch_amortization,
+        symbol_amortization_pooled,
+        jobs_per_sec_pooled,
         host_cpus,
     })
 }
@@ -132,6 +151,7 @@ fn main() -> ExitCode {
     let candidate_path = arg_str("--candidate", "BENCH_smoke.json");
     let tol_speedup = arg_f64("--tol-speedup", 0.35);
     let tol_ns = arg_f64("--tol-ns", 2.5);
+    let tol_jobs = arg_f64("--tol-jobs", 3.0);
     let floor_threads4 = arg_f64("--floor-threads4", 2.0);
 
     let (baseline, candidate) = match (parse(&baseline_path), parse(&candidate_path)) {
@@ -178,6 +198,7 @@ fn main() -> ExitCode {
         ("threads x4 sharding", baseline.threads4, candidate.threads4),
         ("event-vs-naive @1024", baseline.at_scale, candidate.at_scale),
         ("batch amortization", baseline.batch_amortization, candidate.batch_amortization),
+        ("pooled symbol amort.", baseline.symbol_amortization_pooled, candidate.symbol_amortization_pooled),
     ] {
         let Some(base) = base else { continue };
         let Some(cand) = cand else {
@@ -194,6 +215,34 @@ fn main() -> ExitCode {
                 "{label} speedup regressed: {cand:.3}x < {floor:.3}x \
                  (baseline {base:.3}x, tolerance {tol_speedup})"
             ));
+        }
+    }
+
+    // Pooled small-job throughput: an absolute jobs/sec figure, so the
+    // band is a coarse cross-machine factor (`--tol-jobs`), not the
+    // jitter tolerance — it catches the pool silently degrading to
+    // per-job allocation (which costs ~1 ms/job, an order of magnitude),
+    // not scheduler noise. Missing entry = the pooled leg disappeared —
+    // that fails like the other batch entries.
+    if let Some(base) = baseline.jobs_per_sec_pooled {
+        match candidate.jobs_per_sec_pooled {
+            None => {
+                failures
+                    .push("pooled jobs/sec: baseline has the entry but the candidate is missing it".into());
+            }
+            Some(cand) => {
+                let floor = base / tol_jobs;
+                let status = if cand >= floor { "ok" } else { "REGRESSION" };
+                println!(
+                    "pooled symbol jobs/sec: baseline {base:>7.1}   candidate {cand:>7.1}   floor {floor:>7.1}   [{status}]"
+                );
+                if cand < floor {
+                    failures.push(format!(
+                        "pooled small-job throughput regressed: {cand:.1} jobs/s < {floor:.1} \
+                         (baseline {base:.1}, factor {tol_jobs})"
+                    ));
+                }
+            }
         }
     }
 

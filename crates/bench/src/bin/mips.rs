@@ -13,8 +13,13 @@
 //! `--threads` caps the domain-sharded scaling sweep (default 4: the
 //! 1024-core workload's four groups over 1/2/4 host threads, recorded as
 //! `speedup_threads_{2,4}`). `--jobs` sizes the batch-throughput
-//! measurement (jobs/sec and amortized ns/inst over a shared-artifact
-//! batch vs per-run artifact rebuild, recorded as `batch_amortization`).
+//! measurement: jobs/sec over a shared-artifact batch with fresh per-job
+//! memory (`jobs_per_sec_shared`), with pool-recycled memory
+//! (`jobs_per_sec_pooled`, `symbol_amortization_pooled`) and with
+//! per-job artifact rebuild (`jobs_per_sec_rebuild`), the measured
+//! per-job setup cost the pool deletes (`per_job_setup_ns{,_pooled}`),
+//! and the ISS BER-batch amortizations (`batch_amortization`,
+//! `ber_amortization_pooled`).
 
 use std::time::{Duration, Instant};
 
@@ -210,27 +215,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nevent-driven speedup vs seed engine (barrier skew): {skew_speedup:.2}x");
 
-    // --- Batch serving: jobs/sec over one shared artifact set vs per-job
-    // artifact rebuild. Jobs are small OFDM symbols (setup-heavy relative
-    // to their run — the BER-point / figure-sweep profile the serve layer
-    // targets); both paths run through the same BatchRunner scheduling,
-    // so the ratio isolates exactly the deleted per-run rebuild cost. ---
+    // --- Batch serving: jobs/sec over one shared artifact set (with and
+    // without cluster-memory recycling) vs per-job artifact rebuild.
+    // Jobs are small OFDM symbols (setup-heavy relative to their run —
+    // the BER-point / figure-sweep profile the serve layer targets); all
+    // three paths run through the same BatchRunner scheduling, so the
+    // ratios isolate exactly the deleted fixed costs: `shared` deletes
+    // the per-run artifact rebuild, `pooled` additionally deletes the
+    // per-job 20 MiB ClusterMem mmap/munmap round trip. ---
     let jobs = arg_u32("--jobs", 16);
     let batch_nsc = 8u32;
     let bconfig = BatchConfig { n, precision, nsc: batch_nsc, seed: 90, unroll: 2 };
     let workers = host_cpus;
-    println!("\n=== Batch serving — shared artifacts vs per-job rebuild ===");
+    println!("\n=== Batch serving — shared artifacts (fresh / pooled memory) vs per-job rebuild ===");
     println!(
         "workload: {jobs} OFDM-symbol jobs (NSC {batch_nsc}, {n}x{n} {}), {workers} worker(s), best of {reps}\n",
         precision.paper_name()
     );
     let seeds: Vec<u32> = (0..jobs).collect();
     let mut shared_best = Duration::MAX;
+    let mut pooled_best = Duration::MAX;
     let mut rebuild_best = Duration::MAX;
     let mut batch_insts = 0u64;
     let mut reference: Option<Vec<(u64, u64)>> = None;
     for _ in 0..reps {
-        // Shared path: one artifact build, `jobs` thin per-job states.
+        // Shared path: one artifact build, `jobs` thin per-job states,
+        // each allocating a fresh cluster memory.
         let t0 = Instant::now();
         let scenario = SymbolScenario::prepare(&bconfig)?;
         let outs = BatchRunner::with_workers(workers).run(seeds.clone(), |_ctx, j| {
@@ -241,15 +251,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(outs.iter().all(|o| o.verified), "batch job diverged from the native model");
         let key: Vec<(u64, u64)> = outs.iter().map(|o| (o.cycles, o.instructions)).collect();
 
+        // Pooled path: same shared artifacts, but every worker lane
+        // recycles one cluster arena through the batch's MemPool.
+        let t1 = Instant::now();
+        let pscenario = SymbolScenario::prepare(&bconfig)?;
+        let pouts =
+            BatchRunner::with_workers(workers).run_pooled(pscenario.artifacts(), seeds.clone(), |ctx, j| {
+                pscenario
+                    .run_symbol_pooled(
+                        ctx.pool().expect("pooled batch"),
+                        bconfig.seed.wrapping_add(u64::from(j)),
+                    )
+                    .map_err(|e| e.to_string())
+            });
+        let pooled_wall = t1.elapsed();
+        let pouts = pouts.into_iter().collect::<Result<Vec<_>, String>>()?;
+        let pkey: Vec<(u64, u64)> = pouts.iter().map(|o| (o.cycles, o.instructions)).collect();
+        assert_eq!(key, pkey, "pooled batch must be bit-identical to fresh-memory jobs");
+
         // Rebuild path: identical jobs and scheduling, but every job
         // rebuilds its own artifacts (the pre-serve-layer behaviour).
-        let t1 = Instant::now();
+        let t2 = Instant::now();
         let routs = BatchRunner::with_workers(workers).run(seeds.clone(), |_ctx, j| {
             let mut c = bconfig;
             c.seed = bconfig.seed.wrapping_add(u64::from(j));
             experiments::mc_symbol_single(&c).map_err(|e| e.to_string())
         });
-        let rebuild_wall = t1.elapsed();
+        let rebuild_wall = t2.elapsed();
         let routs = routs.into_iter().collect::<Result<Vec<_>, String>>()?;
         let rkey: Vec<(u64, u64)> = routs.iter().map(|o| (o.cycles, o.instructions)).collect();
         assert_eq!(key, rkey, "shared-artifact batch must be bit-identical to per-job rebuilds");
@@ -261,20 +289,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shared_best = shared_wall;
             batch_insts = outs.iter().map(|o| o.instructions).sum();
         }
+        pooled_best = pooled_best.min(pooled_wall);
         rebuild_best = rebuild_best.min(rebuild_wall);
     }
     let jps_shared = f64::from(jobs) / shared_best.as_secs_f64().max(1e-9);
+    let jps_pooled = f64::from(jobs) / pooled_best.as_secs_f64().max(1e-9);
     let jps_rebuild = f64::from(jobs) / rebuild_best.as_secs_f64().max(1e-9);
     let symbol_amortization = jps_shared / jps_rebuild.max(1e-9);
+    let symbol_amortization_pooled = jps_pooled / jps_rebuild.max(1e-9);
     let ns_per_inst_batch = shared_best.as_secs_f64() * 1e9 / (batch_insts as f64).max(1.0);
+
+    // Where the per-job fixed cost goes: bare job setup (cluster-memory
+    // allocation or pool acquire+reset, image load), amortized per job.
+    let setup_scenario = SymbolScenario::prepare(&bconfig)?;
+    let setup_reps = jobs.max(8);
+    let t = Instant::now();
+    for _ in 0..setup_reps {
+        std::hint::black_box(terasim_terapool::FastSim::from_artifacts(std::sync::Arc::clone(
+            setup_scenario.artifacts(),
+        )));
+    }
+    let per_job_setup_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(setup_reps);
+    let setup_pool = terasim_terapool::MemPool::new(std::sync::Arc::clone(setup_scenario.artifacts()));
+    // Warm: the first acquire allocates; every later one recycles.
+    drop(terasim_terapool::FastSim::from_pool(&setup_pool));
+    let t = Instant::now();
+    for _ in 0..setup_reps {
+        std::hint::black_box(terasim_terapool::FastSim::from_pool(&setup_pool));
+    }
+    let per_job_setup_ns_pooled = t.elapsed().as_secs_f64() * 1e9 / f64::from(setup_reps);
+
     println!(
         " shared artifacts | wall {:>9} | {jps_shared:>8.1} jobs/s | {ns_per_inst_batch:>6.1} ns/inst amortized",
         min_sec(shared_best)
     );
+    println!(" pooled memory    | wall {:>9} | {jps_pooled:>8.1} jobs/s |", min_sec(pooled_best));
     println!(" per-job rebuild  | wall {:>9} | {jps_rebuild:>8.1} jobs/s |", min_sec(rebuild_best));
     println!(
-        "\nsymbol-job amortization: {symbol_amortization:.2}x jobs/sec (identical per-job results; \
-         symbol jobs are run-dominated, so this ratio is small)"
+        "\nsymbol-job amortization: {symbol_amortization:.2}x jobs/sec shared, \
+         {symbol_amortization_pooled:.2}x pooled (identical per-job results)"
+    );
+    println!(
+        "per-job setup: {:.0} us fresh ClusterMem vs {:.0} us pooled reset — the fixed cost the pool deletes",
+        per_job_setup_ns / 1e3,
+        per_job_setup_ns_pooled / 1e3
     );
 
     // The headline amortization metric runs the paper's actual batch
@@ -293,8 +351,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ber_kind = terasim::DetectorKind::Iss(precision);
     let (ber_errors, ber_iters) = (64u64, 200u64);
     let snrs: Vec<f64> = (0..jobs).map(|i| 2.0 + 14.0 * f64::from(i) / f64::from(jobs.max(2) - 1)).collect();
-    println!("\nISS-in-the-loop BER batch: {jobs} SNR-point jobs, detector per lane vs per job");
+    println!(
+        "\nISS-in-the-loop BER batch: {jobs} SNR-point jobs, detector per lane vs pooled per job vs per job"
+    );
     let mut ber_shared_best = Duration::MAX;
+    let mut ber_pooled_best = Duration::MAX;
     let mut ber_rebuild_best = Duration::MAX;
     let mut ber_reference: Option<Vec<terasim_phy::BerPoint>> = None;
     // Warm the lazy softfloat tables out of the measurement.
@@ -307,35 +368,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 job.run(&*lanes[ctx.worker() % lanes.len()], ber_errors, ber_iters)
             });
         let shared_wall = t0.elapsed();
+        // Pooled path: one detector per *job* (the serving shape), but
+        // each draws shared artifacts + a recycled cluster arena from a
+        // per-batch pool, so the per-job detector costs ~nothing.
         let t1 = Instant::now();
+        let pool = ber_kind.memory_pool(4).expect("ISS kinds own cluster memory");
+        let pooled = BatchRunner::with_workers(workers)
+            .run(terasim_phy::ber_jobs(ber_scenario, &snrs, 5), |_ctx, job| {
+                job.run(&*ber_kind.instantiate_pooled(4, &pool), ber_errors, ber_iters)
+            });
+        let pooled_wall = t1.elapsed();
+        let t2 = Instant::now();
         let rebuilt = BatchRunner::with_workers(workers)
             .run(terasim_phy::ber_jobs(ber_scenario, &snrs, 5), |_ctx, job| {
                 job.run(&*ber_kind.instantiate(4), ber_errors, ber_iters)
             });
-        let rebuild_wall = t1.elapsed();
+        let rebuild_wall = t2.elapsed();
         assert_eq!(shared, rebuilt, "shared-artifact BER batch diverged from per-job rebuilds");
+        assert_eq!(shared, pooled, "pooled-detector BER batch diverged from per-job rebuilds");
         match &ber_reference {
             Some(r) => assert_eq!(*r, shared, "BER batch must be identical across reps"),
             None => ber_reference = Some(shared),
         }
         ber_shared_best = ber_shared_best.min(shared_wall);
+        ber_pooled_best = ber_pooled_best.min(pooled_wall);
         ber_rebuild_best = ber_rebuild_best.min(rebuild_wall);
     }
     let batch_amortization = ber_rebuild_best.as_secs_f64() / ber_shared_best.as_secs_f64().max(1e-9);
+    let ber_amortization_pooled = ber_rebuild_best.as_secs_f64() / ber_pooled_best.as_secs_f64().max(1e-9);
     println!(
-        " shared detector  | wall {:>9} | {:>8.1} jobs/s\n per-job rebuild  | wall {:>9} | {:>8.1} jobs/s",
+        " shared detector  | wall {:>9} | {:>8.1} jobs/s\n pooled detector  | wall {:>9} | {:>8.1} jobs/s\n per-job rebuild  | wall {:>9} | {:>8.1} jobs/s",
         min_sec(ber_shared_best),
         f64::from(jobs) / ber_shared_best.as_secs_f64().max(1e-9),
+        min_sec(ber_pooled_best),
+        f64::from(jobs) / ber_pooled_best.as_secs_f64().max(1e-9),
         min_sec(ber_rebuild_best),
         f64::from(jobs) / ber_rebuild_best.as_secs_f64().max(1e-9),
     );
-    println!("\nartifact-sharing amortization (ISS BER batch): {batch_amortization:.2}x jobs/sec (identical curves)");
+    println!(
+        "\nartifact-sharing amortization (ISS BER batch): {batch_amortization:.2}x jobs/sec shared, \
+         {ber_amortization_pooled:.2}x pooled per-job detectors (identical curves)"
+    );
     let batch_json = format!(
-        "    {{\n      \"kind\": \"batch_throughput\",\n      \"jobs\": {jobs}, \"nsc\": {batch_nsc}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps}, \"workers\": {workers},\n      \"wall_s_shared\": {:.6}, \"wall_s_rebuild\": {:.6},\n      \"jobs_per_sec_shared\": {jps_shared:.3}, \"jobs_per_sec_rebuild\": {jps_rebuild:.3},\n      \"ns_per_inst_batch\": {ns_per_inst_batch:.3},\n      \"symbol_amortization\": {symbol_amortization:.3},\n      \"ber_wall_s_shared\": {:.6}, \"ber_wall_s_rebuild\": {:.6},\n      \"batch_amortization\": {batch_amortization:.3},\n      \"stats_identical\": true\n    }}",
+        "    {{\n      \"kind\": \"batch_throughput\",\n      \"jobs\": {jobs}, \"nsc\": {batch_nsc}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps}, \"workers\": {workers},\n      \"wall_s_shared\": {:.6}, \"wall_s_pooled\": {:.6}, \"wall_s_rebuild\": {:.6},\n      \"jobs_per_sec_shared\": {jps_shared:.3}, \"jobs_per_sec_pooled\": {jps_pooled:.3}, \"jobs_per_sec_rebuild\": {jps_rebuild:.3},\n      \"ns_per_inst_batch\": {ns_per_inst_batch:.3},\n      \"per_job_setup_ns\": {per_job_setup_ns:.0}, \"per_job_setup_ns_pooled\": {per_job_setup_ns_pooled:.0},\n      \"symbol_amortization\": {symbol_amortization:.3},\n      \"symbol_amortization_pooled\": {symbol_amortization_pooled:.3},\n      \"ber_wall_s_shared\": {:.6}, \"ber_wall_s_pooled\": {:.6}, \"ber_wall_s_rebuild\": {:.6},\n      \"batch_amortization\": {batch_amortization:.3},\n      \"ber_amortization_pooled\": {ber_amortization_pooled:.3},\n      \"stats_identical\": true\n    }}",
         precision.paper_name(),
         shared_best.as_secs_f64(),
+        pooled_best.as_secs_f64(),
         rebuild_best.as_secs_f64(),
         ber_shared_best.as_secs_f64(),
+        ber_pooled_best.as_secs_f64(),
         ber_rebuild_best.as_secs_f64(),
     );
 

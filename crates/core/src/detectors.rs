@@ -10,11 +10,11 @@
 //! * [`IssDetector`] — actual hardware-in-the-loop: every detection runs
 //!   the generated RISC-V kernel on a simulated Snitch core.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use terasim_kernels::{data, native, MmseKernel, Precision};
 use terasim_phy::{Cplx, Detector, MmseF64};
-use terasim_terapool::{FastSim, Topology};
+use terasim_terapool::{FastSim, MemPool, SimArtifacts, Topology};
 
 /// Which detector implementation to plug into a BER run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,43 @@ impl DetectorKind {
             DetectorKind::Reference64 => Box::new(MmseF64),
             DetectorKind::Native(p) => Box::new(NativeDut::new(p)),
             DetectorKind::Iss(p) => Box::new(IssDetector::new(p, n as u32).expect("valid kernel")),
+        }
+    }
+
+    /// A recycling cluster-memory pool for this detector kind's simulator
+    /// — `Some` only for [`DetectorKind::Iss`], the kinds that own a
+    /// cluster memory. Build it once per batch and hand it to
+    /// [`instantiate_pooled`](Self::instantiate_pooled): per-job detector
+    /// instantiation then shares the kernel artifacts *and* recycles the
+    /// cluster arena, leaving almost no per-job fixed cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ISS kernel cannot be built for `n` (invalid size).
+    pub fn memory_pool(self, n: usize) -> Option<Arc<MemPool>> {
+        match self {
+            DetectorKind::Reference64 | DetectorKind::Native(_) => None,
+            DetectorKind::Iss(p) => {
+                Some(MemPool::new(IssDetector::build_artifacts(p, n as u32).expect("valid kernel")))
+            }
+        }
+    }
+
+    /// As [`instantiate`](Self::instantiate), drawing the simulator's
+    /// cluster memory from `pool` (a [`memory_pool`](Self::memory_pool)
+    /// of the same kind and size). Kinds without cluster memory ignore
+    /// the pool. Detections are bit-identical to the unpooled detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ISS kernel cannot be built for `n`, or if `pool`
+    /// belongs to a different kernel scenario.
+    pub fn instantiate_pooled(self, n: usize, pool: &Arc<MemPool>) -> Box<dyn Detector + Send + Sync> {
+        match self {
+            DetectorKind::Iss(p) => {
+                Box::new(IssDetector::from_pool(p, n as u32, pool).expect("valid kernel"))
+            }
+            other => other.instantiate(n),
         }
     }
 
@@ -104,17 +141,80 @@ impl std::fmt::Debug for IssDetector {
 }
 
 impl IssDetector {
-    /// Builds the kernel image and the single-core simulator.
+    /// The detector's cluster topology (one tile hosts the single active
+    /// Snitch).
+    fn topology() -> Topology {
+        Topology::scaled(8)
+    }
+
+    fn kernel(precision: Precision, n: u32) -> MmseKernel {
+        MmseKernel::new(n, precision).with_active_cores(1)
+    }
+
+    /// Builds the kernel image and the single-core simulator (a
+    /// single-use artifact set; batch drivers share
+    /// [`build_artifacts`](Self::build_artifacts) through a [`MemPool`]
+    /// and use [`from_pool`](Self::from_pool) per job).
     ///
     /// # Errors
     ///
     /// Returns any kernel build or translation error.
     pub fn new(precision: Precision, n: u32) -> Result<Self, Box<dyn std::error::Error>> {
-        let topo = Topology::scaled(8);
-        let kernel = MmseKernel::new(n, precision).with_active_cores(1);
+        let topo = Self::topology();
+        let kernel = Self::kernel(precision, n);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
         let sim = FastSim::new(topo, &image)?;
+        Ok(Self { precision, n, inner: Mutex::new(IssInner { sim, layout }) })
+    }
+
+    /// The shared immutable artifact set of the `(precision, n)` detector
+    /// kernel — build once, wrap in a [`MemPool`], and instantiate
+    /// per-job detectors from it with [`from_pool`](Self::from_pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns any kernel build or translation error.
+    pub fn build_artifacts(
+        precision: Precision,
+        n: u32,
+    ) -> Result<Arc<SimArtifacts>, Box<dyn std::error::Error>> {
+        let topo = Self::topology();
+        let image = Self::kernel(precision, n).build(&topo)?;
+        Ok(SimArtifacts::build(topo, &image)?)
+    }
+
+    /// A detector over the shared artifacts of `pool` (built with
+    /// [`build_artifacts`](Self::build_artifacts) for the same
+    /// `(precision, n)`), its cluster memory recycled through the pool —
+    /// detections are bit-identical to a [`new`](Self::new) detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns any kernel build or layout error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` was built for a different kernel scenario — a
+    /// different topology, precision or MIMO size. The check rebuilds
+    /// this `(precision, n)` kernel image and compares it against the
+    /// pool artifacts' image, so a mismatched pool can never silently
+    /// run the wrong kernel.
+    pub fn from_pool(
+        precision: Precision,
+        n: u32,
+        pool: &Arc<MemPool>,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let topo = pool.artifacts().topology();
+        assert_eq!(topo, Self::topology(), "pool built for a different cluster");
+        let kernel = Self::kernel(precision, n);
+        let layout = kernel.layout(&topo)?;
+        assert_eq!(
+            *pool.artifacts().image(),
+            kernel.build(&topo)?,
+            "pool built for a different detector kernel (precision/size mismatch)"
+        );
+        let sim = FastSim::from_pool(pool);
         Ok(Self { precision, n, inner: Mutex::new(IssInner { sim, layout }) })
     }
 }
@@ -177,6 +277,30 @@ mod tests {
         // Repeat to exercise the barrier reset path.
         let c = iss.detect(4, &h, &y, 0.05);
         assert_eq!(b[0].re, c[0].re);
+    }
+
+    #[test]
+    fn pooled_detector_matches_fresh() {
+        let pool = DetectorKind::Iss(Precision::WDotp16).memory_pool(4).unwrap();
+        let fresh = IssDetector::new(Precision::WDotp16, 4).unwrap();
+        let pooled = IssDetector::from_pool(Precision::WDotp16, 4, &pool).unwrap();
+        let h: Vec<Cplx> = (0..16).map(|i| Cplx::new(1.0 / (1.0 + f64::from(i)), 0.1)).collect();
+        let y = vec![Cplx::new(0.5, -0.5); 4];
+        let a = fresh.detect(4, &h, &y, 0.05);
+        let b = pooled.detect(4, &h, &y, 0.05);
+        for (x, z) in a.iter().zip(&b) {
+            assert_eq!(x.re, z.re);
+            assert_eq!(x.im, z.im);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different detector kernel")]
+    fn pooled_detector_rejects_mismatched_pool() {
+        // A pool built for the 16-bit kernel must not instantiate an
+        // 8-bit detector: same topology, different scenario.
+        let pool = DetectorKind::Iss(Precision::WDotp16).memory_pool(4).unwrap();
+        let _ = IssDetector::from_pool(Precision::WDotp8, 4, &pool);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use terasim_iss::RunConfig;
 use terasim_kernels::{data, native, MmseKernel, Precision, ProblemLayout, C64};
 use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
-use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, SimArtifacts, Topology};
+use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, MemPool, SimArtifacts, Topology};
 
 use crate::detectors::DetectorKind;
 use crate::serve::BatchRunner;
@@ -209,6 +209,28 @@ impl ParallelScenario {
         self.fast_job(host_threads, self.config.seed, Some(run_config))
     }
 
+    /// One fast-mode job drawing its cluster memory from a recycling
+    /// pool (built over this scenario's artifacts — see
+    /// [`SimArtifacts`]-tied [`MemPool`]); results are bit-identical to
+    /// [`run_fast_seeded`](Self::run_fast_seeded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` was built over a different artifact set.
+    pub fn run_fast_pooled(
+        &self,
+        pool: &Arc<MemPool>,
+        host_threads: usize,
+        seed: u64,
+    ) -> Result<FastOutcome, Box<dyn Error>> {
+        assert!(Arc::ptr_eq(pool.artifacts(), &self.arts), "pool built over a different scenario");
+        self.fast_outcome(FastSim::from_pool(pool), host_threads, seed)
+    }
+
     fn fast_job(
         &self,
         host_threads: usize,
@@ -219,6 +241,15 @@ impl ParallelScenario {
         if let Some(rc) = run_config {
             sim.set_config(rc);
         }
+        self.fast_outcome(sim, host_threads, seed)
+    }
+
+    fn fast_outcome(
+        &self,
+        mut sim: FastSim,
+        host_threads: usize,
+        seed: u64,
+    ) -> Result<FastOutcome, Box<dyn Error>> {
         let set = generate_problems(sim.memory(), &self.layout, seed);
 
         let start = Instant::now();
@@ -255,8 +286,37 @@ impl ParallelScenario {
     ///
     /// Propagates guest traps.
     pub fn run_cycle_seeded(&self, engine: CycleEngine, seed: u64) -> Result<CycleOutcome, Box<dyn Error>> {
+        self.cycle_outcome(CycleSim::from_artifacts(Arc::clone(&self.arts)), engine, seed)
+    }
+
+    /// One cycle-accurate job drawing its cluster memory from a recycling
+    /// pool; results are bit-identical to
+    /// [`run_cycle_seeded`](Self::run_cycle_seeded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` was built over a different artifact set.
+    pub fn run_cycle_pooled(
+        &self,
+        pool: &Arc<MemPool>,
+        engine: CycleEngine,
+        seed: u64,
+    ) -> Result<CycleOutcome, Box<dyn Error>> {
+        assert!(Arc::ptr_eq(pool.artifacts(), &self.arts), "pool built over a different scenario");
+        self.cycle_outcome(CycleSim::from_pool(pool), engine, seed)
+    }
+
+    fn cycle_outcome(
+        &self,
+        mut sim: CycleSim,
+        engine: CycleEngine,
+        seed: u64,
+    ) -> Result<CycleOutcome, Box<dyn Error>> {
         let topo = self.arts.topology();
-        let mut sim = CycleSim::from_artifacts(Arc::clone(&self.arts));
         let set = generate_problems(sim.memory(), &self.layout, seed);
 
         let start = Instant::now();
@@ -430,7 +490,27 @@ impl SymbolScenario {
     ///
     /// Propagates guest traps.
     pub fn run_symbol(&self, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {
-        let mut sim = FastSim::from_artifacts(Arc::clone(&self.arts));
+        self.symbol_outcome(FastSim::from_artifacts(Arc::clone(&self.arts)), seed)
+    }
+
+    /// As [`run_symbol`](Self::run_symbol) with the job's cluster memory
+    /// drawn from a recycling pool over this scenario's artifacts —
+    /// bit-identical results, without the per-job 20 MiB arena
+    /// allocation (the dominant fixed cost of a small symbol job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` was built over a different artifact set.
+    pub fn run_symbol_pooled(&self, pool: &Arc<MemPool>, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {
+        assert!(Arc::ptr_eq(pool.artifacts(), &self.arts), "pool built over a different scenario");
+        self.symbol_outcome(FastSim::from_pool(pool), seed)
+    }
+
+    fn symbol_outcome(&self, mut sim: FastSim, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {
         let set = generate_problems(sim.memory(), &self.layout, seed);
 
         let start = Instant::now();
@@ -464,9 +544,11 @@ pub fn mc_symbol_single(config: &BatchConfig) -> Result<BatchOutcome, Box<dyn Er
 /// experiment) and returns the wall time together with the per-symbol
 /// outcomes in submission order.
 ///
-/// All symbols share one artifact set; per-symbol seeds derive from the
-/// symbol index, so the outcomes are identical for any worker count and
-/// any work-stealing schedule.
+/// All symbols share one artifact set and recycle cluster memories
+/// through the batch's [`MemPool`] (one arena per worker lane instead of
+/// one allocation per symbol); per-symbol seeds derive from the symbol
+/// index, so the outcomes are identical for any worker count and any
+/// work-stealing schedule, and bit-identical to unpooled per-symbol runs.
 ///
 /// # Errors
 ///
@@ -478,9 +560,18 @@ pub fn mc_symbols_parallel(
 ) -> Result<(Duration, Vec<BatchOutcome>), Box<dyn Error>> {
     let start = Instant::now();
     let scenario = SymbolScenario::prepare(config)?;
-    let outcomes = BatchRunner::with_workers(host_threads).run((0..symbols).collect(), |_ctx, sym| {
-        scenario.run_symbol(config.seed.wrapping_add(u64::from(sym))).map_err(|e| e.to_string())
-    });
+    let outcomes = BatchRunner::with_workers(host_threads).run_pooled(
+        scenario.artifacts(),
+        (0..symbols).collect(),
+        |ctx, sym| {
+            scenario
+                .run_symbol_pooled(
+                    ctx.pool().expect("pooled batch"),
+                    config.seed.wrapping_add(u64::from(sym)),
+                )
+                .map_err(|e| e.to_string())
+        },
+    );
     let wall = start.elapsed();
     let outcomes: Result<Vec<_>, String> = outcomes.into_iter().collect();
     Ok((wall, outcomes.map_err(|e| -> Box<dyn Error> { e.into() })?))

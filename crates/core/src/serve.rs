@@ -28,6 +28,14 @@
 //!   `CycleSim::run_parallel`. Because the sharded engine is
 //!   bit-identical at every thread count, claiming is invisible in the
 //!   results.
+//! * **Memory recycling.** [`BatchRunner::run_pooled`] owns one
+//!   [`MemPool`] for the duration of the batch and exposes it through
+//!   [`JobCtx::pool`]: each lane's jobs acquire and return one recycled
+//!   `ClusterMem` instead of re-mapping the 20 MiB arena per job — the
+//!   dominant fixed cost of small jobs after artifact sharing. Recycled
+//!   arenas are reset to the exact fresh state (only the dirty footprint
+//!   is re-zeroed), so pooled batches stay bit-identical to unpooled
+//!   ones.
 //!
 //! # Examples
 //!
@@ -48,15 +56,19 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
-/// Context handed to every job: which worker lane runs it and how much
-/// host parallelism the job may claim for itself.
+use terasim_terapool::{MemPool, SimArtifacts};
+
+/// Context handed to every job: which worker lane runs it, how much host
+/// parallelism the job may claim for itself, and (in pooled batches) the
+/// batch's recycling cluster-memory pool.
 #[derive(Debug)]
 pub struct JobCtx<'a> {
     worker: usize,
     workers: usize,
     idle: &'a AtomicUsize,
+    pool: Option<&'a Arc<MemPool>>,
 }
 
 impl JobCtx<'_> {
@@ -78,6 +90,16 @@ impl JobCtx<'_> {
     /// only, never results.
     pub fn claimable_threads(&self) -> usize {
         1 + self.idle.load(Ordering::Relaxed).min(self.workers.saturating_sub(1))
+    }
+
+    /// The batch's recycling cluster-memory pool — present when the batch
+    /// was started with [`BatchRunner::run_pooled`]. Jobs hand it to
+    /// `FastSim::from_pool` / `CycleSim::from_pool` (or the pooled
+    /// scenario runners in [`experiments`](crate::experiments)) so each
+    /// worker lane recycles one arena instead of re-mapping 20 MiB per
+    /// job.
+    pub fn pool(&self) -> Option<&Arc<MemPool>> {
+        self.pool
     }
 }
 
@@ -125,6 +147,33 @@ impl BatchRunner {
     /// output is a pure function of `jobs` and `f` — worker count,
     /// stealing order and completion order never show.
     pub fn run<I: Send, T: Send>(&self, jobs: Vec<I>, f: impl Fn(&JobCtx, I) -> T + Sync) -> Vec<T> {
+        self.run_with_pool(None, jobs, f)
+    }
+
+    /// As [`run`](Self::run), with a recycling cluster-memory pool over
+    /// `arts` owned by the batch and exposed to every job through
+    /// [`JobCtx::pool`]. Each worker lane's jobs acquire and return one
+    /// arena in turn, so the per-job `ClusterMem` allocation (the
+    /// dominant fixed cost of small jobs) is paid at most once per lane;
+    /// recycled arenas are reset to the exact fresh state, so the results
+    /// are bit-identical to an unpooled run. The pool lives exactly as
+    /// long as the batch.
+    pub fn run_pooled<I: Send, T: Send>(
+        &self,
+        arts: &Arc<SimArtifacts>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, I) -> T + Sync,
+    ) -> Vec<T> {
+        let pool = MemPool::new(Arc::clone(arts));
+        self.run_with_pool(Some(&pool), jobs, f)
+    }
+
+    fn run_with_pool<I: Send, T: Send>(
+        &self,
+        pool: Option<&Arc<MemPool>>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, I) -> T + Sync,
+    ) -> Vec<T> {
         let n = jobs.len();
         if n == 0 {
             return Vec::new();
@@ -142,7 +191,7 @@ impl BatchRunner {
 
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let worker = |w: usize, tx: mpsc::Sender<(usize, T)>| {
-            let ctx = JobCtx { worker: w, workers: self.workers, idle: &idle };
+            let ctx = JobCtx { worker: w, workers: self.workers, idle: &idle, pool };
             loop {
                 // Own queue first (front: submission order within the lane)...
                 let mut job = queues[w].lock().expect("job queue").pop_front();
@@ -215,6 +264,40 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 40);
         assert_eq!(out, (1..=40u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_batch_recycles_and_matches_unpooled() {
+        use terasim_riscv::{Assembler, Image, Reg, Segment};
+        use terasim_terapool::{FastSim, SimArtifacts, Topology};
+
+        let mut a = Assembler::new(Topology::L2_BASE);
+        a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
+        a.slli(Reg::T1, Reg::T0, 2);
+        a.addi(Reg::T0, Reg::T0, 3);
+        a.sw(Reg::T0, 0x40, Reg::T1);
+        a.ecall();
+        let mut image = Image::new(Topology::L2_BASE);
+        image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().unwrap()));
+        let arts = SimArtifacts::build(Topology::scaled(8), &image).unwrap();
+
+        let job = |sim: &mut FastSim, j: u32| {
+            sim.memory().write_u32(0x80, j);
+            sim.run_all(1).unwrap();
+            (sim.memory().read_u32(0x40), sim.memory().read_u32(0x80))
+        };
+        let runner = BatchRunner::with_workers(2);
+        let unpooled = runner.run((0..6u32).collect(), |_ctx, j| {
+            job(&mut FastSim::from_artifacts(std::sync::Arc::clone(&arts)), j)
+        });
+        let pooled = runner.run_pooled(&arts, (0..6u32).collect(), |ctx, j| {
+            let pool = ctx.pool().expect("pooled batch exposes its pool");
+            job(&mut FastSim::from_pool(pool), j)
+        });
+        assert_eq!(pooled, unpooled, "pooled batch must be bit-identical");
+        // Unpooled batches expose no pool.
+        let flags = runner.run(vec![0u32], |ctx, _| ctx.pool().is_some());
+        assert!(!flags[0]);
     }
 
     #[test]

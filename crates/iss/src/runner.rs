@@ -50,7 +50,7 @@ pub enum StopReason {
 }
 
 /// Statistics of one fast-mode run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Why the run stopped.
     pub stop: StopReason,

@@ -155,12 +155,32 @@ impl SimArtifacts {
         &self.fast_config
     }
 
+    /// The scenario's initial memory image (what every fresh or recycled
+    /// job memory starts loaded with). Lets callers verify that
+    /// independently built artifacts describe the same scenario before
+    /// sharing a pool between them.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
     /// Allocates a fresh per-job cluster memory with the scenario's image
-    /// loaded — the mutable half every job owns privately.
+    /// loaded — the mutable half every job owns privately. Batch drivers
+    /// that serve many small jobs should recycle these through a
+    /// [`MemPool`](crate::MemPool) instead of allocating per job.
     pub fn fresh_memory(&self) -> ClusterMem {
         let mem = ClusterMem::new(self.topo);
         mem.load_image(&self.image);
         mem
+    }
+
+    /// Returns a previously issued memory to the exact
+    /// [`fresh_memory`](Self::fresh_memory) state: re-zeroes the dirty
+    /// footprint (tracked at write time) and re-applies the scenario
+    /// image. The pooled counterpart of `fresh_memory` — callers reach it
+    /// through [`MemPool::acquire`](crate::MemPool::acquire).
+    pub(crate) fn reset_memory(&self, mem: &ClusterMem) {
+        mem.reset();
+        mem.load_image(&self.image);
     }
 
     /// The shared fast-mode micro-op table (lowered on first use under

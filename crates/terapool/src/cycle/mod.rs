@@ -89,6 +89,7 @@ use terasim_riscv::{Image, Inst, Reg};
 
 use crate::artifacts::SimArtifacts;
 use crate::mem::{ClusterMem, CoreMem, DomainBanks, TurboMem, XRequest};
+use crate::pool::MemPool;
 use crate::topology::{L1Decode, Topology};
 
 mod domain;
@@ -470,11 +471,17 @@ fn defer_issue<M: Memory>(
 /// internally.
 pub struct CycleSim {
     arts: Arc<SimArtifacts>,
-    mem: ClusterMem,
+    /// Always `Some` until drop, where a pooled job's arena is *taken*
+    /// and handed back to the pool by value — ownership transfers, so the
+    /// parked handle is immediately recyclable.
+    mem: Option<ClusterMem>,
     /// I$ refill penalty (L2 line fetch over AXI).
     pub icache_refill: u64,
     /// Instruction budget per core (safety net).
     pub max_instructions: u64,
+    /// The pool this job's memory returns to on drop (pooled jobs only —
+    /// see [`CycleSim::from_pool`]).
+    pool: Option<Arc<MemPool>>,
 }
 
 impl std::fmt::Debug for CycleSim {
@@ -502,7 +509,28 @@ impl CycleSim {
     /// memory (image loaded), shared lowered tables.
     pub fn from_artifacts(arts: Arc<SimArtifacts>) -> Self {
         let mem = arts.fresh_memory();
-        Self { arts, mem, icache_refill: 25, max_instructions: u64::MAX }
+        Self::with_memory(arts, mem)
+    }
+
+    /// Instantiates one job drawing its cluster memory from a recycling
+    /// [`MemPool`] (over the pool's own artifact set). The memory arrives
+    /// in the exact fresh state and returns to the pool when the
+    /// simulator drops — deadlocked or trapped runs included; the pool
+    /// resets the arena on reuse.
+    pub fn from_pool(pool: &Arc<MemPool>) -> Self {
+        let mem = pool.acquire();
+        let mut sim = Self::with_memory(Arc::clone(pool.artifacts()), mem);
+        sim.pool = Some(Arc::clone(pool));
+        sim
+    }
+
+    fn with_memory(arts: Arc<SimArtifacts>, mem: ClusterMem) -> Self {
+        Self { arts, mem: Some(mem), icache_refill: 25, max_instructions: u64::MAX, pool: None }
+    }
+
+    /// The job's cluster memory (present from construction to drop).
+    fn mem(&self) -> &ClusterMem {
+        self.mem.as_ref().expect("cluster memory present until drop")
     }
 
     /// The shared artifact set this job runs over.
@@ -512,7 +540,7 @@ impl CycleSim {
 
     /// The job-private cluster memory.
     pub fn memory(&self) -> &ClusterMem {
-        &self.mem
+        self.mem()
     }
 
     /// The cluster geometry.
@@ -551,7 +579,7 @@ impl CycleSim {
     /// One core context on the engine-fast memory view (used per domain
     /// by the sharded engine).
     fn make_ctx(&self, core: u32) -> CoreCtx<TurboMem> {
-        self.fresh_ctx(core, self.mem.turbo_view(core))
+        self.fresh_ctx(core, self.mem().turbo_view(core))
     }
 
     fn make_ctxs<M: Memory>(&self, cores: u32, view: impl Fn(u32) -> M) -> Vec<CoreCtx<M>> {
@@ -600,7 +628,7 @@ impl CycleSim {
         if topo.num_domains() > 1 {
             return epoch::run_sharded(self, cores, 1);
         }
-        let mut ctxs = self.make_ctxs(cores, |core| self.mem.turbo_view(core));
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem().turbo_view(core));
         let tables = self.arts.cycle_tables();
         let mut icaches: Vec<FastICache> =
             (0..topo.num_tiles()).map(|_| FastICache::new(topo.icache_bytes, topo.icache_line)).collect();
@@ -620,7 +648,7 @@ impl CycleSim {
         for core in 0..cores {
             cur[(core / 64) as usize] |= 1u64 << (core % 64); // all issue at cycle 0
         }
-        let mut seen_epoch = self.mem.wake_epoch();
+        let mut seen_epoch = self.mem().wake_epoch();
 
         loop {
             // Process every core scheduled for `now`, in ascending id.
@@ -654,7 +682,7 @@ impl CycleSim {
                     // Wake-all publications can only happen inside a
                     // memory-class instruction (a store to the control
                     // region), so the epoch check is gated on `did_mem`.
-                    if did_mem && min_waker.is_none() && self.mem.wake_epoch() != seen_epoch {
+                    if did_mem && min_waker.is_none() && self.mem().wake_epoch() != seen_epoch {
                         min_waker = Some(core);
                     }
                 }
@@ -665,12 +693,12 @@ impl CycleSim {
             // waker see it in the same pass (cycle `now`), cores *before*
             // it one pass later (`now + 1`). Replay exactly that.
             if let Some(waker) = min_waker {
-                seen_epoch = self.mem.wake_epoch();
+                seen_epoch = self.mem().wake_epoch();
                 parked.retain(|&core| {
-                    if !self.mem.wake_pending(core) {
+                    if !self.mem().wake_pending(core) {
                         return true;
                     }
-                    let _ = self.mem.take_wake(core);
+                    let _ = self.mem().take_wake(core);
                     let ctx = &mut ctxs[core as usize];
                     let observed = if core > waker { now } else { now + 1 };
                     ctx.stats.stall_wfi += observed.saturating_sub(ctx.parked_at);
@@ -772,7 +800,7 @@ impl CycleSim {
         if topo.num_domains() > 1 {
             return self.run_naive_epochs(cores);
         }
-        let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem().core_view(core));
         let mut icaches: Vec<ICache> =
             (0..topo.num_tiles()).map(|_| ICache::new(topo.icache_bytes, topo.icache_line)).collect();
         let mut banks = DomainBanks::whole_cluster(topo);
@@ -787,8 +815,8 @@ impl CycleSim {
                     CoreState::Done => continue,
                     CoreState::Parked => {
                         alive = true;
-                        if self.mem.wake_pending(ctx.cpu.hart_id()) {
-                            let _ = self.mem.take_wake(ctx.cpu.hart_id());
+                        if self.mem().wake_pending(ctx.cpu.hart_id()) {
+                            let _ = self.mem().take_wake(ctx.cpu.hart_id());
                             ctx.stats.stall_wfi += now.saturating_sub(ctx.parked_at);
                             ctx.state = CoreState::Ready;
                             ctx.wake_at = now + 1;
@@ -829,7 +857,7 @@ impl CycleSim {
     /// two separate implementations of the deferred semantics.
     fn run_naive_epochs(&mut self, cores: u32) -> Result<CycleResult, Trap> {
         let topo = self.arts.topology();
-        let mut ctxs = self.make_ctxs(cores, |core| self.mem.core_view(core));
+        let mut ctxs = self.make_ctxs(cores, |core| self.mem().core_view(core));
         let mut icaches: Vec<ICache> =
             (0..topo.num_tiles()).map(|_| ICache::new(topo.icache_bytes, topo.icache_line)).collect();
         let mut banks = DomainBanks::whole_cluster(topo);
@@ -939,8 +967,8 @@ impl CycleSim {
                 }
             }
             for ctx in ctxs.iter_mut() {
-                if ctx.state == CoreState::Parked && self.mem.wake_pending(ctx.cpu.hart_id()) {
-                    let _ = self.mem.take_wake(ctx.cpu.hart_id());
+                if ctx.state == CoreState::Parked && self.mem().wake_pending(ctx.cpu.hart_id()) {
+                    let _ = self.mem().take_wake(ctx.cpu.hart_id());
                     ctx.stats.stall_wfi += epoch_end.saturating_sub(ctx.parked_at);
                     ctx.state = CoreState::Ready;
                     ctx.wake_at = epoch_end + 1;
@@ -1151,7 +1179,7 @@ impl CycleSim {
                 ctx.stats.done_at = now + 1;
             }
             Outcome::Wfi => {
-                if self.mem.take_wake(core) {
+                if self.mem().take_wake(core) {
                     // Wake already pending: fall through immediately.
                 } else {
                     ctx.state = CoreState::Parked;
@@ -1340,7 +1368,7 @@ impl CycleSim {
                 ctx.stats.done_at = now + 1;
             }
             Outcome::Wfi => {
-                if self.mem.take_wake(ctx.cpu.hart_id()) {
+                if self.mem().take_wake(ctx.cpu.hart_id()) {
                     // Wake already pending: fall through immediately.
                 } else {
                     ctx.state = CoreState::Parked;
@@ -1350,6 +1378,21 @@ impl CycleSim {
             }
         }
         Ok(meta.is_mem)
+    }
+}
+
+impl Drop for CycleSim {
+    /// Pooled jobs return their (possibly dirty — deadlocks included)
+    /// cluster memory for recycling; the pool resets it on reuse. The
+    /// arena is moved out by value, so the parked handle is unique the
+    /// moment it lands in the pool — a concurrent acquire on another
+    /// lane can recycle it immediately.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            if let Some(mem) = self.mem.take() {
+                let _ = pool.release(mem);
+            }
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use terasim_riscv::Image;
 
 use crate::artifacts::SimArtifacts;
 use crate::mem::{ClusterMem, CoreMem};
+use crate::pool::MemPool;
 use crate::topology::Topology;
 
 /// Aggregate result of a fast-mode cluster run.
@@ -68,8 +69,15 @@ pub struct FastSim {
     /// departs from the artifacts' latency model (lazily, on the first
     /// run, so reconfiguring never pays for a table it discards).
     local_table: Option<Arc<UopProgram<CoreMem>>>,
-    mem: ClusterMem,
+    /// Always `Some` until drop, where a pooled job's arena is *taken*
+    /// and handed back to the pool by value — ownership transfers, so the
+    /// parked handle is immediately recyclable (never aliased by this
+    /// simulator's own dying field).
+    mem: Option<ClusterMem>,
     config: RunConfig,
+    /// The pool this job's memory returns to on drop (pooled jobs only —
+    /// see [`FastSim::from_pool`]).
+    pool: Option<Arc<MemPool>>,
 }
 
 impl std::fmt::Debug for FastSim {
@@ -98,8 +106,29 @@ impl FastSim {
     /// [`SimArtifacts::fast_config`], micro-op table shared.
     pub fn from_artifacts(arts: Arc<SimArtifacts>) -> Self {
         let mem = arts.fresh_memory();
+        Self::with_memory(arts, mem)
+    }
+
+    /// Instantiates one job drawing its cluster memory from a recycling
+    /// [`MemPool`] (over the pool's own artifact set). The memory arrives
+    /// in the exact fresh state and **returns to the pool when the
+    /// simulator drops**, so a batch lane pays the 20 MiB arena's
+    /// allocation at most once.
+    pub fn from_pool(pool: &Arc<MemPool>) -> Self {
+        let mem = pool.acquire();
+        let mut sim = Self::with_memory(Arc::clone(pool.artifacts()), mem);
+        sim.pool = Some(Arc::clone(pool));
+        sim
+    }
+
+    fn with_memory(arts: Arc<SimArtifacts>, mem: ClusterMem) -> Self {
         let config = arts.fast_config().clone();
-        Self { arts, local_table: None, mem, config }
+        Self { arts, local_table: None, mem: Some(mem), config, pool: None }
+    }
+
+    /// The job's cluster memory (present from construction to drop).
+    fn mem(&self) -> &ClusterMem {
+        self.mem.as_ref().expect("cluster memory present until drop")
     }
 
     /// Replaces the run configuration (latency model, budgets). If the new
@@ -119,7 +148,7 @@ impl FastSim {
     /// The job-private cluster memory (for operand setup and result
     /// readback).
     pub fn memory(&self) -> &ClusterMem {
-        &self.mem
+        self.mem()
     }
 
     /// The cluster geometry.
@@ -192,7 +221,7 @@ impl FastSim {
                 cpu.set_pc(entry);
                 Hart {
                     cpu,
-                    mem: self.mem.core_view(core),
+                    mem: self.mem().core_view(core),
                     sb: Scoreboard::new(),
                     stats: RunStats::default(),
                     state: HartState::Runnable,
@@ -254,7 +283,7 @@ impl FastSim {
             let release_time = harts.iter().map(|h| h.sb.cycles()).max().unwrap_or(0);
             let mut woke_any = false;
             for hart in harts.iter_mut() {
-                if hart.state == HartState::Parked && self.mem.take_wake(hart.cpu.hart_id()) {
+                if hart.state == HartState::Parked && self.mem().take_wake(hart.cpu.hart_id()) {
                     let idle = hart.sb.advance_to(release_time);
                     hart.stats.wfi_stalls += idle;
                     hart.stats.est_cycles = hart.sb.cycles();
@@ -272,5 +301,20 @@ impl FastSim {
         let per_core: Vec<RunStats> = harts.iter().map(|h| h.stats.clone()).collect();
         let cycles = per_core.iter().map(|s| s.est_cycles).max().unwrap_or(0);
         Ok(ClusterResult { per_core, cycles })
+    }
+}
+
+impl Drop for FastSim {
+    /// Pooled jobs return their (possibly dirty — deadlocks included)
+    /// cluster memory for recycling; the pool resets it on reuse. The
+    /// arena is moved out by value, so the parked handle is unique the
+    /// moment it lands in the pool — a concurrent acquire on another
+    /// lane can recycle it immediately.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            if let Some(mem) = self.mem.take() {
+                let _ = pool.release(mem);
+            }
+        }
     }
 }

@@ -42,7 +42,11 @@
 //! plain `new(topo, &image)` constructors build a single-use artifact set
 //! internally, so one-shot use reads exactly as before; batch drivers
 //! (e.g. `terasim::serve::BatchRunner`) share one set across hundreds of
-//! jobs and skip the per-run rebuild entirely.
+//! jobs and skip the per-run rebuild entirely. The remaining per-job
+//! fixed cost — allocating the private `ClusterMem` — is removed by the
+//! recycling [`MemPool`]: simulators built with `from_pool` return their
+//! arena on drop, and the next job gets it back reset (only the dirty
+//! footprint is re-zeroed), bit-identical to a fresh allocation.
 //!
 //! # Examples
 //!
@@ -74,10 +78,12 @@ mod artifacts;
 mod cycle;
 mod fast;
 mod mem;
+mod pool;
 mod topology;
 
 pub use artifacts::SimArtifacts;
 pub use cycle::{CycleResult, CycleSim, CycleStats};
 pub use fast::{ClusterResult, FastSim};
 pub use mem::{ClusterMem, CoreMem};
+pub use pool::{MemPool, PoolStats};
 pub use topology::Topology;

@@ -26,6 +26,12 @@ fn amo_apply(op: AmoOp, old: u32, value: u32) -> u32 {
     }
 }
 
+/// Words per dirty-tracking page (4 KiB). Coarse enough that the
+/// write-path cost is one extra relaxed byte store per memory store, fine
+/// enough that resetting a recycled arena touches only the KiBs a small
+/// job actually dirtied instead of the 20 MiB allocation.
+const DIRTY_PAGE_WORDS: usize = 1024;
+
 /// Allocates a zeroed `Vec<AtomicU32>` through the `calloc` fast path
 /// (element-wise construction of multi-MiB atomic arrays dominates
 /// simulator start-up otherwise).
@@ -58,6 +64,13 @@ struct Inner {
     eoc: AtomicU32,
     dma_src: AtomicU32,
     dma_dst: AtomicU32,
+    /// Per-page dirty flags for `l1`/`l2`, set (relaxed) on every store
+    /// path and consumed by [`ClusterMem::reset`]: recycling an arena
+    /// re-zeroes only the pages a job actually wrote. A flag is only ever
+    /// *read* while the arena is quiescent (no job running), so relaxed
+    /// marking is enough — the pool's lock hands the marks over.
+    l1_dirty: Vec<AtomicBool>,
+    l2_dirty: Vec<AtomicBool>,
 }
 
 /// The cluster's shared memory, cheaply cloneable (an [`Arc`] inside).
@@ -96,6 +109,8 @@ impl ClusterMem {
             eoc: AtomicU32::new(0),
             dma_src: AtomicU32::new(0),
             dma_dst: AtomicU32::new(0),
+            l1_dirty: (0..l1_words.div_ceil(DIRTY_PAGE_WORDS)).map(|_| AtomicBool::new(false)).collect(),
+            l2_dirty: (0..l2_words.div_ceil(DIRTY_PAGE_WORDS)).map(|_| AtomicBool::new(false)).collect(),
         };
         Self { inner: Arc::new(inner) }
     }
@@ -142,6 +157,91 @@ impl ClusterMem {
         None
     }
 
+    /// Marks the L1 dirty page containing physical word `idx`. A plain
+    /// relaxed store (no RMW): concurrent markers all write `true`.
+    #[inline]
+    pub(crate) fn mark_l1_dirty(&self, idx: usize) {
+        self.inner.l1_dirty[idx / DIRTY_PAGE_WORDS].store(true, Ordering::Relaxed);
+    }
+
+    /// Marks the L2 dirty page containing word `idx`.
+    #[inline]
+    pub(crate) fn mark_l2_dirty(&self, idx: usize) {
+        self.inner.l2_dirty[idx / DIRTY_PAGE_WORDS].store(true, Ordering::Relaxed);
+    }
+
+    /// [`word_slot`](Self::word_slot) for the *store* paths: identical
+    /// lookup, plus marking the word's dirty page so
+    /// [`reset`](Self::reset) knows to re-zero it. Every mutation of the
+    /// word arrays — host writes, guest stores, AMOs, DMA — funnels
+    /// through here (loads stay on the unmarked lookup).
+    fn store_slot(&self, addr: u32) -> Option<&AtomicU32> {
+        let inner = &*self.inner;
+        if let Some((bank, off)) = inner.topo.l1_slot(addr & !3) {
+            let idx = (bank * inner.topo.bank_words() + off) as usize;
+            self.mark_l1_dirty(idx);
+            return Some(&inner.l1[idx]);
+        }
+        if addr >= Topology::L2_BASE {
+            let off = (addr - Topology::L2_BASE) & !3;
+            if off < Topology::L2_SIZE {
+                let idx = (off / 4) as usize;
+                self.mark_l2_dirty(idx);
+                return Some(&inner.l2[idx]);
+            }
+        }
+        None
+    }
+
+    /// Count of currently dirty 4 KiB pages across both word arrays — the
+    /// footprint the next [`reset`](Self::reset) will re-zero. Intended
+    /// for observability (pool statistics, benchmarks, tests).
+    pub fn dirty_pages(&self) -> usize {
+        let inner = &*self.inner;
+        inner.l1_dirty.iter().chain(inner.l2_dirty.iter()).filter(|f| f.load(Ordering::Relaxed)).count()
+    }
+
+    /// Returns this handle to the all-zero post-[`new`](Self::new) state
+    /// by re-zeroing **only the dirty footprint**: every 4 KiB page a
+    /// store path marked since construction (or the previous reset) is
+    /// zeroed and its flag cleared; untouched pages are not read or
+    /// written. Control/wake state (EOC, DMA registers, pending wakes,
+    /// the wake notification epoch) is unconditionally cleared — it is
+    /// O(cores), not O(arena).
+    ///
+    /// The caller must be the only party touching the arena (the pool
+    /// guarantees this by recycling only un-aliased handles); dirty marks
+    /// made by worker threads are handed over by whatever synchronization
+    /// published the memory handle itself.
+    pub(crate) fn reset(&self) {
+        let inner = &*self.inner;
+        for (words, dirty) in [(&inner.l1, &inner.l1_dirty), (&inner.l2, &inner.l2_dirty)] {
+            for (page, flag) in dirty.iter().enumerate() {
+                if flag.swap(false, Ordering::Relaxed) {
+                    let start = page * DIRTY_PAGE_WORDS;
+                    let end = (start + DIRTY_PAGE_WORDS).min(words.len());
+                    for w in &words[start..end] {
+                        w.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        for w in &inner.wake {
+            w.store(false, Ordering::SeqCst);
+        }
+        inner.wake_epoch.store(0, Ordering::SeqCst);
+        inner.eoc.store(0, Ordering::SeqCst);
+        inner.dma_src.store(0, Ordering::SeqCst);
+        inner.dma_dst.store(0, Ordering::SeqCst);
+    }
+
+    /// `true` when this is the only live handle to the arena (no clone,
+    /// core/turbo view or job still aliases it) — the pool's recycling
+    /// precondition.
+    pub(crate) fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.inner) == 1
+    }
+
     /// Host-side aligned word read.
     ///
     /// # Panics
@@ -160,7 +260,7 @@ impl ClusterMem {
     ///
     /// Panics on unmapped addresses.
     pub fn write_u32(&self, addr: u32, value: u32) {
-        self.word_slot(addr)
+        self.store_slot(addr)
             .unwrap_or_else(|| panic!("write_u32: unmapped {addr:#010x}"))
             .store(value, Ordering::SeqCst);
     }
@@ -177,7 +277,7 @@ impl ClusterMem {
 
     /// Host-side u16 write.
     pub fn write_u16(&self, addr: u32, value: u16) {
-        let slot = self.word_slot(addr & !3).unwrap_or_else(|| panic!("write_u16: unmapped {addr:#010x}"));
+        let slot = self.store_slot(addr & !3).unwrap_or_else(|| panic!("write_u16: unmapped {addr:#010x}"));
         let shift = (addr & 2) * 8;
         let mask = 0xffffu32 << shift;
         let _ = slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| {
@@ -397,7 +497,7 @@ impl Memory for CoreMem {
             self.mem.ctrl_store(addr, value, self.core);
             return Ok(());
         }
-        let slot = self.mem.word_slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let slot = self.mem.store_slot(addr).ok_or(MemError::Unmapped { addr })?;
         if size == 4 {
             slot.store(value, Ordering::SeqCst);
         } else {
@@ -414,7 +514,7 @@ impl Memory for CoreMem {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, size: 4 });
         }
-        let slot = self.mem.word_slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let slot = self.mem.store_slot(addr).ok_or(MemError::Unmapped { addr })?;
         let old = slot
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| Some(amo_apply(op, old, value)))
             .expect("fetch_update closure never fails");
@@ -505,6 +605,32 @@ impl TurboMem {
         }
         None
     }
+
+    /// [`slot`](Self::slot) for the store paths: same lookup (primed memo
+    /// included), plus the dirty-page mark — the engine-fast counterpart
+    /// of [`ClusterMem::store_slot`].
+    #[inline]
+    fn store_slot(&self, addr: u32) -> Option<&AtomicU32> {
+        let inner = &*self.mem.inner;
+        if addr & !3 == self.primed_addr {
+            self.mem.mark_l1_dirty(self.primed_idx as usize);
+            return Some(&inner.l1[self.primed_idx as usize]);
+        }
+        if let Some((bank, off)) = self.decode.l1_slot(addr & !3) {
+            let idx = self.decode.phys_index(bank, off);
+            self.mem.mark_l1_dirty(idx);
+            return Some(&inner.l1[idx]);
+        }
+        if addr >= Topology::L2_BASE {
+            let off = (addr - Topology::L2_BASE) & !3;
+            if off < Topology::L2_SIZE {
+                let idx = (off / 4) as usize;
+                self.mem.mark_l2_dirty(idx);
+                return Some(&inner.l2[idx]);
+            }
+        }
+        None
+    }
 }
 
 impl Memory for TurboMem {
@@ -533,7 +659,7 @@ impl Memory for TurboMem {
             self.mem.ctrl_store(addr, value, self.core);
             return Ok(());
         }
-        let slot = self.slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let slot = self.store_slot(addr).ok_or(MemError::Unmapped { addr })?;
         if size == 4 {
             slot.store(value, Ordering::Relaxed);
         } else {
@@ -550,7 +676,7 @@ impl Memory for TurboMem {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, size: 4 });
         }
-        let slot = self.slot(addr).ok_or(MemError::Unmapped { addr })?;
+        let slot = self.store_slot(addr).ok_or(MemError::Unmapped { addr })?;
         let old = slot.load(Ordering::Relaxed);
         slot.store(amo_apply(op, old, value), Ordering::Relaxed);
         Ok(old)
@@ -654,6 +780,69 @@ mod tests {
         assert_eq!(near.latency(Topology::SEQ_BASE), 1);
         assert_eq!(near.latency(Topology::SEQ_BASE + 64 * Topology::SEQ_STRIDE), 9);
         assert_eq!(near.latency(Topology::L2_BASE), 16);
+    }
+
+    #[test]
+    fn reset_rezeroes_exactly_the_dirty_footprint() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        assert_eq!(mem.dirty_pages(), 0, "fresh arena starts clean");
+        // Dirty through every store path: host word/halfword, core view
+        // (full, sub-word, AMO), turbo view (full, sub-word, AMO, primed).
+        mem.write_u32(0x40, 0xdead_beef);
+        mem.write_u16(Topology::L2_BASE + 0x9002, 0xabcd);
+        {
+            let mut c = mem.core_view(1);
+            c.store(Topology::SEQ_BASE + 0x100, 4, 7).unwrap();
+            c.store(Topology::SEQ_BASE + 0x201, 1, 0x5a).unwrap();
+            c.amo(AmoOp::Add, 0x80, 3).unwrap();
+            let mut t = mem.turbo_view(2);
+            t.store(Topology::L2_BASE + 0x4000, 4, 11).unwrap();
+            t.store(0x92, 2, 0x1234).unwrap();
+            t.amo(AmoOp::Or, Topology::SEQ_BASE + 0x300, 0xf0).unwrap();
+            // Primed-memo store path.
+            if let Some((bank, off)) = mem.topology().l1_slot(0x40) {
+                t.prime(0x40, bank, off);
+            }
+            t.store(0x40, 4, 1).unwrap();
+            // Control stores (reset unconditionally, not page-tracked).
+            c.store(Topology::CTRL_EOC, 4, 9).unwrap();
+            c.store(Topology::CTRL_WAKE_ALL, 4, 1).unwrap();
+        }
+        assert!(mem.dirty_pages() > 0);
+        mem.reset();
+        assert_eq!(mem.dirty_pages(), 0, "reset consumes the dirty set");
+        for addr in [
+            0x40,
+            0x80,
+            0x90,
+            Topology::SEQ_BASE + 0x100,
+            Topology::SEQ_BASE + 0x200,
+            Topology::SEQ_BASE + 0x300,
+            Topology::L2_BASE + 0x4000,
+            Topology::L2_BASE + 0x9000,
+        ] {
+            assert_eq!(mem.read_u32(addr), 0, "{addr:#x} must be re-zeroed");
+        }
+        assert_eq!(mem.eoc(), 0, "control state cleared");
+        assert_eq!(mem.wake_epoch(), 0);
+        for core in 0..8 {
+            assert!(!mem.wake_pending(core), "pending wake survived reset");
+        }
+        // Loads must not mark.
+        let _ = mem.read_u32(0x1000);
+        let mut v = mem.core_view(0);
+        let _ = v.load(Topology::L2_BASE + 0x100, 4).unwrap();
+        assert_eq!(mem.dirty_pages(), 0, "loads never dirty a page");
+    }
+
+    #[test]
+    fn uniqueness_tracks_live_views() {
+        let mem = ClusterMem::new(Topology::scaled(8));
+        assert!(mem.is_unique());
+        let view = mem.core_view(0);
+        assert!(!mem.is_unique(), "core view aliases the arena");
+        drop(view);
+        assert!(mem.is_unique());
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! A recycling pool of per-job cluster memories.
+//!
+//! After the artifact/job split, the dominant per-job fixed cost of batch
+//! serving is the private [`ClusterMem`]: a fresh 20 MiB arena (16 MiB L2
+//! plus the L1 banks) costs an mmap/munmap round trip of ~1–2 ms per job
+//! on a typical host — which swamps small fast-mode jobs entirely. A
+//! [`MemPool`] removes that cost by handing arenas back out instead of
+//! re-mapping: returning a job's memory parks it on a free list, and the
+//! next [`acquire`](MemPool::acquire) *resets* it — re-zeroing **only the
+//! dirty footprint** tracked at write time (see [`ClusterMem`]'s 4 KiB
+//! dirty pages) and re-applying the scenario's initial image — instead of
+//! allocating.
+//!
+//! A reset arena is indistinguishable from a fresh one, so pooled runs
+//! are bit-identical to fresh-memory runs; the workspace's `pool`
+//! integration tests pin this across backends, worker counts and
+//! deadlocked (arbitrarily dirty) jobs.
+//!
+//! The pool is tied to one [`SimArtifacts`] set: every arena it issues
+//! has that scenario's topology and image. Returning a memory of any
+//! other topology is rejected ([`release`](MemPool::release) returns
+//! `false`), and a returned handle that is still aliased by a live view
+//! is quietly discarded at acquire time rather than recycled — recycling
+//! an arena another job can still see would alias their memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use terasim_terapool::{FastSim, MemPool, SimArtifacts, Topology};
+//! use terasim_riscv::{Assembler, Image, Reg, Segment};
+//!
+//! let mut a = Assembler::new(Topology::L2_BASE);
+//! a.li(Reg::T0, 42);
+//! a.sw(Reg::T0, 0x40, Reg::Zero);
+//! a.ecall();
+//! let mut image = Image::new(Topology::L2_BASE);
+//! image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish()?));
+//!
+//! let arts = SimArtifacts::build(Topology::scaled(8), &image)?;
+//! let pool = MemPool::new(arts);
+//! for _ in 0..3 {
+//!     // Drops return the arena; after the first job the pool recycles.
+//!     let mut sim = FastSim::from_pool(&pool);
+//!     sim.run_cores(0..1, 1)?;
+//!     assert_eq!(sim.memory().read_u32(0x40), 42);
+//! }
+//! assert_eq!(pool.stats().recycled, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::artifacts::SimArtifacts;
+use crate::mem::ClusterMem;
+
+/// Activity counters of a [`MemPool`] (observability and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions that allocated a fresh arena (free list empty).
+    pub fresh: u64,
+    /// Acquisitions served by resetting a recycled arena.
+    pub recycled: u64,
+    /// Returned arenas discarded at acquire because a live view still
+    /// aliased them (the job leaked a [`ClusterMem`] clone).
+    pub discarded: u64,
+    /// Returns rejected outright (topology mismatch with the pool's
+    /// artifact set).
+    pub rejected: u64,
+}
+
+/// A recycling pool of per-job [`ClusterMem`] arenas over one shared
+/// [`SimArtifacts`] set. See the [module docs](self).
+#[derive(Debug)]
+pub struct MemPool {
+    arts: Arc<SimArtifacts>,
+    /// LIFO free list: the most recently returned arena is the hottest
+    /// (page-table and cache residency) and is handed out first.
+    free: Mutex<Vec<ClusterMem>>,
+    fresh: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl MemPool {
+    /// Creates an empty pool issuing memories for `arts`' scenario.
+    ///
+    /// Returned in an [`Arc`] because that is how every consumer uses it:
+    /// the pool is shared between the batch driver and the jobs whose
+    /// simulators return their memory on drop.
+    pub fn new(arts: Arc<SimArtifacts>) -> Arc<Self> {
+        Arc::new(Self {
+            arts,
+            free: Mutex::new(Vec::new()),
+            fresh: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The artifact set this pool issues memories for.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        &self.arts
+    }
+
+    /// Hands out a cluster memory in the exact fresh state (all-zero plus
+    /// the scenario image): a recycled arena reset via its dirty page set
+    /// when one is available, a new allocation otherwise. Returned
+    /// handles that are still aliased by a live view are discarded, never
+    /// recycled.
+    pub fn acquire(&self) -> ClusterMem {
+        loop {
+            let candidate = self.free.lock().expect("pool free list").pop();
+            match candidate {
+                Some(mem) if mem.is_unique() => {
+                    self.arts.reset_memory(&mem);
+                    self.recycled.fetch_add(1, Ordering::Relaxed);
+                    return mem;
+                }
+                Some(_) => {
+                    // Still aliased: dropping our handle leaves the arena
+                    // to whoever kept a view; it never re-enters the pool.
+                    self.discarded.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.fresh.fetch_add(1, Ordering::Relaxed);
+                    return self.arts.fresh_memory();
+                }
+            }
+        }
+    }
+
+    /// Returns an arena for recycling. Accepts only memories of the
+    /// pool's own topology (any [`acquire`](Self::acquire)d handle
+    /// qualifies); a mismatched topology is rejected — the arena has the
+    /// wrong geometry for this scenario — and `false` is returned, with
+    /// the memory simply dropped.
+    ///
+    /// The arena may be arbitrarily dirty (a deadlocked or trapped job's
+    /// memory is fine): the reset happens at the next acquire.
+    pub fn release(&self, mem: ClusterMem) -> bool {
+        if mem.topology() != self.arts.topology() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.free.lock().expect("pool free list").push(mem);
+        true
+    }
+
+    /// Arenas currently parked on the free list.
+    pub fn parked(&self) -> usize {
+        self.free.lock().expect("pool free list").len()
+    }
+
+    /// Snapshot of the pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use terasim_riscv::{Assembler, Image, Reg, Segment};
+
+    fn artifacts(cores: u32) -> Arc<SimArtifacts> {
+        let mut a = Assembler::new(Topology::L2_BASE);
+        a.li(Reg::T0, 7);
+        a.sw(Reg::T0, 0x20, Reg::Zero);
+        a.ecall();
+        let mut image = Image::new(Topology::L2_BASE);
+        image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().unwrap()));
+        SimArtifacts::build(Topology::scaled(cores), &image).unwrap()
+    }
+
+    #[test]
+    fn acquire_recycles_and_resets() {
+        let arts = artifacts(8);
+        let pool = MemPool::new(Arc::clone(&arts));
+        let mem = pool.acquire();
+        mem.write_u32(0x100, 0xdead_beef);
+        assert!(pool.release(mem));
+        assert_eq!(pool.parked(), 1);
+        let again = pool.acquire();
+        assert_eq!(again.read_u32(0x100), 0, "recycled arena must be reset");
+        // The image is re-applied: text word 0 is the fresh `li`.
+        assert_eq!(again.read_u32(Topology::L2_BASE), arts.fresh_memory().read_u32(Topology::L2_BASE));
+        assert_eq!(pool.stats(), PoolStats { fresh: 1, recycled: 1, ..PoolStats::default() });
+    }
+
+    #[test]
+    fn mismatched_topology_is_rejected() {
+        let pool = MemPool::new(artifacts(8));
+        let foreign = ClusterMem::new(Topology::scaled(16));
+        assert!(!pool.release(foreign), "foreign topology must be rejected");
+        assert_eq!(pool.parked(), 0);
+        assert_eq!(pool.stats().rejected, 1);
+        // The pool still serves correct memories afterwards.
+        assert_eq!(pool.acquire().topology(), Topology::scaled(8));
+    }
+
+    #[test]
+    fn aliased_returns_are_discarded_not_recycled() {
+        let pool = MemPool::new(artifacts(8));
+        let mem = pool.acquire();
+        let leak = mem.clone();
+        assert!(pool.release(mem));
+        // The live clone makes the parked arena unrecyclable; acquire
+        // must discard it and allocate fresh instead of aliasing `leak`.
+        let fresh = pool.acquire();
+        leak.write_u32(0x40, 1);
+        assert_eq!(fresh.read_u32(0x40), 0, "acquired arena must not alias the leaked handle");
+        let stats = pool.stats();
+        assert_eq!((stats.discarded, stats.recycled), (1, 0));
+    }
+}

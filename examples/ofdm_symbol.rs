@@ -47,21 +47,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Parallel symbols over host threads (reduced count for the example):
-    // one shared artifact set, one batch job per symbol with its own seed.
+    // one shared artifact set, one batch job per symbol with its own
+    // seed, cluster memories recycled through the batch's pool (each
+    // lane pays the 20 MiB arena allocation once, not per symbol).
     let threads = std::thread::available_parallelism()?.get();
     let symbols = threads as u32 * 2;
     let config = BatchConfig { n, precision: Precision::CDotp16, nsc, seed: 7, unroll: 2 };
     let scenario = SymbolScenario::prepare(&config)?;
     let _ = scenario.run_symbol(config.seed)?; // warm-up
     let start = std::time::Instant::now();
-    let outs = BatchRunner::with_workers(threads).run((0..symbols).collect(), |_ctx, sym| {
-        scenario.run_symbol(config.seed.wrapping_add(u64::from(sym))).map_err(|e| e.to_string())
-    });
+    let outs = BatchRunner::with_workers(threads).run_pooled(
+        scenario.artifacts(),
+        (0..symbols).collect(),
+        |ctx, sym| {
+            scenario
+                .run_symbol_pooled(
+                    ctx.pool().expect("pooled batch"),
+                    config.seed.wrapping_add(u64::from(sym)),
+                )
+                .map_err(|e| e.to_string())
+        },
+    );
     let wall = start.elapsed();
     let outs = outs.into_iter().collect::<Result<Vec<_>, String>>()?;
     let serial: f64 = outs.iter().map(|o| o.wall.as_secs_f64()).sum();
     println!(
-        "\n{} independent symbols on {} threads (shared artifacts): {:.2?} elapsed for {:.2}s of simulation (speedup {:.1}x)",
+        "\n{} independent symbols on {} threads (shared artifacts, pooled memory): {:.2?} elapsed for {:.2}s of simulation (speedup {:.1}x)",
         symbols,
         threads,
         wall,
