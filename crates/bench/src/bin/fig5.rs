@@ -22,6 +22,10 @@ use terasim::serve::BatchRunner;
 use terasim_bench::{host_threads, min_sec, Scale};
 use terasim_kernels::Precision;
 
+/// One measured sweep point: both backends over the config's shared
+/// artifact set.
+type Row = (ParallelConfig, terasim::experiments::FastOutcome, terasim::experiments::CycleOutcome);
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let threads = host_threads();
@@ -35,19 +39,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             configs.push(ParallelConfig { cores: scale.cores(), n, precision, seed: 50, unroll: 2 });
         }
     }
+    let labels: Vec<String> =
+        configs.iter().map(|c| format!("{}x{} {}", c.n, c.n, c.precision.paper_name())).collect();
     // One lane: jobs run alone, back to back, so their wall times are
-    // uncontended; both backends share each job's artifact set.
-    let rows = BatchRunner::with_workers(1).run(configs, |_ctx, config| -> Result<_, String> {
-        let scenario = ParallelScenario::prepare(&config).map_err(|e| e.to_string())?;
+    // uncontended; both backends share each job's artifact set. The batch
+    // runs supervised: a fault in one configuration is reported on its
+    // own row and the rest of the sweep still completes.
+    let rows = BatchRunner::with_workers(1).try_run(configs, |ctx, config| -> Result<Row, _> {
+        let scenario = ParallelScenario::prepare(config).unwrap_or_else(|e| {
+            panic!("scenario build failed for {}x{} {}: {e}", config.n, config.n, config.precision)
+        });
         // Multi-thread fast emulation (the measured Banshee side) vs the
         // single-thread event-driven cycle reference (the QuestaSim side).
-        let fast = scenario.run_fast(threads).map_err(|e| e.to_string())?;
-        let cycle = scenario.run_cycle(CycleEngine::EventDriven).map_err(|e| e.to_string())?;
-        Ok((config, fast, cycle))
+        let fast = scenario.try_run_fast(ctx, threads, config.seed)?;
+        let cycle = scenario.try_run_cycle(ctx, CycleEngine::EventDriven, config.seed)?;
+        Ok((*config, fast, cycle))
     });
     let mut last_n = 0;
-    for row in rows {
-        let (config, fast, cycle) = row?;
+    let mut failed = 0usize;
+    for (row, label) in rows.into_iter().zip(&labels) {
+        let (config, fast, cycle) = match row {
+            Ok(row) => row,
+            Err(e) => {
+                println!(" {label}: FAILED — {e}");
+                failed += 1;
+                continue;
+            }
+        };
         if last_n != 0 && config.n != last_n {
             println!();
         }
@@ -69,5 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("Expected shape (paper): speedup grows with MIMO size (3x -> 63x CPU-time at 1024 cores).");
+    if failed > 0 {
+        return Err(format!("{failed} of {} sweep configurations failed", labels.len()).into());
+    }
     Ok(())
 }

@@ -22,9 +22,30 @@ impl Args {
         self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
     }
 
-    fn u32(&self, name: &str, default: u32) -> u32 {
-        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    /// The flag's value as a `u32`, or `default` when absent. A value
+    /// that is present but malformed is a hard error naming the flag —
+    /// never silently replaced by the default.
+    fn u32(&self, name: &str, default: u32) -> Result<u32, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("invalid value for {name}: {v:?} is not an unsigned integer"))
+            }
+        }
     }
+}
+
+/// Unwraps a numeric flag or exits with the parse error naming the flag.
+macro_rules! flag {
+    ($args:expr, $name:expr, $default:expr) => {
+        match $args.u32($name, $default) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
 }
 
 fn parse_precision(s: &str) -> Option<Precision> {
@@ -55,20 +76,20 @@ fn main() -> ExitCode {
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
-    let n = args.u32("--mimo", 4);
+    let n = flag!(args, "--mimo", 4);
     let Some(precision) = parse_precision(args.value("--precision").unwrap_or("16bCDotp")) else {
         return usage();
     };
     let config = ParallelConfig {
-        cores: args.u32("--cores", 64),
+        cores: flag!(args, "--cores", 64),
         n,
         precision,
-        seed: u64::from(args.u32("--seed", 1)),
-        unroll: args.u32("--unroll", 2),
+        seed: u64::from(flag!(args, "--seed", 1)),
+        unroll: flag!(args, "--unroll", 2),
     };
     match args.value("--backend").unwrap_or("fast") {
         "fast" => {
-            let threads = args.u32("--threads", 2) as usize;
+            let threads = flag!(args, "--threads", 2) as usize;
             match experiments::parallel_fast(&config, threads) {
                 Ok(out) => {
                     println!(
@@ -106,11 +127,11 @@ fn cmd_symbol(args: &Args) -> ExitCode {
         return usage();
     };
     let config = BatchConfig {
-        n: args.u32("--mimo", 4),
+        n: flag!(args, "--mimo", 4),
         precision,
-        nsc: args.u32("--nsc", 128),
-        seed: u64::from(args.u32("--seed", 1)),
-        unroll: args.u32("--unroll", 2),
+        nsc: flag!(args, "--nsc", 128),
+        seed: u64::from(flag!(args, "--seed", 1)),
+        unroll: flag!(args, "--unroll", 2),
     };
     match experiments::mc_symbol_single(&config) {
         Ok(out) => {
@@ -128,7 +149,7 @@ fn cmd_symbol(args: &Args) -> ExitCode {
 }
 
 fn cmd_ber(args: &Args) -> ExitCode {
-    let n = args.u32("--mimo", 4) as usize;
+    let n = flag!(args, "--mimo", 4) as usize;
     let detector = match args.value("--detector").unwrap_or("64b") {
         "64b" | "64bDouble" => DetectorKind::Reference64,
         s => {
@@ -156,17 +177,21 @@ fn cmd_ber(args: &Args) -> ExitCode {
         "rayleigh" => ChannelKind::Rayleigh,
         _ => return usage(),
     };
-    let snrs: Vec<f64> = args
-        .value("--snr")
-        .unwrap_or("6,10,14,18")
-        .split(',')
-        .filter_map(|s| s.trim().parse().ok())
-        .collect();
+    let mut snrs: Vec<f64> = Vec::new();
+    for part in args.value("--snr").unwrap_or("6,10,14,18").split(',') {
+        match part.trim().parse() {
+            Ok(v) => snrs.push(v),
+            Err(_) => {
+                eprintln!("error: invalid value for --snr: {:?} is not a number", part.trim());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if snrs.is_empty() {
         return usage();
     }
     let scenario = Mimo { n_tx: n, n_rx: n, modulation, channel };
-    let errors = u64::from(args.u32("--errors", 500));
+    let errors = u64::from(flag!(args, "--errors", 500));
     println!("BER {}x{} {} {} — {}", n, n, modulation.name(), channel.name(), detector.label());
     for p in experiments::ber_curve(scenario, &snrs, detector, errors, 50_000, 1) {
         println!(
@@ -182,7 +207,7 @@ fn cmd_ber(args: &Args) -> ExitCode {
 }
 
 fn cmd_info(args: &Args) -> ExitCode {
-    let topo = Topology::scaled(args.u32("--cores", 1024));
+    let topo = Topology::scaled(flag!(args, "--cores", 1024));
     println!("TeraPool topology:");
     println!("  cores: {} ({} per tile)", topo.num_cores(), topo.cores_per_tile);
     println!(

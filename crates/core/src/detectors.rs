@@ -141,10 +141,25 @@ impl std::fmt::Debug for IssDetector {
 }
 
 impl IssDetector {
+    /// Per-detection instruction budget: a generous safety net (a real
+    /// detection retires well under a million instructions) so a runaway
+    /// kernel surfaces as a contained, descriptive fault instead of
+    /// hanging the whole BER sweep.
+    pub const DETECT_BUDGET: u64 = 100_000_000;
+
     /// The detector's cluster topology (one tile hosts the single active
     /// Snitch).
     fn topology() -> Topology {
         Topology::scaled(8)
+    }
+
+    /// Arms the per-detection instruction budget (same latency model, so
+    /// the artifacts' shared lowered table keeps being used).
+    fn budgeted(mut sim: FastSim) -> FastSim {
+        let mut rc = sim.artifacts().fast_config().clone();
+        rc.max_instructions = Self::DETECT_BUDGET;
+        sim.set_config(rc);
+        sim
     }
 
     fn kernel(precision: Precision, n: u32) -> MmseKernel {
@@ -164,7 +179,7 @@ impl IssDetector {
         let kernel = Self::kernel(precision, n);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
-        let sim = FastSim::new(topo, &image)?;
+        let sim = Self::budgeted(FastSim::new(topo, &image)?);
         Ok(Self { precision, n, inner: Mutex::new(IssInner { sim, layout }) })
     }
 
@@ -214,7 +229,7 @@ impl IssDetector {
             kernel.build(&topo)?,
             "pool built for a different detector kernel (precision/size mismatch)"
         );
-        let sim = FastSim::from_pool(pool);
+        let sim = Self::budgeted(FastSim::from_pool(pool));
         Ok(Self { precision, n, inner: Mutex::new(IssInner { sim, layout }) })
     }
 }
@@ -224,12 +239,29 @@ impl Detector for IssDetector {
         assert_eq!(n_tx as u32, self.n, "detector built for n = {}", self.n);
         let h64: Vec<(f64, f64)> = h.iter().map(|z| (*z).into()).collect();
         let y64: Vec<(f64, f64)> = y.iter().map(|z| (*z).into()).collect();
-        let mut inner = self.inner.lock().expect("ISS detector lock");
+        // Recover the detector from a caller's caught panic: the next
+        // detection rewrites operands and resets the barrier, so the
+        // poisoned state is not actually corrupt.
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let IssInner { sim, layout } = &mut *inner;
         data::write_problem(sim.memory(), layout, 0, &h64, &y64, sigma);
         // Reset the barrier counter: the image is re-run for every call.
         sim.memory().write_u32(layout.barrier_addr, 0);
-        sim.run_cores(0..1, 1).expect("kernel runs");
+        let result = sim.run_cores(0..1, 1).unwrap_or_else(|trap| {
+            panic!("ISS detector kernel (DUT {} n={}) trapped: {trap}", self.precision, self.n)
+        });
+        assert!(
+            !result.budget_exhausted(),
+            "ISS detector kernel (DUT {} n={}) exhausted its {}-instruction safety budget",
+            self.precision,
+            self.n,
+            Self::DETECT_BUDGET,
+        );
+        assert!(
+            !result.deadlocked,
+            "ISS detector kernel (DUT {} n={}) deadlocked (harts {:?} parked with no waker)",
+            self.precision, self.n, result.parked,
+        );
         data::read_xhat(sim.memory(), layout, 0)
             .into_iter()
             .map(|c| Cplx::new(c[0].to_f64(), c[1].to_f64()))

@@ -15,7 +15,7 @@ use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
 use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, MemPool, SimArtifacts, Topology};
 
 use crate::detectors::DetectorKind;
-use crate::serve::BatchRunner;
+use crate::serve::{BatchRunner, JobCtx, JobError};
 
 /// Configuration of the parallel-MMSE experiment (Figures 5, 7, 8): one
 /// subcarrier problem per core, all cores at once.
@@ -231,6 +231,74 @@ impl ParallelScenario {
         self.fast_outcome(FastSim::from_pool(pool), host_threads, seed)
     }
 
+    /// One fast-mode job run under a batch supervisor (the
+    /// [`BatchRunner::try_run`] family): draws cluster memory from the
+    /// batch's pool when one is attached over this scenario's artifacts,
+    /// applies the batch [`RunPolicy`](crate::serve::RunPolicy)'s per-job
+    /// instruction budget and cooperative cancel token, and surfaces
+    /// engine-level faults — traps, deadlocks, exhausted budgets,
+    /// cancellation — as structured [`JobError`]s instead of boxed
+    /// strings. Healthy jobs are bit-identical to
+    /// [`run_fast_seeded`](Self::run_fast_seeded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_fast(
+        &self,
+        ctx: &JobCtx,
+        host_threads: usize,
+        seed: u64,
+    ) -> Result<FastOutcome, JobError> {
+        self.try_run_fast_with(ctx, host_threads, seed, ctx.budget())
+    }
+
+    /// As [`try_run_fast`](Self::try_run_fast) with an explicit per-job
+    /// instruction budget overriding the batch policy's (fault-injection
+    /// drivers shrink the budget of chosen jobs only).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_fast_with(
+        &self,
+        ctx: &JobCtx,
+        host_threads: usize,
+        seed: u64,
+        budget: Option<u64>,
+    ) -> Result<FastOutcome, JobError> {
+        let mut sim = match ctx.pool() {
+            Some(pool) if Arc::ptr_eq(pool.artifacts(), &self.arts) => FastSim::from_pool(pool),
+            _ => FastSim::from_artifacts(Arc::clone(&self.arts)),
+        };
+        if let Some(b) = budget {
+            // Same latency model, so the shared lowered table is kept.
+            let mut rc = self.arts.fast_config().clone();
+            rc.max_instructions = b;
+            sim.set_config(rc);
+        }
+        if let Some(cancel) = ctx.cancel() {
+            sim.set_cancel(cancel.clone());
+        }
+
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+        let start = Instant::now();
+        let result = sim.run_all(host_threads).map_err(JobError::Trap)?;
+        let wall = start.elapsed();
+        JobError::check_fast(&result, budget)?;
+
+        let instructions = result.total_instructions();
+        Ok(FastOutcome {
+            wall,
+            cluster_cycles: result.cycles,
+            instructions,
+            raw_stalls: result.per_core.iter().map(|s| s.raw_stalls).sum(),
+            wfi_stalls: result.per_core.iter().map(|s| s.wfi_stalls).sum(),
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
+    }
+
     fn fast_job(
         &self,
         host_threads: usize,
@@ -308,6 +376,73 @@ impl ParallelScenario {
     ) -> Result<CycleOutcome, Box<dyn Error>> {
         assert!(Arc::ptr_eq(pool.artifacts(), &self.arts), "pool built over a different scenario");
         self.cycle_outcome(CycleSim::from_pool(pool), engine, seed)
+    }
+
+    /// One cycle-accurate job run under a batch supervisor: the
+    /// cycle-mode counterpart of [`try_run_fast`](Self::try_run_fast).
+    /// The policy's per-job instruction budget feeds the engine's
+    /// per-core safety net (`CycleSim::max_instructions`) and the cancel
+    /// token is polled at event steps, scan passes and epoch boundaries.
+    /// Healthy jobs are bit-identical to
+    /// [`run_cycle_seeded`](Self::run_cycle_seeded) on every engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_cycle(
+        &self,
+        ctx: &JobCtx,
+        engine: CycleEngine,
+        seed: u64,
+    ) -> Result<CycleOutcome, JobError> {
+        self.try_run_cycle_with(ctx, engine, seed, ctx.budget())
+    }
+
+    /// As [`try_run_cycle`](Self::try_run_cycle) with an explicit per-job
+    /// instruction budget overriding the batch policy's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_cycle_with(
+        &self,
+        ctx: &JobCtx,
+        engine: CycleEngine,
+        seed: u64,
+        budget: Option<u64>,
+    ) -> Result<CycleOutcome, JobError> {
+        let mut sim = match ctx.pool() {
+            Some(pool) if Arc::ptr_eq(pool.artifacts(), &self.arts) => CycleSim::from_pool(pool),
+            _ => CycleSim::from_artifacts(Arc::clone(&self.arts)),
+        };
+        if let Some(b) = budget {
+            sim.max_instructions = b;
+        }
+        if let Some(cancel) = ctx.cancel() {
+            sim.set_cancel(cancel.clone());
+        }
+
+        let topo = self.arts.topology();
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+        let start = Instant::now();
+        let result = match engine {
+            CycleEngine::EventDriven => sim.run(topo.num_cores()),
+            CycleEngine::NaiveScan => sim.run_naive(topo.num_cores()),
+            CycleEngine::Parallel(threads) => sim.run_parallel(topo.num_cores(), threads),
+        }
+        .map_err(JobError::Trap)?;
+        let wall = start.elapsed();
+        JobError::check_cycle(&result, budget)?;
+
+        let breakdown = result.aggregate();
+        Ok(CycleOutcome {
+            wall,
+            cycles: result.cycles,
+            breakdown,
+            per_group: result.aggregate_groups(&topo),
+            instructions: breakdown.instructions,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
     }
 
     fn cycle_outcome(
@@ -508,6 +643,60 @@ impl SymbolScenario {
     pub fn run_symbol_pooled(&self, pool: &Arc<MemPool>, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {
         assert!(Arc::ptr_eq(pool.artifacts(), &self.arts), "pool built over a different scenario");
         self.symbol_outcome(FastSim::from_pool(pool), seed)
+    }
+
+    /// One OFDM-symbol job run under a batch supervisor: pool, budget and
+    /// cancellation wired exactly as in
+    /// [`ParallelScenario::try_run_fast`], faults surfaced as
+    /// [`JobError`]s. Healthy jobs are bit-identical to
+    /// [`run_symbol`](Self::run_symbol).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_symbol(&self, ctx: &JobCtx, seed: u64) -> Result<BatchOutcome, JobError> {
+        self.try_run_symbol_with(ctx, seed, ctx.budget())
+    }
+
+    /// As [`try_run_symbol`](Self::try_run_symbol) with an explicit
+    /// per-job instruction budget overriding the batch policy's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any.
+    pub fn try_run_symbol_with(
+        &self,
+        ctx: &JobCtx,
+        seed: u64,
+        budget: Option<u64>,
+    ) -> Result<BatchOutcome, JobError> {
+        let mut sim = match ctx.pool() {
+            Some(pool) if Arc::ptr_eq(pool.artifacts(), &self.arts) => FastSim::from_pool(pool),
+            _ => FastSim::from_artifacts(Arc::clone(&self.arts)),
+        };
+        if let Some(b) = budget {
+            let mut rc = self.arts.fast_config().clone();
+            rc.max_instructions = b;
+            sim.set_config(rc);
+        }
+        if let Some(cancel) = ctx.cancel() {
+            sim.set_cancel(cancel.clone());
+        }
+
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+        let start = Instant::now();
+        let result = sim.run_cores(0..1, 1).map_err(JobError::Trap)?;
+        let wall = start.elapsed();
+        JobError::check_fast(&result, budget)?;
+
+        let instructions = result.total_instructions();
+        Ok(BatchOutcome {
+            wall,
+            cycles: result.cycles,
+            instructions,
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        })
     }
 
     fn symbol_outcome(&self, mut sim: FastSim, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {

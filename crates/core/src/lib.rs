@@ -24,7 +24,12 @@
 //!   that share one immutable artifact set across a batch of jobs.
 //! * [`serve`] — the batched job-serving layer: a work-stealing
 //!   [`serve::BatchRunner`] that drives many independent simulations over
-//!   shared artifacts with submission-order (deterministic) results.
+//!   shared artifacts with submission-order (deterministic) results, and
+//!   its supervised mode (`try_run`) that contains panics, traps,
+//!   deadlocks, exhausted budgets and cancellations as per-job
+//!   [`serve::JobError`]s under a [`serve::RunPolicy`].
+//! * [`faults`] — the deterministic fault-injection harness driving the
+//!   workspace's fault-containment differential tests.
 //!
 //! # Examples
 //!
@@ -50,7 +55,9 @@
 
 pub mod detectors;
 pub mod experiments;
+pub mod faults;
 pub mod serve;
 
 pub use detectors::{DetectorKind, IssDetector, NativeDut};
-pub use serve::{BatchRunner, JobCtx};
+pub use serve::{BatchRunner, JobCtx, JobError, RunPolicy};
+pub use terasim_terapool::CancelToken;

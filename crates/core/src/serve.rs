@@ -37,6 +37,45 @@
 //!   is re-zeroed), so pooled batches stay bit-identical to unpooled
 //!   ones.
 //!
+//! # Supervised mode (fault containment)
+//!
+//! [`BatchRunner::try_run`] / [`try_run_pooled`](BatchRunner::try_run_pooled)
+//! run each job under supervision and return `Vec<Result<T, JobError>>`
+//! in submission order. The contract:
+//!
+//! * **Panic isolation.** A panic inside one job closure is caught with
+//!   [`std::panic::catch_unwind`] and becomes
+//!   [`JobError::Panicked`] *for that index only*; every other job runs
+//!   and reports normally. Queue locks use poison recovery, so a panicked
+//!   lane can never cascade into its siblings (the queues hold plain
+//!   `(index, job)` pairs — there is no invariant a mid-panic closure
+//!   could have broken). The runner does not touch the process panic
+//!   hook: the default hook still prints each caught panic to stderr.
+//! * **Structured faults.** Job closures report guest-level faults —
+//!   traps, deadlocks, exhausted budgets — as [`JobError`] values; the
+//!   supervised scenario runners in [`experiments`](crate::experiments)
+//!   (`try_run_fast` and friends) do this mapping for the standard
+//!   workloads.
+//! * **Policy.** A [`RunPolicy`] carries the per-job instruction budget,
+//!   the bounded-retry count for retryable faults (only host-side panics
+//!   are retryable: guest faults are deterministic and would simply
+//!   recur), and the batch's [`CancelToken`]. The token is checked at
+//!   every job boundary — jobs not yet started return
+//!   [`JobError::Cancelled`] without running — and the scenario runners
+//!   forward it into the engines, which poll it at scheduling-round /
+//!   event-step / epoch boundaries to abort a stuck job mid-run.
+//! * **Quarantine.** A pooled job that panics or is cancelled mid-run
+//!   never returns its arena to the free list: the simulator drop
+//!   detects the unwind (or the cancelled run) and routes the arena to
+//!   [`MemPool::quarantine`] — counted in
+//!   [`PoolStats::quarantined`](terasim_terapool::PoolStats) — so later
+//!   jobs can't inherit memory abandoned mid-write.
+//! * **Determinism.** Supervision changes *scheduling*, never results: a
+//!   supervised batch with k faulty jobs reports errors at exactly those
+//!   k indices and is bit-identical to a fresh serial run at every other
+//!   index, for every worker count, pooled and unpooled, on both
+//!   backends (pinned by the workspace's `faults` integration tests).
+//!
 //! # Examples
 //!
 //! Run a BER sweep as a batch of per-SNR-point jobs:
@@ -53,22 +92,203 @@
 //! assert_eq!(points.len(), 3);
 //! assert!(points[0].ber() > points[2].ber());
 //! ```
+//!
+//! Supervised: one job panics, its neighbours are unaffected:
+//!
+//! ```
+//! use terasim::serve::{BatchRunner, JobError, RunPolicy};
+//!
+//! let runner = BatchRunner::with_workers(2);
+//! let out = runner.try_run_with(&RunPolicy::new(), (0..4u32).collect(), |_ctx, &j| {
+//!     if j == 2 {
+//!         panic!("injected");
+//!     }
+//!     Ok(j * 10)
+//! });
+//! assert_eq!(out[0], Ok(0));
+//! assert_eq!(out[1], Ok(10));
+//! assert!(matches!(out[2], Err(JobError::Panicked { .. })));
+//! assert_eq!(out[3], Ok(30));
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
-use terasim_terapool::{MemPool, SimArtifacts};
+use terasim_iss::Trap;
+use terasim_terapool::{CancelToken, ClusterResult, CycleResult, MemPool, SimArtifacts};
+
+/// Why one supervised job failed — the per-job fault taxonomy of
+/// [`BatchRunner::try_run`]. One job's error never affects its batch
+/// neighbours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job closure panicked; the payload is the panic message when it
+    /// was a string (the common `panic!`/`assert!` case). The only
+    /// *retryable* fault: a host-side panic may be environmental, while
+    /// guest faults are deterministic and would simply recur.
+    Panicked {
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// The guest raised an architectural trap (illegal fetch, faulting
+    /// memory access, breakpoint).
+    Trap(Trap),
+    /// The guest deadlocked: the listed harts were parked in `wfi` with
+    /// nobody left to wake them.
+    Deadlocked {
+        /// Hart ids still parked when the run gave up.
+        parked: Vec<u32>,
+    },
+    /// The job hit its [`RunPolicy::budget`] instruction budget before
+    /// finishing (a runaway guest, stopped by the engines' per-core
+    /// safety net instead of hanging the lane).
+    BudgetExhausted {
+        /// The per-core instruction budget that was exhausted.
+        budget: u64,
+    },
+    /// The batch's [`CancelToken`] was raised before or during this job.
+    Cancelled,
+}
+
+impl JobError {
+    /// Whether a bounded retry ([`RunPolicy::max_retries`]) may be
+    /// attempted: true only for [`JobError::Panicked`]. Guest faults
+    /// (traps, deadlocks, exhausted budgets) are deterministic functions
+    /// of the job and would fail identically again; cancellation is an
+    /// explicit request to stop.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, JobError::Panicked { .. })
+    }
+
+    /// Maps a fast-mode result's fault flags to a `JobError`, in severity
+    /// order: cancellation, then budget exhaustion (only when a budget
+    /// was actually set — `budget` is the configured per-core limit
+    /// reported in the error), then deadlock. `Ok(())` for a clean run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault recorded in `res`, if any.
+    pub fn check_fast(res: &ClusterResult, budget: Option<u64>) -> Result<(), JobError> {
+        if res.cancelled {
+            return Err(JobError::Cancelled);
+        }
+        if let Some(b) = budget {
+            if res.budget_exhausted() {
+                return Err(JobError::BudgetExhausted { budget: b });
+            }
+        }
+        if res.deadlocked {
+            return Err(JobError::Deadlocked { parked: res.parked.clone() });
+        }
+        Ok(())
+    }
+
+    /// Maps a cycle-mode result's fault flags to a `JobError` (same
+    /// severity order as [`check_fast`](Self::check_fast)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault recorded in `res`, if any.
+    pub fn check_cycle(res: &CycleResult, budget: Option<u64>) -> Result<(), JobError> {
+        if res.cancelled {
+            return Err(JobError::Cancelled);
+        }
+        if let Some(b) = budget {
+            if !res.budgeted.is_empty() {
+                return Err(JobError::BudgetExhausted { budget: b });
+            }
+        }
+        if res.deadlocked {
+            return Err(JobError::Deadlocked { parked: res.parked.clone() });
+        }
+        Ok(())
+    }
+}
+
+impl From<Trap> for JobError {
+    fn from(trap: Trap) -> Self {
+        JobError::Trap(trap)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { payload } => write!(f, "job panicked: {payload}"),
+            JobError::Trap(trap) => write!(f, "guest trap: {trap}"),
+            JobError::Deadlocked { parked } => {
+                write!(f, "guest deadlock: harts {parked:?} parked with no wake in flight")
+            }
+            JobError::BudgetExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            JobError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Batch-level execution policy for supervised runs: per-job instruction
+/// budget, bounded retry for retryable faults, and cooperative
+/// cancellation. `RunPolicy::default()` is permissive: no budget, no
+/// retries, a token nobody cancels.
+#[derive(Debug, Clone, Default)]
+pub struct RunPolicy {
+    /// Per-core instruction budget applied to every job (wired into
+    /// `RunConfig::max_instructions` / `CycleSim::max_instructions` by
+    /// the supervised scenario runners); exhaustion surfaces as
+    /// [`JobError::BudgetExhausted`] instead of a hung lane.
+    pub budget: Option<u64>,
+    /// Times a job may be re-run after a *retryable* fault (see
+    /// [`JobError::is_retryable`]); `0` fails fast.
+    pub max_retries: u32,
+    /// The batch's cancellation flag: raised, it fails not-yet-started
+    /// jobs at the job boundary and aborts in-flight engine runs at
+    /// their next safe point.
+    pub cancel: CancelToken,
+}
+
+impl RunPolicy {
+    /// The permissive default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-job instruction budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the bounded-retry count for retryable faults.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Attaches a caller-held cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+}
 
 /// Context handed to every job: which worker lane runs it, how much host
-/// parallelism the job may claim for itself, and (in pooled batches) the
-/// batch's recycling cluster-memory pool.
+/// parallelism the job may claim for itself, (in pooled batches) the
+/// batch's recycling cluster-memory pool, and (in supervised batches)
+/// the batch's [`RunPolicy`].
 #[derive(Debug)]
 pub struct JobCtx<'a> {
     worker: usize,
     workers: usize,
     idle: &'a AtomicUsize,
     pool: Option<&'a Arc<MemPool>>,
+    policy: Option<&'a RunPolicy>,
 }
 
 impl JobCtx<'_> {
@@ -100,6 +320,23 @@ impl JobCtx<'_> {
     /// job.
     pub fn pool(&self) -> Option<&Arc<MemPool>> {
         self.pool
+    }
+
+    /// The batch's [`RunPolicy`] — present in supervised batches
+    /// ([`BatchRunner::try_run`] and friends).
+    pub fn policy(&self) -> Option<&RunPolicy> {
+        self.policy
+    }
+
+    /// The supervised batch's per-job instruction budget, if one is set.
+    pub fn budget(&self) -> Option<u64> {
+        self.policy.and_then(|p| p.budget)
+    }
+
+    /// The supervised batch's cancellation token, for forwarding into
+    /// engine runs (`FastSim::set_cancel` / `CycleSim::set_cancel`).
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.policy.map(|p| &p.cancel)
     }
 }
 
@@ -147,7 +384,7 @@ impl BatchRunner {
     /// output is a pure function of `jobs` and `f` — worker count,
     /// stealing order and completion order never show.
     pub fn run<I: Send, T: Send>(&self, jobs: Vec<I>, f: impl Fn(&JobCtx, I) -> T + Sync) -> Vec<T> {
-        self.run_with_pool(None, jobs, f)
+        self.run_with_pool(None, None, jobs, f)
     }
 
     /// As [`run`](Self::run), with a recycling cluster-memory pool over
@@ -165,12 +402,64 @@ impl BatchRunner {
         f: impl Fn(&JobCtx, I) -> T + Sync,
     ) -> Vec<T> {
         let pool = MemPool::new(Arc::clone(arts));
-        self.run_with_pool(Some(&pool), jobs, f)
+        self.run_with_pool(Some(&pool), None, jobs, f)
+    }
+
+    /// Supervised batch under the default (permissive) [`RunPolicy`]:
+    /// every job runs in a [`std::panic::catch_unwind`] guard and the
+    /// batch returns `Vec<Result<T, JobError>>` in submission order —
+    /// one faulty job fails *its own index* and nothing else. See the
+    /// [module docs](self) for the full contract.
+    pub fn try_run<I: Send + Sync, T: Send>(
+        &self,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
+    ) -> Vec<Result<T, JobError>> {
+        self.try_run_with(&RunPolicy::default(), jobs, f)
+    }
+
+    /// As [`try_run`](Self::try_run) with an explicit [`RunPolicy`]
+    /// (budget, bounded retry, cancellation). Jobs receive their item by
+    /// reference so a retryable fault can re-run the same item.
+    pub fn try_run_with<I: Send + Sync, T: Send>(
+        &self,
+        policy: &RunPolicy,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
+    ) -> Vec<Result<T, JobError>> {
+        self.run_with_pool(None, Some(policy), jobs, |ctx, item| supervise(ctx, policy, &item, &f))
+    }
+
+    /// Supervised *pooled* batch under the default policy: as
+    /// [`run_pooled`](Self::run_pooled), plus the fault containment of
+    /// [`try_run`](Self::try_run). Arenas of panicked or cancelled jobs
+    /// are quarantined by the simulators' drops, never recycled.
+    pub fn try_run_pooled<I: Send + Sync, T: Send>(
+        &self,
+        arts: &Arc<SimArtifacts>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
+    ) -> Vec<Result<T, JobError>> {
+        self.try_run_pooled_with(&RunPolicy::default(), arts, jobs, f)
+    }
+
+    /// As [`try_run_pooled`](Self::try_run_pooled) with an explicit
+    /// [`RunPolicy`].
+    pub fn try_run_pooled_with<I: Send + Sync, T: Send>(
+        &self,
+        policy: &RunPolicy,
+        arts: &Arc<SimArtifacts>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
+    ) -> Vec<Result<T, JobError>> {
+        let pool = MemPool::new(Arc::clone(arts));
+        self.run_with_pool(Some(&pool), Some(policy), jobs, |ctx, item| supervise(ctx, policy, &item, &f))
     }
 
     fn run_with_pool<I: Send, T: Send>(
         &self,
         pool: Option<&Arc<MemPool>>,
+        policy: Option<&RunPolicy>,
         jobs: Vec<I>,
         f: impl Fn(&JobCtx, I) -> T + Sync,
     ) -> Vec<T> {
@@ -191,10 +480,14 @@ impl BatchRunner {
 
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let worker = |w: usize, tx: mpsc::Sender<(usize, T)>| {
-            let ctx = JobCtx { worker: w, workers: self.workers, idle: &idle, pool };
+            let ctx = JobCtx { worker: w, workers: self.workers, idle: &idle, pool, policy };
             loop {
                 // Own queue first (front: submission order within the lane)...
-                let mut job = queues[w].lock().expect("job queue").pop_front();
+                // Every queue lock recovers from poisoning: the queues hold
+                // plain (index, job) pairs with no invariant a mid-panic
+                // closure could have broken, and a supervised lane must
+                // keep draining after catching a sibling's panic.
+                let mut job = queues[w].lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                 while job.is_none() {
                     // ... then steal the *back* of the fullest other queue,
                     // leaving the victim its locally-next work. A steal can
@@ -204,11 +497,11 @@ impl BatchRunner {
                     // drain monotonically, so this terminates.
                     let victim = (0..queues.len())
                         .filter(|&v| v != w)
-                        .map(|v| (v, queues[v].lock().expect("job queue").len()))
+                        .map(|v| (v, queues[v].lock().unwrap_or_else(|e| e.into_inner()).len()))
                         .filter(|&(_, len)| len > 0)
                         .max_by_key(|&(_, len)| len);
                     let Some((v, _)) = victim else { break };
-                    job = queues[v].lock().expect("job queue").pop_back();
+                    job = queues[v].lock().unwrap_or_else(|e| e.into_inner()).pop_back();
                 }
                 let Some((i, item)) = job else { break };
                 let _ = tx.send((i, f(&ctx, item)));
@@ -232,6 +525,48 @@ impl BatchRunner {
             out[i] = Some(v);
         }
         out.into_iter().map(|v| v.expect("every job produced a result")).collect()
+    }
+}
+
+/// Runs one supervised job: cancellation check at the job boundary, a
+/// `catch_unwind` guard around the closure, and bounded retry for
+/// retryable faults.
+fn supervise<I, T>(
+    ctx: &JobCtx,
+    policy: &RunPolicy,
+    item: &I,
+    f: &(impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync),
+) -> Result<T, JobError> {
+    let mut attempt = 0u32;
+    loop {
+        // Job boundary: never start (or re-start) work on a cancelled
+        // batch.
+        if policy.cancel.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        // `AssertUnwindSafe` is sound here: on a caught panic nothing of
+        // the closure's partial state is reused — the job either reports
+        // `Panicked` or re-runs from the original item, and pooled
+        // simulators quarantine their arena during the unwind.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx, item)))
+            .unwrap_or_else(|payload| Err(JobError::Panicked { payload: panic_message(&*payload) }));
+        match result {
+            Ok(value) => return Ok(value),
+            Err(e) if e.is_retryable() && attempt < policy.max_retries => attempt += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` cover `panic!`, `assert!` and `expect`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -298,6 +633,80 @@ mod tests {
         // Unpooled batches expose no pool.
         let flags = runner.run(vec![0u32], |ctx, _| ctx.pool().is_some());
         assert!(!flags[0]);
+    }
+
+    #[test]
+    fn panicked_jobs_fail_alone_at_any_worker_count() {
+        for workers in [1, 2, 4, 7] {
+            let runner = BatchRunner::with_workers(workers);
+            let out = runner.try_run((0..20u64).collect(), |_ctx, &x| {
+                if x % 5 == 3 {
+                    panic!("injected panic at {x}");
+                }
+                Ok(x * 2)
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let Err(JobError::Panicked { payload }) = r else {
+                        panic!("expected Panicked at {i}, got {r:?}")
+                    };
+                    assert_eq!(payload, &format!("injected panic at {i}"));
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2), "workers = {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retryable_faults_are_retried_up_to_the_bound() {
+        use std::sync::atomic::AtomicU32;
+        // A job that panics twice, then succeeds: passes with 2 retries.
+        let attempts = AtomicU32::new(0);
+        let policy = RunPolicy::new().with_retries(2);
+        let out = BatchRunner::with_workers(1).try_run_with(&policy, vec![7u32], |_ctx, &x| {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("flaky");
+            }
+            Ok(x)
+        });
+        assert_eq!(out, vec![Ok(7)]);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+
+        // An always-panicking job exhausts the bound: 1 + max_retries runs.
+        let attempts = AtomicU32::new(0);
+        let out = BatchRunner::with_workers(1).try_run_with(
+            &policy,
+            vec![0u32],
+            |_ctx, _| -> Result<u32, JobError> {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("always");
+            },
+        );
+        assert!(matches!(&out[0], Err(JobError::Panicked { payload }) if payload == "always"));
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+
+        // Guest faults are not retryable: exactly one attempt.
+        let attempts = AtomicU32::new(0);
+        let out = BatchRunner::with_workers(1).try_run_with(&policy, vec![0u32], |_ctx, _| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err::<u32, _>(JobError::Deadlocked { parked: vec![0] })
+        });
+        assert_eq!(out[0], Err(JobError::Deadlocked { parked: vec![0] }));
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancelled_batch_fails_unstarted_jobs_at_the_boundary() {
+        let policy = RunPolicy::new();
+        policy.cancel.cancel();
+        let ran = AtomicUsize::new(0);
+        let out = BatchRunner::with_workers(2).try_run_with(&policy, (0..5u32).collect(), |_c, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| *r == Err(JobError::Cancelled)), "{out:?}");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no job may start on a cancelled batch");
     }
 
     #[test]

@@ -151,12 +151,17 @@ fn boundary(
     Ok(())
 }
 
-/// Coordinator decision taken at a boundary: first trap in global
+/// Coordinator decision taken at a boundary: cooperative cancellation
+/// first (the epoch just simulated is abandoned un-replayed — the result
+/// is partial either way), then the first trap in global
 /// `(issue cycle, core id)` order — the one the sequential full scan
 /// would hit first, domains being independent within an epoch — then
 /// replay-order traps, then termination, then the next epoch start.
 enum Verdict {
     Stop(Option<Trap>),
+    /// The job's [`CancelToken`](crate::CancelToken) was raised: stop at
+    /// this boundary and report the partial result as cancelled.
+    Cancel,
     Continue(u64),
 }
 
@@ -167,6 +172,9 @@ fn decide(
     end: u64,
     epoch: u64,
 ) -> Verdict {
+    if sim.cancel_requested() {
+        return Verdict::Cancel;
+    }
     if let Some((_, _, trap)) =
         domains.iter().filter_map(|d| d.trap).min_by_key(|&(cycle, core, _)| (cycle, core))
     {
@@ -211,6 +219,7 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     if threads == 1 {
         let mut scratch = Vec::new();
         let mut start = 0u64;
+        let mut cancelled = false;
         loop {
             let end = start + epoch;
             for d in domains.iter_mut() {
@@ -220,10 +229,16 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
             match decide(sim, &mut refs, &mut scratch, end, epoch) {
                 Verdict::Stop(Some(trap)) => return Err(trap),
                 Verdict::Stop(None) => break,
+                Verdict::Cancel => {
+                    cancelled = true;
+                    break;
+                }
                 Verdict::Continue(next) => start = next,
             }
         }
-        return Ok(collect_result(domains));
+        let mut res = collect_result(domains);
+        res.cancelled = cancelled;
+        return Ok(res);
     }
 
     // Threaded driver: domains live in mutexes; a worker locks only its
@@ -232,6 +247,7 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     let slots: Vec<Mutex<DomainEngine>> = domains.into_iter().map(Mutex::new).collect();
     let barrier = SpinBarrier::new(threads);
     let stop = AtomicBool::new(false);
+    let cancelled = AtomicBool::new(false);
     let next_start = AtomicU64::new(0);
     let outcome: Mutex<Option<Trap>> = Mutex::new(None);
 
@@ -240,6 +256,7 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
             let slots = &slots;
             let barrier = &barrier;
             let stop = &stop;
+            let cancelled = &cancelled;
             let next_start = &next_start;
             let outcome = &outcome;
             move || {
@@ -260,6 +277,10 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
                         match decide(sim, &mut refs, &mut scratch, end, epoch) {
                             Verdict::Stop(trap) => {
                                 *outcome.lock().expect("outcome lock") = trap;
+                                stop.store(true, Ordering::Release);
+                            }
+                            Verdict::Cancel => {
+                                cancelled.store(true, Ordering::Release);
                                 stop.store(true, Ordering::Release);
                             }
                             Verdict::Continue(next) => next_start.store(next, Ordering::Release),
@@ -288,7 +309,9 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     }
     let domains: Vec<DomainEngine> =
         slots.into_iter().map(|m| m.into_inner().expect("domain lock")).collect();
-    Ok(collect_result(domains))
+    let mut res = collect_result(domains);
+    res.cancelled = cancelled.load(Ordering::Acquire);
+    Ok(res)
 }
 
 /// A sense-reversing spin barrier for the per-epoch phase handoff.

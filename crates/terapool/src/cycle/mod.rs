@@ -88,6 +88,7 @@ use terasim_iss::{Cpu, InstClass, LatencyModel, MemOp, Memory, Outcome, Program,
 use terasim_riscv::{Image, Inst, Reg};
 
 use crate::artifacts::SimArtifacts;
+use crate::cancel::CancelToken;
 use crate::mem::{ClusterMem, CoreMem, DomainBanks, TurboMem, XRequest};
 use crate::pool::MemPool;
 use crate::topology::{L1Decode, Topology};
@@ -149,6 +150,13 @@ pub struct CycleResult {
     pub deadlocked: bool,
     /// Hart ids still parked when the run ended (empty on a clean finish).
     pub parked: Vec<u32>,
+    /// Hart ids stopped by the [`CycleSim::max_instructions`] safety net
+    /// rather than a clean guest exit (empty when no budget tripped).
+    pub budgeted: Vec<u32>,
+    /// The run was abandoned at a safe point (event step or epoch
+    /// boundary) because its [`CancelToken`](crate::CancelToken) was
+    /// raised; statistics are partial.
+    pub cancelled: bool,
 }
 
 impl CycleResult {
@@ -205,6 +213,9 @@ struct CoreCtx<M> {
     stats: CycleStats,
     /// Cached `topo.tile_of_core` (hot-path index).
     tile: u32,
+    /// The core was stopped by the `max_instructions` safety net (set in
+    /// the budget branch that already guards every issue).
+    budget_hit: bool,
 }
 
 impl<M> CoreCtx<M> {
@@ -482,6 +493,13 @@ pub struct CycleSim {
     /// The pool this job's memory returns to on drop (pooled jobs only —
     /// see [`CycleSim::from_pool`]).
     pool: Option<Arc<MemPool>>,
+    /// Cooperative cancellation flag, polled at event steps and epoch
+    /// boundaries.
+    cancel: Option<CancelToken>,
+    /// Set when a run was cancelled mid-flight: the arena holds partial
+    /// writes from an abandoned job, so drop quarantines instead of
+    /// releasing.
+    tainted: bool,
 }
 
 impl std::fmt::Debug for CycleSim {
@@ -525,7 +543,29 @@ impl CycleSim {
     }
 
     fn with_memory(arts: Arc<SimArtifacts>, mem: ClusterMem) -> Self {
-        Self { arts, mem: Some(mem), icache_refill: 25, max_instructions: u64::MAX, pool: None }
+        Self {
+            arts,
+            mem: Some(mem),
+            icache_refill: 25,
+            max_instructions: u64::MAX,
+            pool: None,
+            cancel: None,
+            tainted: false,
+        }
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled at event steps and
+    /// epoch boundaries: when raised, the run returns its partial result
+    /// with [`CycleResult::cancelled`] set and the job's memory is
+    /// quarantined rather than recycled on drop.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
+    /// Whether this job's cancel token (if any) has been raised (the
+    /// sharded engine polls this at epoch boundaries).
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The job's cluster memory (present from construction to drop).
@@ -573,6 +613,7 @@ impl CycleSim {
             state: CoreState::Ready,
             stats: CycleStats::default(),
             tile: self.arts.topology().tile_of_core(core),
+            budget_hit: false,
         }
     }
 
@@ -591,7 +632,8 @@ impl CycleSim {
         let cycles = per_core.iter().map(|s| s.done_at).max().unwrap_or(0);
         let parked: Vec<u32> =
             ctxs.iter().filter(|c| c.state == CoreState::Parked).map(|c| c.cpu.hart_id()).collect();
-        CycleResult { per_core, cycles, deadlocked: !parked.is_empty(), parked }
+        let budgeted: Vec<u32> = ctxs.iter().filter(|c| c.budget_hit).map(|c| c.cpu.hart_id()).collect();
+        CycleResult { per_core, cycles, deadlocked: !parked.is_empty(), parked, budgeted, cancelled: false }
     }
 
     /// Runs harts `0..cores` to completion with the event-driven scheduler.
@@ -626,7 +668,7 @@ impl CycleSim {
         let topo = self.arts.topology();
         assert!(cores <= topo.num_cores(), "core count out of range");
         if topo.num_domains() > 1 {
-            return epoch::run_sharded(self, cores, 1);
+            return self.run_sharded(cores, 1);
         }
         let mut ctxs = self.make_ctxs(cores, |core| self.mem().turbo_view(core));
         let tables = self.arts.cycle_tables();
@@ -649,8 +691,17 @@ impl CycleSim {
             cur[(core / 64) as usize] |= 1u64 << (core % 64); // all issue at cycle 0
         }
         let mut seen_epoch = self.mem().wake_epoch();
+        let mut cancelled = false;
 
         loop {
+            // Safe point: abandon the job between event steps if its token
+            // was raised (untaken `None` branch when no token is attached,
+            // so the uncancelled hot path pays one predictable test per
+            // event step, not per instruction).
+            if self.cancel_requested() {
+                cancelled = true;
+                break;
+            }
             // Process every core scheduled for `now`, in ascending id.
             let mut min_waker: Option<u32> = None;
             for w in 0..words {
@@ -741,7 +792,22 @@ impl CycleSim {
             wheel.drain_slot_into(now, &mut cur);
         }
 
-        Ok(Self::result_of(&ctxs))
+        if cancelled {
+            self.tainted = true;
+        }
+        let mut res = Self::result_of(&ctxs);
+        res.cancelled = cancelled;
+        Ok(res)
+    }
+
+    /// Runs the epoch-sharded engine, tainting this job if the run was
+    /// cancelled (the sharded driver only sees `&CycleSim`).
+    fn run_sharded(&mut self, cores: u32, threads: usize) -> Result<CycleResult, Trap> {
+        let res = epoch::run_sharded(self, cores, threads)?;
+        if res.cancelled {
+            self.tainted = true;
+        }
+        Ok(res)
     }
 
     /// Runs harts `0..cores` with the epoch-sharded engine, distributing
@@ -775,7 +841,7 @@ impl CycleSim {
         if self.arts.topology().num_domains() == 1 {
             return self.run(cores);
         }
-        epoch::run_sharded(self, cores, threads.max(1))
+        self.run_sharded(cores, threads.max(1))
     }
 
     /// Runs harts `0..cores` with the original full-scan scheduler.
@@ -806,7 +872,14 @@ impl CycleSim {
         let mut banks = DomainBanks::whole_cluster(topo);
 
         let mut now: u64 = 0;
+        let mut cancelled = false;
         loop {
+            // Safe point: abandon the job between scan passes on a raised
+            // cancel token.
+            if self.cancel_requested() {
+                cancelled = true;
+                break;
+            }
             let mut alive = false;
             let mut next_event = u64::MAX;
 
@@ -847,7 +920,12 @@ impl CycleSim {
             now = next_event.max(now + 1);
         }
 
-        Ok(Self::result_of(&ctxs))
+        if cancelled {
+            self.tainted = true;
+        }
+        let mut res = Self::result_of(&ctxs);
+        res.cancelled = cancelled;
+        Ok(res)
     }
 
     /// The full-scan reference scheduler under the epoch-deferred model
@@ -866,7 +944,15 @@ impl CycleSim {
 
         let mut now: u64 = 0;
         let mut epoch_end = epoch;
+        let mut cancelled = false;
         loop {
+            // Safe point: abandon the job between scan passes on a raised
+            // cancel token (the deferred mailbox is simply dropped — the
+            // result is partial either way).
+            if self.cancel_requested() {
+                cancelled = true;
+                break;
+            }
             // Scan passes within the epoch; cross-domain accesses defer
             // into the mailbox (in (cycle, core) order by construction of
             // the cycle-major, core-minor scan).
@@ -991,7 +1077,12 @@ impl CycleSim {
             epoch_end = now / epoch * epoch + epoch;
         }
 
-        Ok(Self::result_of(&ctxs))
+        if cancelled {
+            self.tainted = true;
+        }
+        let mut res = Self::result_of(&ctxs);
+        res.cancelled = cancelled;
+        Ok(res)
     }
 
     /// Attempts to issue one instruction on `ctx` at cycle `now`; updates
@@ -1012,6 +1103,7 @@ impl CycleSim {
     ) -> Result<(), Trap> {
         if ctx.stats.instructions >= self.max_instructions {
             ctx.state = CoreState::Done;
+            ctx.budget_hit = true;
             ctx.stats.done_at = now;
             return Ok(());
         }
@@ -1215,6 +1307,7 @@ impl CycleSim {
     ) -> Result<bool, Trap> {
         if ctx.stats.instructions >= self.max_instructions {
             ctx.state = CoreState::Done;
+            ctx.budget_hit = true;
             ctx.stats.done_at = now;
             return Ok(false);
         }
@@ -1390,7 +1483,15 @@ impl Drop for CycleSim {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
             if let Some(mem) = self.mem.take() {
-                let _ = pool.release(mem);
+                // A cancelled run, or a drop during a panic unwind (the
+                // job closure died with the simulator live), quarantines
+                // the arena: its contents were abandoned mid-write and
+                // are not trusted even for a dirty-page reset.
+                if self.tainted || std::thread::panicking() {
+                    pool.quarantine(mem);
+                } else {
+                    let _ = pool.release(mem);
+                }
             }
         }
     }

@@ -15,6 +15,7 @@ use terasim_iss::{resume_lowered, Cpu, Program, RunConfig, RunStats, Scoreboard,
 use terasim_riscv::Image;
 
 use crate::artifacts::SimArtifacts;
+use crate::cancel::CancelToken;
 use crate::mem::{ClusterMem, CoreMem};
 use crate::pool::MemPool;
 use crate::topology::Topology;
@@ -27,12 +28,28 @@ pub struct ClusterResult {
     pub per_core: Vec<RunStats>,
     /// Cluster makespan estimate: the slowest hart's cycle count.
     pub cycles: u64,
+    /// The run ended with harts parked in `wfi` and no wake pending —
+    /// a guest deadlock. Statistics are the partial state at the hang
+    /// (an RTL run would spin here forever).
+    pub deadlocked: bool,
+    /// Harts still parked when the run ended (deadlock diagnostics).
+    pub parked: Vec<u32>,
+    /// The run was abandoned at a scheduling-round boundary because its
+    /// [`CancelToken`] was raised; statistics are partial.
+    pub cancelled: bool,
 }
 
 impl ClusterResult {
     /// Total retired instructions across the cluster.
     pub fn total_instructions(&self) -> u64 {
         self.per_core.iter().map(|s| s.retired).sum()
+    }
+
+    /// Whether any hart stopped because it hit the configured
+    /// [`RunConfig::max_instructions`](terasim_iss::RunConfig) budget
+    /// rather than exiting cleanly.
+    pub fn budget_exhausted(&self) -> bool {
+        self.per_core.iter().any(|s| s.stop == StopReason::Budget)
     }
 }
 
@@ -78,6 +95,12 @@ pub struct FastSim {
     /// The pool this job's memory returns to on drop (pooled jobs only —
     /// see [`FastSim::from_pool`]).
     pool: Option<Arc<MemPool>>,
+    /// Cooperative cancellation flag, polled between scheduling rounds.
+    cancel: Option<CancelToken>,
+    /// Set when a run was cancelled mid-flight: the arena holds partial
+    /// writes from an abandoned job, so drop quarantines instead of
+    /// releasing.
+    tainted: bool,
 }
 
 impl std::fmt::Debug for FastSim {
@@ -123,7 +146,7 @@ impl FastSim {
 
     fn with_memory(arts: Arc<SimArtifacts>, mem: ClusterMem) -> Self {
         let config = arts.fast_config().clone();
-        Self { arts, local_table: None, mem: Some(mem), config, pool: None }
+        Self { arts, local_table: None, mem: Some(mem), config, pool: None, cancel: None, tainted: false }
     }
 
     /// The job's cluster memory (present from construction to drop).
@@ -138,6 +161,14 @@ impl FastSim {
     pub fn set_config(&mut self, config: RunConfig) {
         self.local_table = None;
         self.config = config;
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled between scheduling
+    /// rounds: when raised, the run returns its partial result with
+    /// [`ClusterResult::cancelled`] set and the job's memory is
+    /// quarantined rather than recycled on drop.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// The shared artifact set this job runs over.
@@ -232,7 +263,17 @@ impl FastSim {
         // Round-based cooperative scheduling: run every runnable hart until
         // it exits or parks, then release barriers. Because parked harts
         // yield their host thread, any thread count is deadlock-free.
+        let mut deadlocked = false;
+        let mut cancelled = false;
         loop {
+            // Safe point: abandon the job between rounds if its token was
+            // raised. Checked only here — never inside the hart resume
+            // loop — so an uncancelled run pays nothing per instruction.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.tainted = true;
+                cancelled = true;
+                break;
+            }
             {
                 let mut runnable: Vec<&mut Hart> =
                     harts.iter_mut().filter(|h| h.state == HartState::Runnable).collect();
@@ -294,13 +335,16 @@ impl FastSim {
             if !woke_any && harts.iter().any(|h| h.state == HartState::Parked) {
                 // Guest deadlock: no runnable harts and nobody issued a
                 // wake. Report partial results (an RTL run would hang here).
+                deadlocked = true;
                 break;
             }
         }
 
         let per_core: Vec<RunStats> = harts.iter().map(|h| h.stats.clone()).collect();
         let cycles = per_core.iter().map(|s| s.est_cycles).max().unwrap_or(0);
-        Ok(ClusterResult { per_core, cycles })
+        let parked: Vec<u32> =
+            harts.iter().filter(|h| h.state == HartState::Parked).map(|h| h.cpu.hart_id()).collect();
+        Ok(ClusterResult { per_core, cycles, deadlocked, parked, cancelled })
     }
 }
 
@@ -313,7 +357,15 @@ impl Drop for FastSim {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
             if let Some(mem) = self.mem.take() {
-                let _ = pool.release(mem);
+                // A cancelled run, or a drop during a panic unwind (the
+                // job closure died with the simulator live), quarantines
+                // the arena: its contents were abandoned mid-write and
+                // are not trusted even for a dirty-page reset.
+                if self.tainted || std::thread::panicking() {
+                    pool.quarantine(mem);
+                } else {
+                    let _ = pool.release(mem);
+                }
             }
         }
     }

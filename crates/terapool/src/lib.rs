@@ -75,6 +75,7 @@
 #![warn(missing_debug_implementations)]
 
 mod artifacts;
+mod cancel;
 mod cycle;
 mod fast;
 mod mem;
@@ -82,6 +83,7 @@ mod pool;
 mod topology;
 
 pub use artifacts::SimArtifacts;
+pub use cancel::CancelToken;
 pub use cycle::{CycleResult, CycleSim, CycleStats};
 pub use fast::{ClusterResult, FastSim};
 pub use mem::{ClusterMem, CoreMem};

@@ -67,6 +67,9 @@ pub struct PoolStats {
     /// Returns rejected outright (topology mismatch with the pool's
     /// artifact set).
     pub rejected: u64,
+    /// Arenas surrendered by faulted jobs (panic or cancellation) via
+    /// [`MemPool::quarantine`]: dropped outright, never recycled.
+    pub quarantined: u64,
 }
 
 /// A recycling pool of per-job [`ClusterMem`] arenas over one shared
@@ -81,6 +84,15 @@ pub struct MemPool {
     recycled: AtomicU64,
     discarded: AtomicU64,
     rejected: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+/// Locks the free list, recovering from poisoning. The list holds plain
+/// owned arenas — no invariant a mid-panic writer could have broken — and
+/// `release`/`quarantine` run from `Drop` during unwinding, where a
+/// poison panic would be a panic-in-panic abort.
+fn free_list(free: &Mutex<Vec<ClusterMem>>) -> std::sync::MutexGuard<'_, Vec<ClusterMem>> {
+    free.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl MemPool {
@@ -97,6 +109,7 @@ impl MemPool {
             recycled: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -112,7 +125,7 @@ impl MemPool {
     /// recycled.
     pub fn acquire(&self) -> ClusterMem {
         loop {
-            let candidate = self.free.lock().expect("pool free list").pop();
+            let candidate = free_list(&self.free).pop();
             match candidate {
                 Some(mem) if mem.is_unique() => {
                     self.arts.reset_memory(&mem);
@@ -145,13 +158,23 @@ impl MemPool {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        self.free.lock().expect("pool free list").push(mem);
+        free_list(&self.free).push(mem);
         true
+    }
+
+    /// Surrenders an arena from a faulted job (panic mid-run, cooperative
+    /// cancellation): the memory is dropped on the spot and **never**
+    /// re-enters the free list. A faulted job's arena may have been
+    /// abandoned mid-write, so even a dirty-page reset is not trusted —
+    /// the next acquire allocates fresh instead.
+    pub fn quarantine(&self, mem: ClusterMem) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        drop(mem);
     }
 
     /// Arenas currently parked on the free list.
     pub fn parked(&self) -> usize {
-        self.free.lock().expect("pool free list").len()
+        free_list(&self.free).len()
     }
 
     /// Snapshot of the pool's activity counters.
@@ -161,6 +184,7 @@ impl MemPool {
             recycled: self.recycled.load(Ordering::Relaxed),
             discarded: self.discarded.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -205,6 +229,37 @@ mod tests {
         assert_eq!(pool.stats().rejected, 1);
         // The pool still serves correct memories afterwards.
         assert_eq!(pool.acquire().topology(), Topology::scaled(8));
+    }
+
+    #[test]
+    fn quarantined_arenas_never_reenter_the_pool() {
+        let pool = MemPool::new(artifacts(8));
+        let mem = pool.acquire();
+        mem.write_u32(0x100, 0xbad);
+        pool.quarantine(mem);
+        assert_eq!(pool.parked(), 0, "quarantined arena must not park");
+        assert_eq!(pool.stats().quarantined, 1);
+        // The next acquire allocates fresh rather than recycling.
+        let next = pool.acquire();
+        assert_eq!(next.read_u32(0x100), 0);
+        assert_eq!(pool.stats().fresh, 2);
+    }
+
+    #[test]
+    fn free_list_survives_poisoning() {
+        let pool = MemPool::new(artifacts(8));
+        let mem = pool.acquire();
+        // Poison the free-list mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.free.lock().unwrap();
+            panic!("poison the pool lock");
+        }));
+        assert!(pool.free.is_poisoned());
+        // Release and acquire must recover instead of cascading.
+        assert!(pool.release(mem));
+        assert_eq!(pool.parked(), 1);
+        assert_eq!(pool.acquire().read_u32(0x100), 0);
+        assert_eq!(pool.stats().recycled, 1);
     }
 
     #[test]
