@@ -28,6 +28,15 @@
 //!   at least 4 host CPUs** (`host_cpus` in the report) — a 1-core
 //!   runner cannot exhibit wall-clock scaling, so only the
 //!   baseline-relative band applies there;
+//! * any serving-daemon entry present in the baseline is missing from
+//!   the candidate, the sustained serve throughput
+//!   (`serve_jobs_per_sec`) falls below the baseline by more than the
+//!   `--tol-jobs` factor, the p99 serve latency (`serve_p99_ns`,
+//!   queueing included) exceeds the baseline by more than the same
+//!   factor, or the cross-request artifact-cache hit rate
+//!   (`serve_cache_hit_rate`) is zero or falls below the
+//!   baseline-relative band — a zero hit rate means the cache stopped
+//!   carrying scenarios across requests, the serving tier's whole point;
 //! * the event engine's per-instruction floor (`ns_per_inst`) exceeds
 //!   the baseline by more than the factor `--tol-ns` (default 2.5 —
 //!   baseline and CI run on different hardware);
@@ -103,6 +112,13 @@ struct Report {
     jobs_per_sec_pooled: Option<f64>,
     /// Host CPUs of the reporting machine (absent in older reports).
     host_cpus: Option<f64>,
+    /// Serving-daemon sustained throughput (jobs/sec; absent in
+    /// pre-daemon reports or runs without `--serve`).
+    serve_jobs_per_sec: Option<f64>,
+    /// Serving-daemon p99 latency, queueing included (nanoseconds).
+    serve_p99_ns: Option<f64>,
+    /// Serving-daemon cross-request artifact-cache hit rate (0..1).
+    serve_cache_hit_rate: Option<f64>,
 }
 
 fn parse(path: &str) -> Result<Report, String> {
@@ -143,6 +159,9 @@ fn parse(path: &str) -> Result<Report, String> {
         symbol_amortization_pooled,
         jobs_per_sec_pooled,
         host_cpus,
+        serve_jobs_per_sec: numbers_after(&json, "serve_jobs_per_sec").first().copied(),
+        serve_p99_ns: numbers_after(&json, "serve_p99_ns").first().copied(),
+        serve_cache_hit_rate: numbers_after(&json, "serve_cache_hit_rate").first().copied(),
     })
 }
 
@@ -240,6 +259,88 @@ fn main() -> ExitCode {
                     failures.push(format!(
                         "pooled small-job throughput regressed: {cand:.1} jobs/s < {floor:.1} \
                          (baseline {base:.1}, factor {tol_jobs})"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Serving-daemon entries. Throughput and p99 latency are absolute
+    // figures, banded with the coarse cross-machine factor (`--tol-jobs`)
+    // like the pooled jobs/sec above; the cache hit rate is a ratio of a
+    // seeded deterministic request sequence, so it gets the tight
+    // baseline-relative band plus a hard nonzero floor — zero hits means
+    // scenarios stopped surviving across requests.
+    if let Some(base) = baseline.serve_jobs_per_sec {
+        match candidate.serve_jobs_per_sec {
+            None => {
+                failures
+                    .push("serve jobs/sec: baseline has the entry but the candidate is missing it".into());
+            }
+            Some(cand) => {
+                let floor = base / tol_jobs;
+                let status = if cand >= floor { "ok" } else { "REGRESSION" };
+                println!(
+                    "serve sustained jobs/s: baseline {base:>7.1}   candidate {cand:>7.1}   floor {floor:>7.1}   [{status}]"
+                );
+                if cand < floor {
+                    failures.push(format!(
+                        "serving-daemon throughput regressed: {cand:.1} jobs/s < {floor:.1} \
+                         (baseline {base:.1}, factor {tol_jobs})"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(base) = baseline.serve_p99_ns {
+        match candidate.serve_p99_ns {
+            None => {
+                failures
+                    .push("serve p99 latency: baseline has the entry but the candidate is missing it".into());
+            }
+            Some(cand) => {
+                let ceiling = base * tol_jobs;
+                let status = if cand <= ceiling { "ok" } else { "REGRESSION" };
+                println!(
+                    "serve p99 latency (ms): baseline {:>7.3}   candidate {:>7.3}   ceiling {:>7.3}   [{status}]",
+                    base / 1e6,
+                    cand / 1e6,
+                    ceiling / 1e6
+                );
+                if cand > ceiling {
+                    failures.push(format!(
+                        "serving-daemon p99 latency regressed: {:.3} ms > {:.3} ms \
+                         (baseline {:.3} ms, factor {tol_jobs})",
+                        cand / 1e6,
+                        ceiling / 1e6,
+                        base / 1e6
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(base) = baseline.serve_cache_hit_rate {
+        match candidate.serve_cache_hit_rate {
+            None => {
+                failures.push(
+                    "serve cache hit rate: baseline has the entry but the candidate is missing it".into(),
+                );
+            }
+            Some(cand) => {
+                let floor = base * (1.0 - tol_speedup);
+                let ok = cand > 0.0 && cand >= floor;
+                let status = if ok { "ok" } else { "REGRESSION" };
+                println!(
+                    "serve cache hit rate:   baseline {base:>7.3}   candidate {cand:>7.3}   floor {floor:>7.3}   [{status}]"
+                );
+                if cand <= 0.0 {
+                    failures.push(
+                        "serving-daemon cache hit rate is zero: no scenario survived across requests".into(),
+                    );
+                } else if cand < floor {
+                    failures.push(format!(
+                        "serving-daemon cache hit rate regressed: {cand:.3} < {floor:.3} \
+                         (baseline {base:.3}, tolerance {tol_speedup})"
                     ));
                 }
             }

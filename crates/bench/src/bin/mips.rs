@@ -5,7 +5,7 @@
 //! naive full-scan, recorded machine-readably in `BENCH_cycle.json`.
 //!
 //! Run: `cargo run -p terasim-bench --release --bin mips [--full|--smoke]
-//!       [--threads N] [--jobs N] [--out PATH]`
+//!       [--threads N] [--jobs N] [--serve] [--out PATH]`
 //!
 //! The JSON report defaults to `BENCH_cycle.json` for measurement runs
 //! and to `BENCH_smoke.json` for `--smoke` (so CI smoke runs never
@@ -20,6 +20,12 @@
 //! per-job setup cost the pool deletes (`per_job_setup_ns{,_pooled}`),
 //! and the ISS BER-batch amortizations (`batch_amortization`,
 //! `ber_amortization_pooled`).
+//!
+//! `--serve` additionally drives the persistent serving daemon
+//! (`terasim::daemon`) with saturating mixed open-loop traffic and
+//! records its sustained throughput (`serve_jobs_per_sec`), latency
+//! percentiles (`serve_p50_ns`, `serve_p99_ns`, queueing included) and
+//! cross-request artifact-cache hit rate (`serve_cache_hit_rate`).
 
 use std::time::{Duration, Instant};
 
@@ -420,8 +426,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ber_rebuild_best.as_secs_f64(),
     );
 
+    // --- Serving daemon: sustained mixed open-loop traffic through the
+    // persistent tier (artifact cache + warm pools + bounded admission
+    // queue). Saturating mode keeps the queue full, so jobs/sec is the
+    // daemon's sustained capacity and the percentiles include queueing.
+    // One worker + a seeded request sequence make the cache-hit pattern
+    // deterministic; the absolute rates are machine-dependent and gated
+    // with the coarse cross-machine factor. ---
+    let serve_json = if std::env::args().any(|a| a == "--serve") {
+        use terasim::daemon::{open_loop, standard_mix, Daemon, DaemonConfig};
+        let serve_requests = if smoke { 60 } else { 240 };
+        let (serve_depth, serve_cache) = (16usize, 4usize);
+        println!("\n=== Serving daemon — mixed open-loop traffic (saturating) ===");
+        println!(
+            "workload: {serve_requests} mixed requests (symbol/fast/cycle/BER), 1 worker, depth {serve_depth}, cache {serve_cache}\n"
+        );
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            queue_depth: serve_depth,
+            cache_capacity: serve_cache,
+            policy: terasim::RunPolicy::new(),
+        });
+        let report = open_loop(&daemon, &standard_mix(), 0.0, serve_requests, 7);
+        let stats = daemon.shutdown();
+        assert_eq!(report.failed, 0, "serving daemon failed requests under synthetic load");
+        assert!(report.cache_hits > 0, "mixed traffic must hit the artifact cache across requests");
+        println!(
+            " completed {:>4} | {:>8.1} jobs/s | p50 {:>7.3} ms | p99 {:>7.3} ms | cache hit rate {:.1}% | arenas recycled {}",
+            report.completed,
+            report.jobs_per_sec,
+            report.p50_ns as f64 / 1e6,
+            report.p99_ns as f64 / 1e6,
+            report.hit_rate() * 100.0,
+            stats.pools.recycled
+        );
+        format!(
+            ",\n    {{\n      \"kind\": \"serve_daemon\",\n      \"serve_requests\": {serve_requests}, \"serve_workers\": 1, \"serve_depth\": {serve_depth}, \"serve_cache_capacity\": {serve_cache},\n      \"serve_jobs_per_sec\": {:.3}, \"serve_p50_ns\": {}, \"serve_p99_ns\": {},\n      \"serve_cache_hit_rate\": {:.4}, \"serve_cache_hits\": {}, \"serve_failed\": {},\n      \"serve_pool_fresh\": {}, \"serve_pool_recycled\": {}\n    }}",
+            report.jobs_per_sec,
+            report.p50_ns,
+            report.p99_ns,
+            report.hit_rate(),
+            report.cache_hits,
+            report.failed,
+            stats.pools.fresh,
+            stats.pools.recycled,
+        )
+    } else {
+        String::new()
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}{serve_json}\n  ]\n}}\n",
         // `--smoke` wins the label: it overrides the workload parameters
         // even when `--full` is also passed.
         if smoke {

@@ -1,0 +1,324 @@
+//! The daemon's cross-request artifact and pool cache.
+//!
+//! A serving process sees the same scenarios over and over: the same
+//! MIMO size, precision and subcarrier count arrive from many clients,
+//! differing only in operand seeds. Rebuilding the kernel image and
+//! re-lowering the uop tables per request would dominate service time,
+//! so the daemon keys every request to a [`ScenarioKey`] and memoises
+//! the prepared scenario — immutable [`SimArtifacts`] *plus* a warm
+//! [`MemPool`] of cluster arenas — in this cache.
+//!
+//! Three rules govern the cache:
+//!
+//! * **Build once, even under races.** Each entry is an
+//!   [`OnceLock`] cell inserted under the map lock but *initialised
+//!   outside it*: concurrent requests for the same cold key all block on
+//!   one build instead of duplicating it, and unrelated keys never wait
+//!   behind a slow build.
+//! * **Deterministic failures are cached too.** A scenario whose kernel
+//!   cannot be built fails identically every time; the error string is
+//!   memoised so repeat offenders are rejected without re-paying the
+//!   failed build.
+//! * **Accounting survives eviction.** Evicting a cold entry drops its
+//!   pool, but the pool's [`PoolStats`] — including the quarantine
+//!   counter that records faulted arenas — are merged into a retired
+//!   total first. [`ArtifactCache::pool_stats`] is therefore a
+//!   process-lifetime view, not a view of whatever happens to be warm.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use terasim_phy::{BerJob, Detector};
+use terasim_terapool::{MemPool, PoolStats, SimArtifacts};
+
+use super::{ScenarioKey, ServeRequest, ServeResponse};
+use crate::detectors::{DetectorKind, IssDetector};
+use crate::experiments::{ParallelScenario, SymbolScenario};
+use crate::serve::{JobCtx, JobError};
+
+/// What a cache entry holds per request family.
+enum Prepared {
+    /// A batched OFDM-symbol scenario (single Snitch, `nsc` problems).
+    Symbol(SymbolScenario),
+    /// A parallel-cluster scenario; serves both fast-mode and
+    /// cycle-accurate requests (they share one artifact set).
+    Parallel(ParallelScenario),
+    /// A hardware-in-the-loop BER detector, its cluster memory drawn
+    /// from the entry's pool. Detections serialise on the detector's
+    /// internal simulator lock; the kernel image is built exactly once.
+    Ber(Box<dyn Detector + Send + Sync>),
+}
+
+/// One prepared, immutable scenario plus its warm cluster-memory pool —
+/// the unit the [`ArtifactCache`] shares across requests.
+pub struct CachedScenario {
+    prepared: Prepared,
+    pool: Arc<MemPool>,
+}
+
+impl std::fmt::Debug for CachedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.prepared {
+            Prepared::Symbol(_) => "symbol",
+            Prepared::Parallel(_) => "parallel",
+            Prepared::Ber(_) => "ber",
+        };
+        f.debug_struct("CachedScenario").field("kind", &kind).field("pool", &self.pool.stats()).finish()
+    }
+}
+
+impl CachedScenario {
+    /// Prepares the scenario a request needs: kernel build, translation,
+    /// artifact lowering, and a fresh recycling pool over the artifacts.
+    /// Seeds are normalised out — the prepared scenario serves every
+    /// seed of its key. Public so embedders (and the workspace's cache
+    /// tests) can pre-warm an [`ArtifactCache`] outside a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel build or translation error as a string (the
+    /// form the cache memoises).
+    pub fn build(req: &ServeRequest) -> Result<Self, String> {
+        match req {
+            ServeRequest::Symbol { config } => {
+                let mut config = *config;
+                config.seed = 0;
+                let scenario = SymbolScenario::prepare(&config).map_err(|e| e.to_string())?;
+                let pool = MemPool::new(Arc::clone(scenario.artifacts()));
+                Ok(Self { prepared: Prepared::Symbol(scenario), pool })
+            }
+            ServeRequest::Fast { config } | ServeRequest::Cycle { config, .. } => {
+                let mut config = *config;
+                config.seed = 0;
+                let scenario = ParallelScenario::prepare(&config).map_err(|e| e.to_string())?;
+                let pool = MemPool::new(Arc::clone(scenario.artifacts()));
+                Ok(Self { prepared: Prepared::Parallel(scenario), pool })
+            }
+            ServeRequest::Ber { scenario, kind, .. } => {
+                let DetectorKind::Iss(precision) = kind else {
+                    return Err(format!("{} detectors run uncached", kind.label()));
+                };
+                let arts = IssDetector::build_artifacts(*precision, scenario.n_tx as u32)
+                    .map_err(|e| e.to_string())?;
+                let pool = MemPool::new(arts);
+                let detector = kind.instantiate_pooled(scenario.n_tx, &pool);
+                Ok(Self { prepared: Prepared::Ber(detector), pool })
+            }
+        }
+    }
+
+    /// The entry's recycling cluster-memory pool (built over the
+    /// scenario's own artifact set, so the supervised runners' pool
+    /// identity check passes and arenas recycle across requests).
+    pub fn pool(&self) -> &Arc<MemPool> {
+        &self.pool
+    }
+
+    /// The shared artifact set behind the pool.
+    pub fn artifacts(&self) -> &Arc<SimArtifacts> {
+        self.pool.artifacts()
+    }
+
+    /// Executes one request against the prepared scenario, under the
+    /// supervisor's context (pool, budget, cancellation all flow through
+    /// `ctx`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobError`] classifying the fault, if any. A request
+    /// whose family does not match the entry (only possible through a
+    /// key collision) is reported as a panic-class error rather than
+    /// silently running the wrong scenario.
+    pub(super) fn run(&self, ctx: &JobCtx, req: &ServeRequest) -> Result<ServeResponse, JobError> {
+        match (&self.prepared, req) {
+            (Prepared::Symbol(s), ServeRequest::Symbol { config }) => {
+                s.try_run_symbol(ctx, config.seed).map(ServeResponse::Symbol)
+            }
+            (Prepared::Parallel(s), ServeRequest::Fast { config }) => {
+                s.try_run_fast(ctx, 1, config.seed).map(ServeResponse::Fast)
+            }
+            (Prepared::Parallel(s), ServeRequest::Cycle { config, engine }) => {
+                s.try_run_cycle(ctx, *engine, config.seed).map(ServeResponse::Cycle)
+            }
+            (
+                Prepared::Ber(detector),
+                ServeRequest::Ber { scenario, snr_db, seed, target_errors, max_iterations, .. },
+            ) => {
+                let job = BerJob { scenario: *scenario, snr_db: *snr_db, seed: *seed };
+                Ok(ServeResponse::Ber(job.run(detector.as_ref(), *target_errors, *max_iterations)))
+            }
+            _ => Err(JobError::Panicked {
+                payload: "request family does not match its cached scenario (scenario-key collision)".into(),
+            }),
+        }
+    }
+}
+
+/// A build-once cell: placeholder inserted under the map lock,
+/// initialised outside it.
+type Cell = Arc<OnceLock<Result<Arc<CachedScenario>, String>>>;
+
+struct Slot {
+    key: ScenarioKey,
+    last_used: u64,
+    cell: Cell,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    /// Accumulated [`PoolStats`] of every evicted entry, so quarantine
+    /// and recycle accounting survive eviction.
+    retired: PoolStats,
+}
+
+/// Observability counters of an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups whose entry was already built on arrival.
+    pub hits: u64,
+    /// Lookups that inserted a fresh entry *or* arrived while the entry
+    /// was still mid-build (those share the build but are not warm).
+    pub misses: u64,
+    /// Entries dropped to make room (LRU order).
+    pub evictions: u64,
+    /// Entries currently resident (built or building).
+    pub entries: usize,
+    /// The configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A capacity-bounded LRU cache of prepared scenarios, shared by all
+/// daemon workers. Capacities are small (scenarios are ~tens of MiB of
+/// arena plus lowered tables), so lookup is a linear scan — the lock is
+/// held only for the scan, never for a build.
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates an empty cache holding at most `capacity` scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a cache that can hold nothing
+    /// would rebuild artifacts per request and silently defeat the
+    /// serving tier.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "artifact cache needs capacity for at least one scenario");
+        let inner = Inner {
+            slots: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            retired: PoolStats::default(),
+        };
+        Self { inner: Mutex::new(inner), capacity }
+    }
+
+    /// Looks up `key`, building the entry with `build` on a miss.
+    /// Returns the entry (or its memoised build error) and whether the
+    /// lookup was a warm hit. Concurrent misses on one key run `build`
+    /// exactly once; the rest block on the winner's cell.
+    pub fn get_or_build(
+        &self,
+        key: ScenarioKey,
+        build: impl FnOnce() -> Result<CachedScenario, String>,
+    ) -> (Result<Arc<CachedScenario>, String>, bool) {
+        let (cell, hit) = {
+            // Poison recovery: the map holds plain slots with no
+            // invariant a panicking builder could break (builds run
+            // outside the lock).
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.slots.iter().position(|s| s.key == key) {
+                Some(i) => {
+                    inner.slots[i].last_used = tick;
+                    let hit = inner.slots[i].cell.get().is_some();
+                    if hit {
+                        inner.hits += 1;
+                    } else {
+                        inner.misses += 1;
+                    }
+                    (Arc::clone(&inner.slots[i].cell), hit)
+                }
+                None => {
+                    inner.misses += 1;
+                    if inner.slots.len() >= self.capacity {
+                        self.evict_lru(&mut inner);
+                    }
+                    let cell: Cell = Arc::new(OnceLock::new());
+                    inner.slots.push(Slot { key, last_used: tick, cell: Arc::clone(&cell) });
+                    (cell, false)
+                }
+            }
+        };
+        (cell.get_or_init(|| build().map(Arc::new)).clone(), hit)
+    }
+
+    /// Drops the least-recently-used slot, folding a built entry's pool
+    /// accounting into the retired total first. An entry still mid-build
+    /// simply loses its slot — its in-flight waiters keep their handle
+    /// on the cell and complete normally.
+    fn evict_lru(&self, inner: &mut Inner) {
+        let Some(victim) = inner.slots.iter().enumerate().min_by_key(|(_, s)| s.last_used).map(|(i, _)| i)
+        else {
+            return;
+        };
+        let slot = inner.slots.swap_remove(victim);
+        if let Some(Ok(scenario)) = slot.cell.get() {
+            inner.retired.merge(&scenario.pool.stats());
+        }
+        inner.evictions += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.slots.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Process-lifetime pool accounting: the sum over every resident
+    /// pool *plus* every evicted pool's final counters — so a faulted
+    /// job's quarantined arena stays on the books after its scenario
+    /// goes cold and is evicted.
+    pub fn pool_stats(&self) -> PoolStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut total = inner.retired;
+        for slot in &inner.slots {
+            if let Some(Ok(scenario)) = slot.cell.get() {
+                total.merge(&scenario.pool.stats());
+            }
+        }
+        total
+    }
+}

@@ -6,7 +6,7 @@
 //! software-defined MMSE detection, with a cycle-accurate cluster model
 //! standing in for RTL simulation. The pieces live in focused crates —
 //!
-//! * [`terasim_softfloat`] — binary16/E4M3 arithmetic and SDR dot products,
+//! * `terasim_softfloat` — binary16/E4M3 arithmetic and SDR dot products,
 //! * [`terasim_riscv`] — the Snitch ISA, assembler and disassembler,
 //! * [`terasim_iss`] — instruction-accurate emulation + timing scoreboard,
 //! * [`terasim_terapool`] — the cluster: fast mode and cycle mode,
@@ -28,6 +28,13 @@
 //!   its supervised mode (`try_run`) that contains panics, traps,
 //!   deadlocks, exhausted budgets and cancellations as per-job
 //!   [`serve::JobError`]s under a [`serve::RunPolicy`].
+//! * [`daemon`] — the persistent serving tier above [`serve`]: a
+//!   long-lived [`daemon::Daemon`] with a bounded admission queue
+//!   (backpressure via [`daemon::Rejected`]), an LRU artifact cache
+//!   keyed by [`daemon::ScenarioKey`] whose warm memory pools survive
+//!   across requests, graceful drain, and a deterministic open-loop
+//!   load generator ([`daemon::open_loop`]). `SERVING.md` documents the
+//!   full serving contract.
 //! * [`faults`] — the deterministic fault-injection harness driving the
 //!   workspace's fault-containment differential tests.
 //!
@@ -53,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod daemon;
 pub mod detectors;
 pub mod experiments;
 pub mod faults;

@@ -8,7 +8,7 @@
 //! *across* jobs:
 //!
 //! * **Artifact sharing.** All jobs of a scenario run over one
-//!   [`SimArtifacts`](terasim_terapool::SimArtifacts) set — decoded
+//!   [`SimArtifacts`] set — decoded
 //!   program, lowered micro-op tables, topology maps, initial memory
 //!   image — built once instead of once per run (the scenario types in
 //!   [`experiments`](crate::experiments) wrap this; `mips --jobs` records
@@ -402,7 +402,25 @@ impl BatchRunner {
         f: impl Fn(&JobCtx, I) -> T + Sync,
     ) -> Vec<T> {
         let pool = MemPool::new(Arc::clone(arts));
-        self.run_with_pool(Some(&pool), None, jobs, f)
+        self.run_pooled_in(&pool, jobs, f)
+    }
+
+    /// As [`run_pooled`](Self::run_pooled) over a **caller-owned** pool,
+    /// so recycled arenas survive the batch: the first batch's jobs pay
+    /// the arena allocations, every later batch over the same pool
+    /// recycles them. This is the cross-batch (serving-tier) shape — a
+    /// long-lived daemon keeps one warm pool per cached scenario and
+    /// threads it through every request batch — while `run_pooled` keeps
+    /// the one-shot shape where the pool dies with the batch. Results
+    /// are bit-identical either way (recycled arenas reset to the exact
+    /// fresh state).
+    pub fn run_pooled_in<I: Send, T: Send>(
+        &self,
+        pool: &Arc<MemPool>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, I) -> T + Sync,
+    ) -> Vec<T> {
+        self.run_with_pool(Some(pool), None, jobs, f)
     }
 
     /// Supervised batch under the default (permissive) [`RunPolicy`]:
@@ -434,6 +452,28 @@ impl BatchRunner {
     /// [`run_pooled`](Self::run_pooled), plus the fault containment of
     /// [`try_run`](Self::try_run). Arenas of panicked or cancelled jobs
     /// are quarantined by the simulators' drops, never recycled.
+    ///
+    /// # Examples
+    ///
+    /// A supervised pooled batch over a prepared scenario: pool and
+    /// policy arrive through the [`JobCtx`], faults come back as
+    /// [`JobError`]s at their own index.
+    ///
+    /// ```
+    /// use terasim::experiments::{BatchConfig, SymbolScenario};
+    /// use terasim::serve::BatchRunner;
+    /// use terasim_kernels::Precision;
+    ///
+    /// let config = BatchConfig { n: 4, precision: Precision::CDotp16, nsc: 4, seed: 3, unroll: 2 };
+    /// let scenario = SymbolScenario::prepare(&config)?;
+    /// let out = BatchRunner::with_workers(2).try_run_pooled(
+    ///     scenario.artifacts(),
+    ///     (0..4u64).collect(),
+    ///     |ctx, &seed| scenario.try_run_symbol(ctx, seed),
+    /// );
+    /// assert!(out.iter().all(|r| r.as_ref().is_ok_and(|o| o.verified)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn try_run_pooled<I: Send + Sync, T: Send>(
         &self,
         arts: &Arc<SimArtifacts>,
@@ -453,7 +493,23 @@ impl BatchRunner {
         f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
     ) -> Vec<Result<T, JobError>> {
         let pool = MemPool::new(Arc::clone(arts));
-        self.run_with_pool(Some(&pool), Some(policy), jobs, |ctx, item| supervise(ctx, policy, &item, &f))
+        self.try_run_pooled_in(policy, &pool, jobs, f)
+    }
+
+    /// Supervised batch over a **caller-owned** pool — the fault-contained
+    /// counterpart of [`run_pooled_in`](Self::run_pooled_in), and the
+    /// entry point the serving daemon drives requests through: the pool
+    /// outlives the batch, so healthy jobs recycle arenas across
+    /// requests while panicked or cancelled jobs still quarantine theirs
+    /// ([`MemPool::quarantine`]) instead of poisoning later traffic.
+    pub fn try_run_pooled_in<I: Send + Sync, T: Send>(
+        &self,
+        policy: &RunPolicy,
+        pool: &Arc<MemPool>,
+        jobs: Vec<I>,
+        f: impl Fn(&JobCtx, &I) -> Result<T, JobError> + Sync,
+    ) -> Vec<Result<T, JobError>> {
+        self.run_with_pool(Some(pool), Some(policy), jobs, |ctx, item| supervise(ctx, policy, &item, &f))
     }
 
     fn run_with_pool<I: Send, T: Send>(

@@ -3,8 +3,8 @@
 //!
 //! The build environment has no network access, so the real crates.io
 //! `proptest` cannot be fetched. This shim implements the pieces the
-//! workspace's property tests rely on — [`Strategy`] with `prop_map` /
-//! `prop_filter`, [`any`], [`Just`], tuple and range strategies,
+//! workspace's property tests rely on — [`Strategy`](strategy::Strategy) with `prop_map` /
+//! `prop_filter`, [`any`](arbitrary::any), [`Just`](strategy::Just), tuple and range strategies,
 //! `collection::vec`, `prop_oneof!` and the `proptest!` / `prop_assert!`
 //! macro family — with a deterministic per-test RNG and **no shrinking**:
 //! a failing case reports its inputs and panics immediately.
@@ -336,7 +336,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Strategy for fixed-length vectors (see [`vec`]).
+    /// Strategy for fixed-length vectors (see [`vec`](fn@vec)).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

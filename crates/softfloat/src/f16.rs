@@ -43,7 +43,7 @@ impl F16 {
     /// Largest finite value (65504).
     pub const MAX: Self = Self(0x7bff);
     /// The interchange format (1 sign, 5 exponent, 10 mantissa bits) — the
-    /// handle into the generic reference converters in [`crate::convert`],
+    /// handle into the generic reference converters in `crate::convert`,
     /// which the fast-path test sweeps compare against.
     pub const FORMAT: FloatFormat = FMT;
 

@@ -48,7 +48,7 @@ impl F8 {
     /// Largest finite value (57344).
     pub const MAX: Self = Self(0x7b);
     /// The interchange format (1 sign, 5 exponent, 2 mantissa bits) — the
-    /// handle into the generic reference converters in [`crate::convert`].
+    /// handle into the generic reference converters in `crate::convert`.
     pub const FORMAT: FloatFormat = FMT;
 
     /// Creates a value from its raw bit pattern.

@@ -21,7 +21,7 @@
 //! four independent mul/add round trips. Word-level early-outs skip the
 //! arithmetic entirely when a multiplicand is (signed) zero and the
 //! result is provably the unchanged accumulator. The original generic
-//! implementations are retained verbatim in [`reference`] and pinned
+//! implementations are retained verbatim in [`reference`](mod@reference) and pinned
 //! bit-identical by `tests/fastpath.rs`.
 
 use crate::{F16, F8};
@@ -279,7 +279,7 @@ pub fn swap_b(x: [F8; 4]) -> [F8; 4] {
 }
 
 /// Retained reference implementations of the accelerated primitives,
-/// built *only* on the generic converters in [`crate::convert`] — no
+/// built *only* on the generic converters in `crate::convert` — no
 /// lookup tables, no specialized narrowing, no early-outs. These are the
 /// seed semantics; `tests/fastpath.rs` pins every fast path bit-identical
 /// to them (exhaustive for the unary ops, large seeded sweeps for the

@@ -61,7 +61,7 @@ use crate::topology::Topology;
 
 /// The immutable artifact set of one simulation scenario: everything
 /// derived from `(topology, image)` that every job of the scenario
-/// shares. See the [module docs](self) for the job/artifact split.
+/// shares. See the module docs for the job/artifact split.
 pub struct SimArtifacts {
     topo: Topology,
     program: Arc<Program>,
@@ -115,9 +115,9 @@ impl SimArtifacts {
 
     /// As [`build`](Self::build) with an explicit fast-mode run
     /// configuration — the shared fast table is lowered under
-    /// `fast_config.latency`, and [`FastSim::from_artifacts`]
-    /// (crate::FastSim::from_artifacts) starts jobs with this
-    /// configuration.
+    /// `fast_config.latency`, and
+    /// [`FastSim::from_artifacts`](crate::FastSim::from_artifacts)
+    /// starts jobs with this configuration.
     ///
     /// # Errors
     ///
@@ -161,6 +161,68 @@ impl SimArtifacts {
     /// sharing a pool between them.
     pub fn image(&self) -> &Image {
         &self.image
+    }
+
+    /// A stable 64-bit digest of the scenario's identity: the topology
+    /// geometry, the complete memory image (entry point plus every
+    /// segment's base and bytes) and the timing configuration (fast-mode
+    /// [`RunConfig`] and cycle latency model). Two artifact sets with
+    /// equal digests are interchangeable — jobs built from either produce
+    /// bit-identical results — which is what lets a serving tier key an
+    /// artifact cache on the digest and hand cached artifacts to requests
+    /// that arrived with their own freshly described scenario.
+    ///
+    /// The hash is FNV-1a over a fixed field order: stable across
+    /// processes and runs (unlike `std`'s `DefaultHasher`), so digests
+    /// can be logged, compared across restarts, and recorded in reports.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut put = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        let t = &self.topo;
+        for field in [
+            t.cores_per_tile,
+            t.tiles_per_subgroup,
+            t.subgroups_per_group,
+            t.groups,
+            t.tile_spm_bytes,
+            t.banks_per_tile,
+            t.icache_bytes,
+            t.icache_line,
+        ] {
+            put(&field.to_le_bytes());
+        }
+        put(&self.image.entry().to_le_bytes());
+        for seg in self.image.segments() {
+            put(&seg.base.to_le_bytes());
+            put(&(seg.bytes.len() as u64).to_le_bytes());
+            put(&seg.bytes);
+        }
+        let rc = &self.fast_config;
+        put(&rc.max_instructions.to_le_bytes());
+        put(&[u8::from(rc.per_address_latency)]);
+        for lat in [&rc.latency, &self.cycle_latency] {
+            for field in [
+                lat.alu,
+                lat.mul,
+                lat.div,
+                lat.load,
+                lat.amo,
+                lat.fp,
+                lat.fp_div_sqrt,
+                lat.simd,
+                lat.dotp,
+                lat.taken_branch_penalty,
+            ] {
+                put(&field.to_le_bytes());
+            }
+        }
+        h
     }
 
     /// Allocates a fresh per-job cluster memory with the scenario's image
@@ -255,6 +317,29 @@ mod tests {
         let b = shared.run(8).unwrap();
         assert_eq!(a.per_core, b.per_core);
         assert_eq!(fresh.memory().read_u32(0x20), shared.memory().read_u32(0x20));
+    }
+
+    #[test]
+    fn digest_separates_scenarios_and_is_stable() {
+        let image_a = image_of(|a| {
+            a.li(Reg::T0, 1);
+        });
+        let image_b = image_of(|a| {
+            a.li(Reg::T0, 2);
+        });
+        let arts_a = SimArtifacts::build(Topology::scaled(8), &image_a).unwrap();
+        let arts_b = SimArtifacts::build(Topology::scaled(8), &image_b).unwrap();
+        // Independently built artifact sets of the same scenario agree;
+        // any differing input — image, topology, timing config — does not.
+        assert_eq!(arts_a.digest(), SimArtifacts::build(Topology::scaled(8), &image_a).unwrap().digest());
+        assert_ne!(arts_a.digest(), arts_b.digest());
+        assert_ne!(arts_a.digest(), SimArtifacts::build(Topology::scaled(16), &image_a).unwrap().digest());
+        let mut rc = RunConfig::default();
+        rc.latency.load = 1;
+        assert_ne!(
+            arts_a.digest(),
+            SimArtifacts::build_with(Topology::scaled(8), &image_a, rc).unwrap().digest()
+        );
     }
 
     #[test]

@@ -194,8 +194,8 @@ impl ClusterMem {
     }
 
     /// Count of currently dirty 4 KiB pages across both word arrays — the
-    /// footprint the next [`reset`](Self::reset) will re-zero. Intended
-    /// for observability (pool statistics, benchmarks, tests).
+    /// footprint the next `reset` will re-zero. Intended for
+    /// observability (pool statistics, benchmarks, tests).
     pub fn dirty_pages(&self) -> usize {
         let inner = &*self.inner;
         inner.l1_dirty.iter().chain(inner.l2_dirty.iter()).filter(|f| f.load(Ordering::Relaxed)).count()

@@ -70,10 +70,28 @@ pub struct PoolStats {
     /// Arenas surrendered by faulted jobs (panic or cancellation) via
     /// [`MemPool::quarantine`]: dropped outright, never recycled.
     pub quarantined: u64,
+    /// Parked arenas dropped by [`MemPool::trim`] — the serving tier's
+    /// eviction hook for pools whose scenario went cold.
+    pub trimmed: u64,
+}
+
+impl PoolStats {
+    /// Accumulates `other` into `self`, field by field. Long-lived
+    /// serving tiers use this to carry a retiring pool's accounting —
+    /// quarantines included — into an aggregate that outlives the pool
+    /// itself (e.g. across artifact-cache evictions).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.fresh += other.fresh;
+        self.recycled += other.recycled;
+        self.discarded += other.discarded;
+        self.rejected += other.rejected;
+        self.quarantined += other.quarantined;
+        self.trimmed += other.trimmed;
+    }
 }
 
 /// A recycling pool of per-job [`ClusterMem`] arenas over one shared
-/// [`SimArtifacts`] set. See the [module docs](self).
+/// [`SimArtifacts`] set. See the module docs.
 #[derive(Debug)]
 pub struct MemPool {
     arts: Arc<SimArtifacts>,
@@ -85,6 +103,7 @@ pub struct MemPool {
     discarded: AtomicU64,
     rejected: AtomicU64,
     quarantined: AtomicU64,
+    trimmed: AtomicU64,
 }
 
 /// Locks the free list, recovering from poisoning. The list holds plain
@@ -110,6 +129,7 @@ impl MemPool {
             discarded: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            trimmed: AtomicU64::new(0),
         })
     }
 
@@ -172,6 +192,38 @@ impl MemPool {
         drop(mem);
     }
 
+    /// Pre-allocates `n` fresh arenas onto the free list, so the first
+    /// `n` jobs of a cold scenario pay a dirty-page reset (~free on a
+    /// clean arena) instead of a 20 MiB allocation. A long-lived serving
+    /// tier warms the pool of a newly admitted scenario off the request
+    /// path; batch drivers that already overlap allocation with work
+    /// don't need it.
+    pub fn warm(&self, n: usize) {
+        for _ in 0..n {
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+            let mem = self.arts.fresh_memory();
+            free_list(&self.free).push(mem);
+        }
+    }
+
+    /// Drops parked arenas until at most `keep` remain, returning how
+    /// many were dropped (recorded as [`PoolStats::trimmed`]). This is
+    /// the eviction hook for cross-request serving: a pool whose
+    /// scenario has gone cold gives its memory back to the host without
+    /// touching arenas currently out with jobs — those still return (or
+    /// quarantine) through the normal drop path.
+    pub fn trim(&self, keep: usize) -> usize {
+        let dropped: Vec<ClusterMem> = {
+            let mut free = free_list(&self.free);
+            let excess = free.len().saturating_sub(keep);
+            // The free list is LIFO-hot at the tail: trim from the front
+            // (the coldest arenas) so the hottest survivors keep serving.
+            free.drain(..excess).collect()
+        };
+        self.trimmed.fetch_add(dropped.len() as u64, Ordering::Relaxed);
+        dropped.len()
+    }
+
     /// Arenas currently parked on the free list.
     pub fn parked(&self) -> usize {
         free_list(&self.free).len()
@@ -185,6 +237,7 @@ impl MemPool {
             discarded: self.discarded.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            trimmed: self.trimmed.load(Ordering::Relaxed),
         }
     }
 }
@@ -260,6 +313,44 @@ mod tests {
         assert_eq!(pool.parked(), 1);
         assert_eq!(pool.acquire().read_u32(0x100), 0);
         assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn warm_preallocates_and_trim_evicts() {
+        let pool = MemPool::new(artifacts(8));
+        pool.warm(3);
+        assert_eq!(pool.parked(), 3);
+        assert_eq!(pool.stats().fresh, 3);
+        // Warmed arenas serve acquires as recycles (reset is a no-op on a
+        // clean arena) — no further allocation.
+        let mem = pool.acquire();
+        assert_eq!(pool.stats(), PoolStats { fresh: 3, recycled: 1, ..PoolStats::default() });
+        assert!(pool.release(mem));
+        assert_eq!(pool.parked(), 3);
+        // Trim drops down to `keep`, counting what it dropped ...
+        assert_eq!(pool.trim(1), 2);
+        assert_eq!(pool.parked(), 1);
+        assert_eq!(pool.stats().trimmed, 2);
+        // ... and trimming below an already-short list is a no-op.
+        assert_eq!(pool.trim(4), 0);
+        assert_eq!(pool.parked(), 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_every_field() {
+        let mut total = PoolStats { fresh: 1, recycled: 2, ..PoolStats::default() };
+        total.merge(&PoolStats {
+            fresh: 10,
+            recycled: 20,
+            discarded: 30,
+            rejected: 40,
+            quarantined: 50,
+            trimmed: 60,
+        });
+        assert_eq!(
+            total,
+            PoolStats { fresh: 11, recycled: 22, discarded: 30, rejected: 40, quarantined: 50, trimmed: 60 }
+        );
     }
 
     #[test]
