@@ -5,7 +5,7 @@
 //! naive full-scan, recorded machine-readably in `BENCH_cycle.json`.
 //!
 //! Run: `cargo run -p terasim-bench --release --bin mips [--full|--smoke]
-//!       [--threads N] [--jobs N] [--serve] [--out PATH]`
+//!       [--threads N] [--jobs N] [--serve] [--fusion-report] [--out PATH]`
 //!
 //! The JSON report defaults to `BENCH_cycle.json` for measurement runs
 //! and to `BENCH_smoke.json` for `--smoke` (so CI smoke runs never
@@ -26,12 +26,22 @@
 //! records its sustained throughput (`serve_jobs_per_sec`), latency
 //! percentiles (`serve_p50_ns`, `serve_p99_ns`, queueing included) and
 //! cross-request artifact-cache hit rate (`serve_cache_hit_rate`).
+//!
+//! `--fusion-report` additionally times the fast engine with
+//! superinstruction fusion + SPMD convergence on vs off (bit-identical
+//! results asserted) on the parallel-MMSE and OFDM-symbol workloads,
+//! records `ns_per_inst_fused`, `fast_speedup_fused` and
+//! `symbol_speedup_fused`, and runs the instrumented profile pass for
+//! the dynamic uop-pair histogram and fused coverage (`fused_pct`).
 
 use std::time::{Duration, Instant};
 
-use terasim::experiments::{self, BatchConfig, CycleEngine, ParallelConfig, SymbolScenario};
+use terasim::experiments::{
+    self, BatchConfig, CycleEngine, ParallelConfig, ParallelScenario, SymbolScenario,
+};
 use terasim::serve::BatchRunner;
 use terasim_bench::{arg_str, arg_u32, min_sec, Scale};
+use terasim_iss::FusionMode;
 use terasim_kernels::Precision;
 
 /// One measured cycle-engine run (best wall time of `reps`).
@@ -445,7 +455,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: 1,
             queue_depth: serve_depth,
             cache_capacity: serve_cache,
-            policy: terasim::RunPolicy::new(),
+            ..DaemonConfig::default()
         });
         let report = open_loop(&daemon, &standard_mix(), 0.0, serve_requests, 7);
         let stats = daemon.shutdown();
@@ -475,8 +485,111 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         String::new()
     };
 
+    // --- Superinstruction fusion + SPMD convergence: the fused fast
+    // engine vs the unfused per-instruction interpreter on the same
+    // workloads, results asserted bit-identical, plus the instrumented
+    // profile pass for the dynamic uop-pair histogram and coverage. ---
+    let fusion_json = if std::env::args().any(|a| a == "--fusion-report") {
+        println!("\n=== Fast engine — superinstruction fusion + SPMD convergence ===");
+        println!(
+            "workloads: parallel MMSE ({cores} cores) and OFDM symbol (NSC {nsc}), {n}x{n} {}, 1 host thread, best of {reps}\n",
+            precision.paper_name()
+        );
+        let fconfig = ParallelConfig { cores, n, precision, seed: 50, unroll: 2 };
+        let fused_scn = ParallelScenario::prepare_with_fusion(&fconfig, FusionMode::On)?;
+        let unfused_scn = ParallelScenario::prepare_with_fusion(&fconfig, FusionMode::Off)?;
+        let sconfig = BatchConfig { n, precision, nsc, seed: 1, unroll: 2 };
+        let sym_fused = SymbolScenario::prepare_with_fusion(&sconfig, FusionMode::On)?;
+        let sym_unfused = SymbolScenario::prepare_with_fusion(&sconfig, FusionMode::Off)?;
+        let mut walls = [Duration::MAX; 4]; // [mmse on, mmse off, sym on, sym off]
+        let mut mmse_insts = 0u64;
+        let mut sym_insts = 0u64;
+        for _ in 0..reps {
+            let on = fused_scn.run_fast(1)?;
+            let off = unfused_scn.run_fast(1)?;
+            assert!(on.verified && off.verified, "fusion runs diverged from the native model");
+            assert_eq!(
+                (on.instructions, on.cluster_cycles),
+                (off.instructions, off.cluster_cycles),
+                "fused fast engine must be bit-identical to the unfused interpreter"
+            );
+            let son = sym_fused.run_symbol(sconfig.seed)?;
+            let soff = sym_unfused.run_symbol(sconfig.seed)?;
+            assert!(son.verified && soff.verified, "symbol fusion runs diverged from the native model");
+            assert_eq!(
+                (son.instructions, son.cycles),
+                (soff.instructions, soff.cycles),
+                "fused symbol run must be bit-identical to the unfused interpreter"
+            );
+            mmse_insts = on.instructions;
+            sym_insts = son.instructions;
+            for (slot, wall) in walls.iter_mut().zip([on.wall, off.wall, son.wall, soff.wall]) {
+                *slot = (*slot).min(wall);
+            }
+        }
+        let ns = |wall: Duration, insts: u64| wall.as_secs_f64() * 1e9 / (insts as f64).max(1.0);
+        let fast_speedup_fused = walls[1].as_secs_f64() / walls[0].as_secs_f64().max(1e-9);
+        let symbol_speedup_fused = walls[3].as_secs_f64() / walls[2].as_secs_f64().max(1e-9);
+        let ns_per_inst_fused = ns(walls[0], mmse_insts);
+
+        // Instrumented profile pass: unfused execution order with the
+        // fused table's dispatch decisions replayed, so the outcome stays
+        // bit-identical while every retired pair is counted.
+        let (pout, mut profile) = fused_scn.run_fast_profiled(1, fconfig.seed)?;
+        assert_eq!(pout.instructions, mmse_insts, "profiled run must retire the same instructions");
+        let (sout, sprofile) = sym_fused.run_symbol_profiled(sconfig.seed)?;
+        assert_eq!(sout.instructions, sym_insts, "profiled symbol run must retire the same instructions");
+        let fused_pct = profile.fused_pct();
+        let fused_pct_symbol = sprofile.fused_pct();
+        profile.merge(&sprofile);
+
+        for (label, wall, insts) in [
+            ("mmse_fused", walls[0], mmse_insts),
+            ("mmse_unfused", walls[1], mmse_insts),
+            ("symbol_fused", walls[2], sym_insts),
+            ("symbol_unfused", walls[3], sym_insts),
+        ] {
+            println!(
+                " {label:<14} | wall {:>9} | {insts:>12} insts | {:>8.2} MIPS | {:>6.1} ns/inst",
+                min_sec(wall),
+                insts as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+                ns(wall, insts)
+            );
+        }
+        println!(
+            "\nfusion speedup: {fast_speedup_fused:.2}x MMSE ({cores} cores, SPMD), \
+             {symbol_speedup_fused:.2}x symbol (1 core) — identical results"
+        );
+        println!(
+            "fused coverage: {fused_pct:.1}% of retired instructions (MMSE), {fused_pct_symbol:.1}% (symbol)"
+        );
+        println!("top dynamic pairs (merged):");
+        let mut pairs_json = String::new();
+        for (i, (a, b, count)) in profile.top_pairs(8).into_iter().enumerate() {
+            println!("  {a:?}+{b:?}: {count}");
+            if i > 0 {
+                pairs_json.push_str(",\n");
+            }
+            pairs_json.push_str(&format!("        {{\"pair\": \"{a:?}+{b:?}\", \"count\": {count}}}"));
+        }
+        format!(
+            ",\n    {{\n      \"kind\": \"fusion\",\n      \"cores\": {cores}, \"nsc\": {nsc}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"mmse_fused\", \"wall_s\": {:.6}, \"instructions\": {mmse_insts}, \"ns_per_inst\": {:.3}}},\n        {{\"engine\": \"mmse_unfused\", \"wall_s\": {:.6}, \"instructions\": {mmse_insts}, \"ns_per_inst\": {:.3}}},\n        {{\"engine\": \"symbol_fused\", \"wall_s\": {:.6}, \"instructions\": {sym_insts}, \"ns_per_inst\": {:.3}}},\n        {{\"engine\": \"symbol_unfused\", \"wall_s\": {:.6}, \"instructions\": {sym_insts}, \"ns_per_inst\": {:.3}}}\n      ],\n      \"ns_per_inst_fused\": {ns_per_inst_fused:.3},\n      \"fast_speedup_fused\": {fast_speedup_fused:.3},\n      \"symbol_speedup_fused\": {symbol_speedup_fused:.3},\n      \"fused_pct\": {fused_pct:.3},\n      \"fused_pct_symbol\": {fused_pct_symbol:.3},\n      \"top_pairs\": [\n{pairs_json}\n      ],\n      \"stats_identical\": true\n    }}",
+            precision.paper_name(),
+            walls[0].as_secs_f64(),
+            ns(walls[0], mmse_insts),
+            walls[1].as_secs_f64(),
+            ns(walls[1], mmse_insts),
+            walls[2].as_secs_f64(),
+            ns(walls[2], sym_insts),
+            walls[3].as_secs_f64(),
+            ns(walls[3], sym_insts),
+        )
+    } else {
+        String::new()
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}{serve_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}{serve_json}{fusion_json}\n  ]\n}}\n",
         // `--smoke` wins the label: it overrides the workload parameters
         // even when `--full` is also passed.
         if smoke {

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! terasim-serve [--workers N] [--depth N] [--cache N] [--requests N]
-//!               [--rate R] [--seed S] [--budget B] [--check]
+//!               [--rate R] [--seed S] [--budget B] [--fusion on|off] [--check]
 //! ```
 //!
 //! `--rate 0` (the default) saturates the admission queue to measure
@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 use terasim::daemon::{open_loop, standard_mix, Daemon, DaemonConfig};
 use terasim::serve::RunPolicy;
+use terasim_iss::FusionMode;
 
 struct Args(Vec<String>);
 
@@ -59,7 +60,7 @@ fn main() -> ExitCode {
     let args = Args(std::env::args().skip(1).collect());
     if args.has("--help") || args.has("-h") {
         eprintln!(
-            "usage: terasim-serve [--workers N] [--depth N] [--cache N] [--requests N] [--rate R] [--seed S] [--budget B] [--check]"
+            "usage: terasim-serve [--workers N] [--depth N] [--cache N] [--requests N] [--rate R] [--seed S] [--budget B] [--fusion on|off] [--check]"
         );
         return ExitCode::FAILURE;
     }
@@ -71,15 +72,25 @@ fn main() -> ExitCode {
     let seed: u64 = flag!(args, "--seed", 1);
     let budget: u64 = flag!(args, "--budget", 0);
     let check = args.has("--check");
+    let fusion = match args.value("--fusion") {
+        None | Some("on") => FusionMode::On,
+        Some("off") => FusionMode::Off,
+        Some(v) => {
+            eprintln!("error: invalid value for --fusion: {v:?} (expected on|off)");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut policy = RunPolicy::new();
     if budget > 0 {
         policy = policy.with_budget(budget);
     }
-    let daemon = Daemon::start(DaemonConfig { workers, queue_depth: depth, cache_capacity: cache, policy });
+    let daemon =
+        Daemon::start(DaemonConfig { workers, queue_depth: depth, cache_capacity: cache, policy, fusion });
 
     println!(
-        "terasim-serve: workers={workers} depth={depth} cache={cache} requests={requests} rate={rate} seed={seed}"
+        "terasim-serve: workers={workers} depth={depth} cache={cache} requests={requests} rate={rate} seed={seed} fusion={}",
+        if fusion == FusionMode::On { "on" } else { "off" }
     );
     let report = open_loop(&daemon, &standard_mix(), rate, requests, seed);
     let stats = daemon.shutdown();

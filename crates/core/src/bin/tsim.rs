@@ -9,8 +9,9 @@
 
 use std::process::ExitCode;
 
-use terasim::experiments::{self, BatchConfig, ParallelConfig};
+use terasim::experiments::{self, BatchConfig, ParallelConfig, ParallelScenario, SymbolScenario};
 use terasim::DetectorKind;
+use terasim_iss::FusionMode;
 use terasim_kernels::Precision;
 use terasim_phy::{ChannelKind, Mimo, Modulation};
 use terasim_terapool::Topology;
@@ -52,9 +53,18 @@ fn parse_precision(s: &str) -> Option<Precision> {
     Precision::ALL.into_iter().find(|p| p.paper_name().eq_ignore_ascii_case(s))
 }
 
+/// Parses `--fusion on|off` (default: on — the fused fast engine).
+fn parse_fusion(args: &Args) -> Result<FusionMode, String> {
+    match args.value("--fusion") {
+        None | Some("on") => Ok(FusionMode::On),
+        Some("off") => Ok(FusionMode::Off),
+        Some(v) => Err(format!("invalid value for --fusion: {v:?} (expected on|off)")),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tsim run    --mimo <4|8|16|32> --precision <name> [--cores N] [--backend fast|cycle] [--threads T] [--seed S]\n  tsim symbol --mimo <N> --precision <name> [--nsc N] [--seed S]\n  tsim ber    --mimo <N> --detector <64b|name|iss:name> [--mod 16qam|64qam] [--channel awgn|rayleigh] [--snr a,b,c] [--errors E]\n  tsim info   [--cores N]\n\nprecisions: 16bHalf 16bwDotp 16bCDotp 8bQuarter 8bwDotp"
+        "usage:\n  tsim run    --mimo <4|8|16|32> --precision <name> [--cores N] [--backend fast|cycle] [--threads T] [--seed S] [--fusion on|off]\n  tsim symbol --mimo <N> --precision <name> [--nsc N] [--seed S] [--fusion on|off]\n  tsim ber    --mimo <N> --detector <64b|name|iss:name> [--mod 16qam|64qam] [--channel awgn|rayleigh] [--snr a,b,c] [--errors E]\n  tsim info   [--cores N]\n\nprecisions: 16bHalf 16bwDotp 16bCDotp 8bQuarter 8bwDotp"
     );
     ExitCode::FAILURE
 }
@@ -90,11 +100,29 @@ fn cmd_run(args: &Args) -> ExitCode {
     match args.value("--backend").unwrap_or("fast") {
         "fast" => {
             let threads = flag!(args, "--threads", 2) as usize;
-            match experiments::parallel_fast(&config, threads) {
+            let fusion = match parse_fusion(args) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let run =
+                ParallelScenario::prepare_with_fusion(&config, fusion).and_then(|s| s.run_fast(threads));
+            match run {
                 Ok(out) => {
                     println!(
-                        "fast: {} cores x {}x{} {} -> {} instructions, ~{} cluster cycles, {:.2} MIPS, wall {:?}, verified={}",
-                        config.cores, n, n, precision, out.instructions, out.cluster_cycles, out.mips, out.wall, out.verified
+                        "fast: {} cores x {}x{} {} (fusion {}) -> {} instructions, ~{} cluster cycles, {:.2} MIPS, wall {:?}, verified={}",
+                        config.cores,
+                        n,
+                        n,
+                        precision,
+                        if fusion == FusionMode::On { "on" } else { "off" },
+                        out.instructions,
+                        out.cluster_cycles,
+                        out.mips,
+                        out.wall,
+                        out.verified
                     );
                     ExitCode::SUCCESS
                 }
@@ -133,7 +161,15 @@ fn cmd_symbol(args: &Args) -> ExitCode {
         seed: u64::from(flag!(args, "--seed", 1)),
         unroll: flag!(args, "--unroll", 2),
     };
-    match experiments::mc_symbol_single(&config) {
+    let fusion = match parse_fusion(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = SymbolScenario::prepare_with_fusion(&config, fusion).and_then(|s| s.run_symbol(config.seed));
+    match run {
         Ok(out) => {
             println!(
                 "symbol: NSC={} {}x{} {} -> {} instructions, {} Snitch cycles, {:.2} MIPS, wall {:?}, verified={}",

@@ -27,6 +27,7 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
+use terasim_iss::FusionMode;
 use terasim_phy::{BerJob, Detector};
 use terasim_terapool::{MemPool, PoolStats, SimArtifacts};
 
@@ -78,18 +79,31 @@ impl CachedScenario {
     /// Returns the kernel build or translation error as a string (the
     /// form the cache memoises).
     pub fn build(req: &ServeRequest) -> Result<Self, String> {
+        Self::build_with_fusion(req, FusionMode::default())
+    }
+
+    /// As [`build`](Self::build) with an explicit fast-engine
+    /// [`FusionMode`] for the prepared scenario (the daemon passes its
+    /// configured mode; results are bit-identical either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel build or translation error as a string.
+    pub fn build_with_fusion(req: &ServeRequest, fusion: FusionMode) -> Result<Self, String> {
         match req {
             ServeRequest::Symbol { config } => {
                 let mut config = *config;
                 config.seed = 0;
-                let scenario = SymbolScenario::prepare(&config).map_err(|e| e.to_string())?;
+                let scenario =
+                    SymbolScenario::prepare_with_fusion(&config, fusion).map_err(|e| e.to_string())?;
                 let pool = MemPool::new(Arc::clone(scenario.artifacts()));
                 Ok(Self { prepared: Prepared::Symbol(scenario), pool })
             }
             ServeRequest::Fast { config } | ServeRequest::Cycle { config, .. } => {
                 let mut config = *config;
                 config.seed = 0;
-                let scenario = ParallelScenario::prepare(&config).map_err(|e| e.to_string())?;
+                let scenario =
+                    ParallelScenario::prepare_with_fusion(&config, fusion).map_err(|e| e.to_string())?;
                 let pool = MemPool::new(Arc::clone(scenario.artifacts()));
                 Ok(Self { prepared: Prepared::Parallel(scenario), pool })
             }

@@ -69,6 +69,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use terasim_iss::FusionMode;
 use terasim_phy::{BerPoint, Mimo};
 use terasim_terapool::PoolStats;
 
@@ -363,12 +364,23 @@ pub struct DaemonConfig {
     /// Execution policy applied to every request (instruction budget,
     /// retry-on-panic, cancellation token).
     pub policy: RunPolicy,
+    /// Fast-engine fusion mode applied to every scenario the cache
+    /// prepares (A/B hook for the `--fusion` serve flag; results are
+    /// bit-identical either way).
+    pub fusion: FusionMode,
 }
 
 impl Default for DaemonConfig {
-    /// One worker, depth 64, four warm scenarios, permissive policy.
+    /// One worker, depth 64, four warm scenarios, permissive policy,
+    /// fused fast engine.
     fn default() -> Self {
-        Self { workers: 1, queue_depth: 64, cache_capacity: 4, policy: RunPolicy::new() }
+        Self {
+            workers: 1,
+            queue_depth: 64,
+            cache_capacity: 4,
+            policy: RunPolicy::new(),
+            fusion: FusionMode::On,
+        }
     }
 }
 
@@ -408,6 +420,7 @@ struct Shared {
     available: Condvar,
     cache: ArtifactCache,
     policy: RunPolicy,
+    fusion: FusionMode,
     high_water: usize,
     submitted: AtomicU64,
     rejected_overload: AtomicU64,
@@ -446,6 +459,7 @@ impl Daemon {
             available: Condvar::new(),
             cache: ArtifactCache::new(config.cache_capacity),
             policy: config.policy,
+            fusion: config.fusion,
             high_water: config.queue_depth,
             submitted: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
@@ -580,7 +594,8 @@ fn worker_loop(shared: &Shared) {
 fn serve_one(shared: &Shared, req: &ServeRequest) -> (Result<ServeResponse, ServeError>, bool) {
     let runner = BatchRunner::with_workers(1);
     if req.cacheable() {
-        let (entry, hit) = shared.cache.get_or_build(req.key(), || CachedScenario::build(req));
+        let (entry, hit) =
+            shared.cache.get_or_build(req.key(), || CachedScenario::build_with_fusion(req, shared.fusion));
         match entry {
             Ok(scenario) => {
                 let mut out =

@@ -9,7 +9,7 @@ use std::error::Error;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use terasim_iss::RunConfig;
+use terasim_iss::{FusionMode, FusionProfile, RunConfig};
 use terasim_kernels::{data, native, MmseKernel, Precision, ProblemLayout, C64};
 use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
 use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, MemPool, SimArtifacts, Topology};
@@ -154,11 +154,24 @@ impl ParallelScenario {
     ///
     /// Propagates kernel build and translation errors.
     pub fn prepare(config: &ParallelConfig) -> Result<Self, Box<dyn Error>> {
+        Self::prepare_with_fusion(config, FusionMode::default())
+    }
+
+    /// As [`prepare`](Self::prepare) with an explicit
+    /// [`FusionMode`] for the scenario's fast-mode jobs — the A/B hook
+    /// behind the `tsim`/`terasim-serve` `--fusion` flags and the
+    /// fusion-off differential legs. Results are bit-identical either
+    /// way; only dispatch cost changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare_with_fusion(config: &ParallelConfig, fusion: FusionMode) -> Result<Self, Box<dyn Error>> {
         let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
         let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
-        let mut rc = RunConfig::default();
+        let mut rc = RunConfig { fusion, ..RunConfig::default() };
         rc.latency.load = topo.max_access_latency();
         let arts = SimArtifacts::build_with(topo, &image, rc)?;
         Ok(Self { config: *config, layout, arts })
@@ -297,6 +310,41 @@ impl ParallelScenario {
             mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
             verified: verify(sim.memory(), &self.layout, &set),
         })
+    }
+
+    /// One fast-mode job with fusion-coverage instrumentation: returns the
+    /// outcome plus the dynamic uop-pair histogram and `fused_pct` merged
+    /// across all harts (the `mips --fusion-report` leg). Instrumented
+    /// execution order is unfused, so the outcome is bit-identical to
+    /// [`run_fast_seeded`](Self::run_fast_seeded) — but slower; don't use
+    /// its wall time for speed claims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_fast_profiled(
+        &self,
+        host_threads: usize,
+        seed: u64,
+    ) -> Result<(FastOutcome, FusionProfile), Box<dyn Error>> {
+        let mut sim = FastSim::from_artifacts(Arc::clone(&self.arts));
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+
+        let start = Instant::now();
+        let (result, prof) = sim.run_all_profiled(host_threads)?;
+        let wall = start.elapsed();
+
+        let instructions = result.total_instructions();
+        let outcome = FastOutcome {
+            wall,
+            cluster_cycles: result.cycles,
+            instructions,
+            raw_stalls: result.per_core.iter().map(|s| s.raw_stalls).sum(),
+            wfi_stalls: result.per_core.iter().map(|s| s.wfi_stalls).sum(),
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        };
+        Ok((outcome, prof))
     }
 
     fn fast_job(
@@ -600,11 +648,22 @@ impl SymbolScenario {
     ///
     /// Propagates kernel build and translation errors.
     pub fn prepare(config: &BatchConfig) -> Result<Self, Box<dyn Error>> {
+        Self::prepare_with_fusion(config, FusionMode::default())
+    }
+
+    /// As [`prepare`](Self::prepare) with an explicit [`FusionMode`] for
+    /// the scenario's jobs (A/B and differential legs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare_with_fusion(config: &BatchConfig, fusion: FusionMode) -> Result<Self, Box<dyn Error>> {
         let topo = topology_for(1024, 1, config.n, config.precision, config.nsc);
         let kernel = kernel_for(config.n, config.precision, config.nsc, 1, config.unroll);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
-        let arts = SimArtifacts::build(topo, &image)?;
+        let rc = RunConfig { fusion, ..RunConfig::default() };
+        let arts = SimArtifacts::build_with(topo, &image, rc)?;
         Ok(Self { config: *config, layout, arts })
     }
 
@@ -697,6 +756,32 @@ impl SymbolScenario {
             mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
             verified: verify(sim.memory(), &self.layout, &set),
         })
+    }
+
+    /// One symbol job with fusion-coverage instrumentation (unfused
+    /// execution order, bit-identical outcome — see
+    /// [`ParallelScenario::run_fast_profiled`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps.
+    pub fn run_symbol_profiled(&self, seed: u64) -> Result<(BatchOutcome, FusionProfile), Box<dyn Error>> {
+        let mut sim = FastSim::from_artifacts(Arc::clone(&self.arts));
+        let set = generate_problems(sim.memory(), &self.layout, seed);
+
+        let start = Instant::now();
+        let (result, prof) = sim.run_cores_profiled(0..1, 1)?;
+        let wall = start.elapsed();
+
+        let instructions = result.total_instructions();
+        let outcome = BatchOutcome {
+            wall,
+            cycles: result.cycles,
+            instructions,
+            mips: instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+            verified: verify(sim.memory(), &self.layout, &set),
+        };
+        Ok((outcome, prof))
     }
 
     fn symbol_outcome(&self, mut sim: FastSim, seed: u64) -> Result<BatchOutcome, Box<dyn Error>> {

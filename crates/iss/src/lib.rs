@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cpu;
+pub mod fuse;
 mod mem;
 mod program;
 mod runner;
@@ -62,10 +63,14 @@ mod timing;
 pub mod uop;
 
 pub use cpu::{Cpu, Outcome, Trap};
+pub use fuse::{
+    resume_fused, resume_profiled, resume_spmd, FusedProgram, FusionProfile, Lane, PairKernel, PairUop,
+};
 pub use mem::{DenseMemory, MemError, Memory};
 pub use program::{Program, TranslateError};
 pub use runner::{
-    resume_core, resume_lowered, run_core, trace_core, RunConfig, RunStats, StopReason, TraceEntry,
+    resume_core, resume_lowered, run_core, trace_core, FusionMode, RunConfig, RunStats, StopReason,
+    TraceEntry,
 };
 pub use timing::{InstClass, LatencyModel, Scoreboard};
 pub use uop::{Kernel, LoweredUop, MemOp, Uop, UopMeta, UopProgram, NO_REG};

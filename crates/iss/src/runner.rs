@@ -14,6 +14,27 @@ use crate::program::Program;
 use crate::timing::{InstClass, LatencyModel, Scoreboard};
 use crate::uop::UopProgram;
 
+/// Whether the fast engine dispatches through the fused superinstruction
+/// table ([`FusedProgram`](crate::fuse::FusedProgram)) or the plain
+/// per-uop table.
+///
+/// Fusion is a pure dispatch optimization: both modes are bit-identical in
+/// every observable effect (registers, memory, [`RunStats`], stop reason,
+/// traps) — the differential suites pin this. The knob exists so every
+/// binary can A/B the two paths and so CI exercises `Off` explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionMode {
+    /// Plain per-uop dispatch ([`resume_lowered`]): one fetch and one
+    /// indirect call per instruction. The retained reference path.
+    Off,
+    /// Superinstruction dispatch
+    /// ([`resume_fused`](crate::fuse::resume_fused)) plus, in cluster
+    /// drivers, SPMD convergence execution
+    /// ([`resume_spmd`](crate::fuse::resume_spmd)).
+    #[default]
+    On,
+}
+
 /// Configuration of a fast-mode run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -26,11 +47,19 @@ pub struct RunConfig {
     /// when `false`, the uniform conservative `latency.load` is used
     /// (the paper's Banshee configuration). Ablation D2 toggles this.
     pub per_address_latency: bool,
+    /// Dispatch mode: fused superinstruction table or the plain per-uop
+    /// table. Bit-identical either way; `On` is the fast default.
+    pub fusion: FusionMode,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { latency: LatencyModel::default(), max_instructions: u64::MAX, per_address_latency: false }
+        Self {
+            latency: LatencyModel::default(),
+            max_instructions: u64::MAX,
+            per_address_latency: false,
+            fusion: FusionMode::On,
+        }
     }
 }
 
@@ -114,7 +143,15 @@ pub fn run_core(
     // One lowering pass per whole-program run: O(text), amortized over
     // execution, which visits every instruction at least once.
     let table = UopProgram::lower(program, &config.latency);
-    resume_lowered(cpu, &table, mem, config, &mut sb, &mut stats)?;
+    match config.fusion {
+        FusionMode::On => {
+            let fused = crate::fuse::FusedProgram::build(program, &table);
+            crate::fuse::resume_fused(cpu, &fused, mem, config, &mut sb, &mut stats)?;
+        }
+        FusionMode::Off => {
+            resume_lowered(cpu, &table, mem, config, &mut sb, &mut stats)?;
+        }
+    }
     Ok(stats)
 }
 
@@ -331,7 +368,7 @@ fn run_impl<F: FnMut(TraceEntry)>(
     }
 }
 
-fn finalize(stats: &mut RunStats, sb: &Scoreboard, cpu: &mut Cpu, stop: StopReason) {
+pub(crate) fn finalize(stats: &mut RunStats, sb: &Scoreboard, cpu: &mut Cpu, stop: StopReason) {
     stats.stop = stop;
     stats.est_cycles = sb.drain_cycles();
     stats.raw_stalls = sb.raw_stalls();

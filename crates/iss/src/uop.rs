@@ -332,7 +332,7 @@ fn k_jalr<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Tra
 
 macro_rules! branch_kernels {
     ($($name:ident: |$a:ident, $b:ident| $taken:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let ($a, $b) = (cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             if $taken {
                 cpu.retire_jump(cpu.pc().wrapping_add(u.imm as u32));
@@ -355,14 +355,14 @@ branch_kernels! {
 
 macro_rules! load_kernels {
     ($($plain:ident / $post:ident: $size:expr, |$raw:ident| $cvt:expr;)+) => {$(
-        fn $plain<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $plain<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
             let addr = cpu.reg_raw(u.rs1).wrapping_add(u.imm as u32);
             let $raw = mem.load(addr, $size).map_err(|err| Trap::Mem { pc: cpu.pc(), err })?;
             cpu.set_reg_raw(u.rd, $cvt);
             cpu.retire_next();
             Ok(Outcome::Continue)
         }
-        fn $post<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $post<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
             let base = cpu.reg_raw(u.rs1);
             let $raw = mem.load(base, $size).map_err(|err| Trap::Mem { pc: cpu.pc(), err })?;
             cpu.set_reg_raw(u.rd, $cvt);
@@ -383,13 +383,13 @@ load_kernels! {
 
 macro_rules! store_kernels {
     ($($plain:ident / $post:ident: $size:expr;)+) => {$(
-        fn $plain<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $plain<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
             let addr = cpu.reg_raw(u.rs1).wrapping_add(u.imm as u32);
             mem.store(addr, $size, cpu.reg_raw(u.rs2)).map_err(|err| Trap::Mem { pc: cpu.pc(), err })?;
             cpu.retire_next();
             Ok(Outcome::Continue)
         }
-        fn $post<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $post<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
             let base = cpu.reg_raw(u.rs1);
             mem.store(base, $size, cpu.reg_raw(u.rs2)).map_err(|err| Trap::Mem { pc: cpu.pc(), err })?;
             cpu.set_reg_raw(u.rs1, base.wrapping_add(u.imm as u32));
@@ -407,13 +407,13 @@ store_kernels! {
 
 macro_rules! alu_kernels {
     ($($imm:ident / $reg:ident: $op:expr;)+) => {$(
-        fn $imm<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $imm<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = alu($op, cpu.reg_raw(u.rs1), u.imm as u32);
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
             Ok(Outcome::Continue)
         }
-        fn $reg<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $reg<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = alu($op, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -437,7 +437,7 @@ alu_kernels! {
 
 macro_rules! muldiv_kernels {
     ($($name:ident: $op:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = muldiv($op, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -481,7 +481,7 @@ fn k_sc_w<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap
 
 macro_rules! amo_kernels {
     ($($name:ident: $op:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, mem: &mut M) -> Result<Outcome, Trap> {
             let old = mem
                 .amo($op, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2))
                 .map_err(|err| Trap::Mem { pc: cpu.pc(), err })?;
@@ -506,7 +506,7 @@ amo_kernels! {
 
 macro_rules! csr_kernels {
     ($($name:ident: $op:expr, $imm_form:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let addr = u.imm as u16;
             let old = cpu.read_csr(addr);
             cpu.set_reg_raw(u.rd, old);
@@ -541,7 +541,7 @@ csr_kernels! {
 
 macro_rules! fp_arith_kernels {
     ($($name:ident: $op:expr, $fmt:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = fp_arith($op, $fmt, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -573,7 +573,7 @@ fp_arith_kernels! {
 
 macro_rules! fp_un_kernels {
     ($($name:ident: $op:expr, $fmt:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = fp_un($op, $fmt, cpu.reg_raw(u.rs1));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -595,7 +595,7 @@ fp_un_kernels! {
 
 macro_rules! fp_fma_kernels {
     ($($name:ident: $op:expr, $fmt:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = fp_fma($op, $fmt, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2), cpu.reg_raw(u.rs3));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -617,7 +617,7 @@ fp_fma_kernels! {
 
 macro_rules! fp_cmp_kernels {
     ($($name:ident: $op:expr, $fmt:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = fp_cmp($op, $fmt, cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -637,7 +637,7 @@ fp_cmp_kernels! {
 
 macro_rules! vf_kernels {
     ($($name:ident: $op:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = vf($op, cpu.reg_raw(u.rd), cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();
@@ -669,7 +669,7 @@ vf_kernels! {
 
 macro_rules! pv_kernels {
     ($($name:ident: $op:expr;)+) => {$(
-        fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
+        pub(crate) fn $name<M: Memory>(cpu: &mut Cpu, u: Uop, _mem: &mut M) -> Result<Outcome, Trap> {
             let v = pv($op, cpu.reg_raw(u.rd), cpu.reg_raw(u.rs1), cpu.reg_raw(u.rs2));
             cpu.set_reg_raw(u.rd, v);
             cpu.retire_next();

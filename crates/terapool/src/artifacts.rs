@@ -52,7 +52,7 @@
 use std::sync::{Arc, OnceLock};
 
 use terasim_iss::uop::UopProgram;
-use terasim_iss::{LatencyModel, Program, RunConfig, TranslateError};
+use terasim_iss::{FusedProgram, FusionMode, LatencyModel, Program, RunConfig, TranslateError};
 use terasim_riscv::Image;
 
 use crate::cycle::RunTables;
@@ -74,6 +74,10 @@ pub struct SimArtifacts {
     cycle_latency: LatencyModel,
     /// Lowered table for the fast mode's per-core memory view.
     fast_table: OnceLock<Arc<UopProgram<CoreMem>>>,
+    /// Fused superinstruction table derived from `fast_table` (lowered on
+    /// first fusion-enabled run; shared across jobs and, through the
+    /// daemon's artifact cache, across requests).
+    fast_fused: OnceLock<Arc<FusedProgram<CoreMem>>>,
     /// Lowered table + hop/bank-decode tables for the cycle engines.
     cycle_tables: OnceLock<RunTables>,
 }
@@ -136,6 +140,7 @@ impl SimArtifacts {
             fast_config,
             cycle_latency: LatencyModel::default(),
             fast_table: OnceLock::new(),
+            fast_fused: OnceLock::new(),
             cycle_tables: OnceLock::new(),
         }))
     }
@@ -206,6 +211,7 @@ impl SimArtifacts {
         let rc = &self.fast_config;
         put(&rc.max_instructions.to_le_bytes());
         put(&[u8::from(rc.per_address_latency)]);
+        put(&[u8::from(rc.fusion == FusionMode::On)]);
         for lat in [&rc.latency, &self.cycle_latency] {
             for field in [
                 lat.alu,
@@ -249,6 +255,14 @@ impl SimArtifacts {
     /// `fast_config.latency`).
     pub(crate) fn fast_table(&self) -> &Arc<UopProgram<CoreMem>> {
         self.fast_table.get_or_init(|| Arc::new(UopProgram::lower(&self.program, &self.fast_config.latency)))
+    }
+
+    /// The shared fused superinstruction table (built on first use from
+    /// the shared fast table — results are bit-identical to the unfused
+    /// table, so fusion-on and fusion-off jobs can share one artifact
+    /// set).
+    pub(crate) fn fast_fused(&self) -> &Arc<FusedProgram<CoreMem>> {
+        self.fast_fused.get_or_init(|| Arc::new(FusedProgram::build(&self.program, self.fast_table())))
     }
 
     /// The shared cycle-engine tables (lowered on first use under the

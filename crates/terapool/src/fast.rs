@@ -11,7 +11,10 @@
 use std::sync::Arc;
 
 use terasim_iss::uop::UopProgram;
-use terasim_iss::{resume_lowered, Cpu, Program, RunConfig, RunStats, Scoreboard, StopReason, Trap};
+use terasim_iss::{
+    resume_lowered, resume_profiled, resume_spmd, Cpu, FusedProgram, FusionMode, FusionProfile, Lane,
+    Program, RunConfig, RunStats, Scoreboard, StopReason, Trap,
+};
 use terasim_riscv::Image;
 
 use crate::artifacts::SimArtifacts;
@@ -68,6 +71,27 @@ struct Hart {
     state: HartState,
 }
 
+fn state_of(stop: StopReason) -> HartState {
+    match stop {
+        StopReason::Exit { .. } | StopReason::Budget => HartState::Done,
+        StopReason::Wfi => HartState::Parked,
+    }
+}
+
+/// How a scheduling round executes its runnable harts.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Per-hart unfused interpretation (`FusionMode::Off`).
+    Unfused,
+    /// Fused superinstruction dispatch with SPMD convergence: harts of a
+    /// chunk that sit on the same PC stream execute in lockstep, one
+    /// dispatch amortized across the group (`FusionMode::On`).
+    Spmd,
+    /// Unfused execution order with fusion-coverage instrumentation
+    /// (bench reporting only).
+    Profiled,
+}
+
 /// The fast (Banshee-equivalent) cluster simulator.
 ///
 /// A `FastSim` is *per-job mutable state* — a private [`ClusterMem`] and a
@@ -86,6 +110,8 @@ pub struct FastSim {
     /// departs from the artifacts' latency model (lazily, on the first
     /// run, so reconfiguring never pays for a table it discards).
     local_table: Option<Arc<UopProgram<CoreMem>>>,
+    /// Job-private fused table, mirroring `local_table`.
+    local_fused: Option<Arc<FusedProgram<CoreMem>>>,
     /// Always `Some` until drop, where a pooled job's arena is *taken*
     /// and handed back to the pool by value — ownership transfers, so the
     /// parked handle is immediately recyclable (never aliased by this
@@ -146,7 +172,16 @@ impl FastSim {
 
     fn with_memory(arts: Arc<SimArtifacts>, mem: ClusterMem) -> Self {
         let config = arts.fast_config().clone();
-        Self { arts, local_table: None, mem: Some(mem), config, pool: None, cancel: None, tainted: false }
+        Self {
+            arts,
+            local_table: None,
+            local_fused: None,
+            mem: Some(mem),
+            config,
+            pool: None,
+            cancel: None,
+            tainted: false,
+        }
     }
 
     /// The job's cluster memory (present from construction to drop).
@@ -160,6 +195,7 @@ impl FastSim {
     /// used.
     pub fn set_config(&mut self, config: RunConfig) {
         self.local_table = None;
+        self.local_fused = None;
         self.config = config;
     }
 
@@ -213,6 +249,22 @@ impl FastSim {
         table
     }
 
+    /// The fused superinstruction table for the current configuration,
+    /// mirroring [`table`](Self::table): the artifacts' shared fused table
+    /// when the latency models agree, a job-private build otherwise.
+    fn fused(&mut self) -> Arc<FusedProgram<CoreMem>> {
+        if let Some(fused) = &self.local_fused {
+            return Arc::clone(fused);
+        }
+        if self.arts.fast_config().latency == self.config.latency {
+            return Arc::clone(self.arts.fast_fused());
+        }
+        let table = self.table();
+        let fused = Arc::new(FusedProgram::build(self.arts.program(), &table));
+        self.local_fused = Some(Arc::clone(&fused));
+        fused
+    }
+
     /// Runs every hart to completion using `host_threads` worker threads.
     ///
     /// Harts that execute `wfi` park until another hart stores to the
@@ -241,6 +293,50 @@ impl FastSim {
         &mut self,
         cores: std::ops::Range<u32>,
         host_threads: usize,
+    ) -> Result<ClusterResult, Trap> {
+        let engine = match self.config.fusion {
+            FusionMode::On => Engine::Spmd,
+            FusionMode::Off => Engine::Unfused,
+        };
+        let mut prof = FusionProfile::default();
+        self.run_cores_with(cores, host_threads, engine, &mut prof)
+    }
+
+    /// As [`run_all`](Self::run_all), additionally recording the dynamic
+    /// fusion profile (adjacent uop-pair histogram and fused-dispatch
+    /// coverage) merged across all harts. Executes in unfused order with
+    /// instrumentation — meant for bench reporting (`mips
+    /// --fusion-report`), not for timed runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart.
+    pub fn run_all_profiled(&mut self, host_threads: usize) -> Result<(ClusterResult, FusionProfile), Trap> {
+        self.run_cores_profiled(0..self.arts.topology().num_cores(), host_threads)
+    }
+
+    /// As [`run_all_profiled`](Self::run_all_profiled) over a contiguous
+    /// subset of harts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Trap`] raised by any hart.
+    pub fn run_cores_profiled(
+        &mut self,
+        cores: std::ops::Range<u32>,
+        host_threads: usize,
+    ) -> Result<(ClusterResult, FusionProfile), Trap> {
+        let mut prof = FusionProfile::default();
+        let result = self.run_cores_with(cores, host_threads, Engine::Profiled, &mut prof)?;
+        Ok((result, prof))
+    }
+
+    fn run_cores_with(
+        &mut self,
+        cores: std::ops::Range<u32>,
+        host_threads: usize,
+        engine: Engine,
+        profile: &mut FusionProfile,
     ) -> Result<ClusterResult, Trap> {
         assert!(host_threads > 0, "need at least one host thread");
         assert!(cores.end <= self.arts.topology().num_cores(), "core range out of bounds");
@@ -280,35 +376,84 @@ impl FastSim {
                 if runnable.is_empty() {
                     break;
                 }
-                let table = self.table();
+                let table = match engine {
+                    Engine::Unfused => Some(self.table()),
+                    Engine::Spmd | Engine::Profiled => None,
+                };
+                let fused = match engine {
+                    Engine::Unfused => None,
+                    Engine::Spmd | Engine::Profiled => Some(self.fused()),
+                };
                 let config = &self.config;
                 let chunk = runnable.len().div_ceil(host_threads).max(1);
                 let first_trap = std::thread::scope(|s| {
                     let mut handles = Vec::new();
                     for batch in runnable.chunks_mut(chunk) {
-                        let table = Arc::clone(&table);
-                        handles.push(s.spawn(move || -> Result<(), Trap> {
-                            for hart in batch.iter_mut() {
-                                let stop = resume_lowered(
-                                    &mut hart.cpu,
-                                    &table,
-                                    &mut hart.mem,
-                                    config,
-                                    &mut hart.sb,
-                                    &mut hart.stats,
-                                )?;
-                                hart.state = match stop {
-                                    StopReason::Exit { .. } | StopReason::Budget => HartState::Done,
-                                    StopReason::Wfi => HartState::Parked,
-                                };
+                        let table = table.clone();
+                        let fused = fused.clone();
+                        handles.push(s.spawn(move || -> Result<FusionProfile, Trap> {
+                            let mut prof = FusionProfile::default();
+                            match engine {
+                                Engine::Unfused => {
+                                    let table = table.as_ref().expect("unfused table present");
+                                    for hart in batch.iter_mut() {
+                                        let stop = resume_lowered(
+                                            &mut hart.cpu,
+                                            table,
+                                            &mut hart.mem,
+                                            config,
+                                            &mut hart.sb,
+                                            &mut hart.stats,
+                                        )?;
+                                        hart.state = state_of(stop);
+                                    }
+                                }
+                                Engine::Spmd => {
+                                    // Converged lanes of this chunk run in
+                                    // lockstep over the fused table; lanes
+                                    // that diverge continue per-core.
+                                    let fused = fused.as_ref().expect("fused table present");
+                                    let mut lanes: Vec<Lane<'_, CoreMem>> = batch
+                                        .iter_mut()
+                                        .map(|h| Lane {
+                                            cpu: &mut h.cpu,
+                                            mem: &mut h.mem,
+                                            sb: &mut h.sb,
+                                            stats: &mut h.stats,
+                                        })
+                                        .collect();
+                                    let stops = resume_spmd(&mut lanes, fused, config)?;
+                                    drop(lanes);
+                                    for (hart, stop) in batch.iter_mut().zip(stops) {
+                                        hart.state = state_of(stop);
+                                    }
+                                }
+                                Engine::Profiled => {
+                                    let fused = fused.as_ref().expect("fused table present");
+                                    for hart in batch.iter_mut() {
+                                        let stop = resume_profiled(
+                                            &mut hart.cpu,
+                                            fused,
+                                            &mut hart.mem,
+                                            config,
+                                            &mut hart.sb,
+                                            &mut hart.stats,
+                                            &mut prof,
+                                        )?;
+                                        hart.state = state_of(stop);
+                                    }
+                                }
                             }
-                            Ok(())
+                            Ok(prof)
                         }));
                     }
                     let mut first: Option<Trap> = None;
                     for h in handles {
-                        if let Err(trap) = h.join().expect("simulation thread panicked") {
-                            first.get_or_insert(trap);
+                        match h.join().expect("simulation thread panicked") {
+                            Ok(p) => profile.merge(&p),
+                            Err(trap) => {
+                                first.get_or_insert(trap);
+                            }
                         }
                     }
                     first
