@@ -40,6 +40,19 @@
 //! * the event engine's per-instruction floor (`ns_per_inst`) exceeds
 //!   the baseline by more than the factor `--tol-ns` (default 2.5 —
 //!   baseline and CI run on different hardware);
+//! * any adaptive-epoch entry (`avg_epoch_len`, `extended_epoch_pct`,
+//!   `ns_per_inst_event_adaptive`, `speedup_threads_4_adaptive`,
+//!   `speedup_adaptive_vs_fixed_skew` — written by the `mips
+//!   --epoch-report` leg) is **missing from the candidate** — the leg
+//!   silently disappearing fails even against a pre-adaptive baseline —
+//!   or the extended-epoch share on the barrier-skew guest is zero (the
+//!   quiescence predicate stopped firing: a correctness-adjacent
+//!   regression, zero tolerance), or the adaptive-vs-fixed skew speedup
+//!   falls below the absolute floor (`--floor-skew-adaptive`, default
+//!   1.1 — the acceptance bar for the work the adaptive cadence
+//!   deletes), or any of them falls outside its baseline-relative band
+//!   (`--tol-speedup` for the ratios and shares, `--tol-ns` for the
+//!   adaptive per-instruction floor);
 //! * any superinstruction-fusion entry (`ns_per_inst_fused`,
 //!   `fast_speedup_fused`, `fused_pct` — written by the `mips
 //!   --fusion-report` leg) is **missing from the candidate** — the
@@ -55,7 +68,7 @@
 //! Usage:
 //! `bench_gate [--baseline BENCH_baseline.json] [--candidate BENCH_smoke.json]
 //!             [--tol-speedup 0.35] [--tol-ns 2.5] [--tol-jobs 3.0]
-//!             [--floor-threads4 2.0]`
+//!             [--floor-threads4 2.0] [--floor-skew-adaptive 1.1]`
 //!
 //! The parser is a deliberately small scanner over the fixed report
 //! format written by the `mips` binary (this workspace has no JSON
@@ -137,6 +150,20 @@ struct Report {
     /// Dynamic fraction of retired instructions dispatched inside a
     /// superinstruction (percent).
     fused_pct: Option<f64>,
+    /// Mean simulated cycles per scheduling window of the adaptive
+    /// sharded engine on the barrier-skew guest (`--epoch-report` leg;
+    /// absent in pre-adaptive reports).
+    avg_epoch_len: Option<f64>,
+    /// Percentage of windows granted longer than one base epoch on the
+    /// barrier-skew guest.
+    extended_epoch_pct: Option<f64>,
+    /// Adaptive-cadence per-instruction floor of the 1024-core MMSE
+    /// (full occupancy — bounds the decide-overhead regression).
+    ns_per_inst_event_adaptive: Option<f64>,
+    /// 4-thread sharded speedup with the adaptive cadence.
+    speedup_threads_4_adaptive: Option<f64>,
+    /// Adaptive-vs-fixed wall-clock ratio on the barrier-skew guest.
+    speedup_adaptive_vs_fixed_skew: Option<f64>,
 }
 
 fn parse(path: &str) -> Result<Report, String> {
@@ -183,6 +210,13 @@ fn parse(path: &str) -> Result<Report, String> {
         ns_per_inst_fused: numbers_after(&json, "ns_per_inst_fused").first().copied(),
         fast_speedup_fused: numbers_after(&json, "fast_speedup_fused").first().copied(),
         fused_pct: numbers_after(&json, "fused_pct").first().copied(),
+        avg_epoch_len: numbers_after(&json, "avg_epoch_len").first().copied(),
+        extended_epoch_pct: numbers_after(&json, "extended_epoch_pct").first().copied(),
+        ns_per_inst_event_adaptive: numbers_after(&json, "ns_per_inst_event_adaptive").first().copied(),
+        speedup_threads_4_adaptive: numbers_after(&json, "speedup_threads_4_adaptive").first().copied(),
+        speedup_adaptive_vs_fixed_skew: numbers_after(&json, "speedup_adaptive_vs_fixed_skew")
+            .first()
+            .copied(),
     })
 }
 
@@ -193,6 +227,7 @@ fn main() -> ExitCode {
     let tol_ns = arg_f64("--tol-ns", 2.5);
     let tol_jobs = arg_f64("--tol-jobs", 3.0);
     let floor_threads4 = arg_f64("--floor-threads4", 2.0);
+    let floor_skew_adaptive = arg_f64("--floor-skew-adaptive", 1.1);
 
     let (baseline, candidate) = match (parse(&baseline_path), parse(&candidate_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -456,6 +491,105 @@ fn main() -> ExitCode {
             failures.push(format!(
                 "fused coverage regressed: {cand:.1}% < {floor:.1}% \
                  (baseline {base:.1}%, tolerance {tol_speedup})"
+            ));
+        }
+    }
+
+    // Adaptive-epoch entries: part of the smoke contract like the fusion
+    // keys, so a candidate missing any of them fails outright — even
+    // against a pre-adaptive baseline, where only the bands are waived.
+    for (key, present) in [
+        ("avg_epoch_len", candidate.avg_epoch_len.is_some()),
+        ("extended_epoch_pct", candidate.extended_epoch_pct.is_some()),
+        ("ns_per_inst_event_adaptive", candidate.ns_per_inst_event_adaptive.is_some()),
+        ("speedup_threads_4_adaptive", candidate.speedup_threads_4_adaptive.is_some()),
+        ("speedup_adaptive_vs_fixed_skew", candidate.speedup_adaptive_vs_fixed_skew.is_some()),
+    ] {
+        if !present {
+            failures.push(format!("{key}: missing from the candidate (epoch-report leg disappeared)"));
+        }
+    }
+    // The extended share on the barrier-skew guest is a hard nonzero
+    // floor: zero means the quiescence predicate stopped granting
+    // extensions entirely — the adaptive cadence silently degraded to
+    // the fixed one.
+    if let Some(cand) = candidate.extended_epoch_pct {
+        let floor = baseline.extended_epoch_pct.map_or(0.0, |b| b * (1.0 - tol_speedup));
+        let ok = cand > 0.0 && cand >= floor;
+        let status = if ok { "ok" } else { "REGRESSION" };
+        println!(
+            "extended epochs (skew)  percent: baseline {:>7.1}  candidate {cand:>7.1}  floor {floor:>7.1}  [{status}]",
+            baseline.extended_epoch_pct.unwrap_or(0.0)
+        );
+        if cand <= 0.0 {
+            failures.push(
+                "extended epoch share is zero on the barrier-skew guest: no grants were extended".into(),
+            );
+        } else if cand < floor {
+            failures.push(format!(
+                "extended epoch share regressed: {cand:.1}% < {floor:.1}% (tolerance {tol_speedup})"
+            ));
+        }
+    }
+    if let (Some(base), Some(cand)) = (baseline.avg_epoch_len, candidate.avg_epoch_len) {
+        let floor = base * (1.0 - tol_speedup);
+        let status = if cand >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "avg epoch length (skew)  cycles: baseline {base:>7.1}  candidate {cand:>7.1}  floor {floor:>7.1}  [{status}]"
+        );
+        if cand < floor {
+            failures.push(format!(
+                "average adaptive epoch length regressed: {cand:.1} < {floor:.1} \
+                 (baseline {base:.1}, tolerance {tol_speedup})"
+            ));
+        }
+    }
+    if let (Some(base), Some(cand)) =
+        (baseline.ns_per_inst_event_adaptive, candidate.ns_per_inst_event_adaptive)
+    {
+        let ceiling = base * tol_ns;
+        let status = if cand <= ceiling { "ok" } else { "REGRESSION" };
+        println!(
+            "adaptive per-inst floor ns/inst: baseline {base:>7.1}  candidate {cand:>7.1}  ceiling {ceiling:>7.1}  [{status}]"
+        );
+        if cand > ceiling {
+            failures.push(format!(
+                "adaptive per-instruction floor regressed: {cand:.1} ns > {ceiling:.1} ns \
+                 (baseline {base:.1} ns, factor {tol_ns})"
+            ));
+        }
+    }
+    if let (Some(base), Some(cand)) =
+        (baseline.speedup_threads_4_adaptive, candidate.speedup_threads_4_adaptive)
+    {
+        let floor = base * (1.0 - tol_speedup);
+        let status = if cand >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "threads x4 adaptive    speedup: baseline {base:>7.3}x  candidate {cand:>7.3}x  floor {floor:>7.3}x  [{status}]"
+        );
+        if cand < floor {
+            failures.push(format!(
+                "adaptive 4-thread sharded speedup regressed: {cand:.3}x < {floor:.3}x \
+                 (baseline {base:.3}x, tolerance {tol_speedup})"
+            ));
+        }
+    }
+    // Adaptive-vs-fixed on barrier skew carries both the baseline band
+    // and the absolute acceptance floor: the whole point of the adaptive
+    // cadence is to delete barrier/replay work where domains are
+    // quiescent, so it must stay measurably faster than fixed there.
+    if let Some(cand) = candidate.speedup_adaptive_vs_fixed_skew {
+        let band = baseline.speedup_adaptive_vs_fixed_skew.map_or(0.0, |b| b * (1.0 - tol_speedup));
+        let floor = band.max(floor_skew_adaptive);
+        let status = if cand >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "adaptive-vs-fixed skew speedup: baseline {:>7.3}x  candidate {cand:>7.3}x  floor {floor:>7.3}x  [{status}]",
+            baseline.speedup_adaptive_vs_fixed_skew.unwrap_or(0.0)
+        );
+        if cand < floor {
+            failures.push(format!(
+                "adaptive-vs-fixed barrier-skew speedup below the floor: {cand:.3}x < {floor:.3}x \
+                 (hard floor {floor_skew_adaptive}, tolerance {tol_speedup})"
             ));
         }
     }

@@ -33,6 +33,18 @@
 //! records `ns_per_inst_fused`, `fast_speedup_fused` and
 //! `symbol_speedup_fused`, and runs the instrumented profile pass for
 //! the dynamic uop-pair histogram and fused coverage (`fused_pct`).
+//!
+//! `--epoch-report` additionally A/Bs the sharded cycle engine's
+//! adaptive epoch cadence against the fixed 4-cycle reference on the
+//! 1024-core MMSE (full occupancy) and on a multi-domain barrier-skew
+//! guest (one straggler domain, the rest parked), asserts bit-identical
+//! stats, and records the adaptive telemetry: `avg_epoch_len`,
+//! `extended_epoch_pct`, `ns_per_inst_event_adaptive`,
+//! `speedup_threads_4_adaptive` and `speedup_adaptive_vs_fixed_skew`.
+//!
+//! `--cycle-engine {event,naive,sharded}` selects a scheduler for a
+//! one-off A/B measurement on the MMSE workload (printed, not recorded);
+//! unknown values are a hard error naming the flag.
 
 use std::time::{Duration, Instant};
 
@@ -41,7 +53,7 @@ use terasim::experiments::{
 };
 use terasim::serve::BatchRunner;
 use terasim_bench::{arg_str, arg_u32, min_sec, Scale};
-use terasim_iss::FusionMode;
+use terasim_iss::{EpochMode, FusionMode, RunConfig};
 use terasim_kernels::Precision;
 
 /// One measured cycle-engine run (best wall time of `reps`).
@@ -100,6 +112,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Smoke runs default to their own report so CI never clobbers the
     // committed measurement file.
     let out_path = arg_str("--out", if smoke { "BENCH_smoke.json" } else { "BENCH_cycle.json" });
+    // CLI-selected scheduler for one-off A/B runs. Parsed up front so an
+    // invalid value fails before any measurement.
+    let engine_flag = match arg_str("--cycle-engine", "").as_str() {
+        "" => None,
+        "event" => Some(CycleEngine::EventDriven),
+        "naive" => Some(CycleEngine::NaiveScan),
+        "sharded" => Some(CycleEngine::Parallel((arg_u32("--threads", 4) as usize).max(1))),
+        other => {
+            return Err(format!(
+                "invalid value for --cycle-engine: {other:?} (expected event|naive|sharded)"
+            )
+            .into());
+        }
+    };
     println!("{}", scale.banner("Simulator speed — single-thread MIPS"));
     let nsc = if smoke { 16 } else { scale.nsc() };
     println!("one MC iteration = NSC {nsc} problems on one Snitch, one host thread\n");
@@ -155,6 +181,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("per-instruction floor (event engine, cycle mode): {:.1} ns/inst", event.ns_per_inst());
 
+    // --- CLI-selected scheduler (the `--cycle-engine` A/B hook): one
+    // extra measured run of the chosen engine on the same MMSE workload,
+    // printed for side-by-side comparison but not recorded in the JSON
+    // report (the standard entries keep their fixed meaning). ---
+    if let Some(engine) = engine_flag {
+        let label = match engine {
+            CycleEngine::EventDriven => "event_driven",
+            CycleEngine::NaiveScan => "naive_scan",
+            CycleEngine::Parallel(_) => "sharded",
+        };
+        let run = measure_engine(label, &config, engine, reps)?;
+        println!("\n=== Cycle engine — CLI-selected scheduler (--cycle-engine {label}) ===");
+        println!(
+            " {:<13} | wall {:>9} | {:>12} cycles | sim speed {:>8.2} MIPS | {:>6.1} ns/inst",
+            run.label,
+            min_sec(run.wall),
+            run.cycles,
+            run.sim_mips(),
+            run.ns_per_inst()
+        );
+    }
+
     // --- Domain-sharded engine: cycle-mode thread scaling at full scale
     // (1024 cores = 4 groups = 4 arbitration domains). The 1-thread run
     // is the sequential reference (`run`); `run_parallel` must agree
@@ -198,10 +246,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let scale_event_vs_naive = naive_scale.wall.as_secs_f64() / base.wall.as_secs_f64().max(1e-9);
     let mut speedups_json = String::new();
+    let mut speedup_threads4: Option<f64> = None;
     for (t, run) in &thread_runs {
         let s = base.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9);
         println!("thread scaling x{t}: {s:.2}x vs 1-thread sequential");
         speedups_json.push_str(&format!("      \"speedup_threads_{t}\": {s:.3},\n"));
+        if *t == 4 {
+            speedup_threads4 = Some(s);
+        }
     }
     println!("event(1 thread) vs naive at scale: {scale_event_vs_naive:.2}x (identical CycleStats)");
     let scaling_runs_json: String = std::iter::once(&base)
@@ -230,6 +282,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         min_sec(skew_naive),
     );
     println!("\nevent-driven speedup vs seed engine (barrier skew): {skew_speedup:.2}x");
+
+    // --- Adaptive epochs: the quiescence-extended cadence vs the fixed
+    // 4-cycle reference. Two A/Bs, both asserted bit-identical: the
+    // 1024-core MMSE (full occupancy, loads everywhere — extensions
+    // rarely apply, so this bounds the decide-overhead regression) and a
+    // multi-domain barrier-skew guest (one straggler domain, the rest
+    // parked in wfi — the sole-active grant's home turf). The adaptive
+    // run's epoch telemetry feeds the gate: a zero extended share on the
+    // skew guest means the predicate stopped firing. ---
+    let epoch_json = if std::env::args().any(|a| a == "--epoch-report") {
+        println!("\n=== Cycle engine — adaptive epochs vs fixed cadence ===");
+        println!(
+            "workloads: parallel MMSE ({scale_cores} cores / 4 domains) and barrier-skew ({scale_cores} cores), 1 host thread, best of {scale_reps}\n"
+        );
+        let fixed_scn = ParallelScenario::prepare_with(&sconfig, FusionMode::default(), EpochMode::Fixed)?;
+        let mut fixed_best: Option<EngineRun> = None;
+        for _ in 0..scale_reps {
+            let out = fixed_scn.run_cycle(CycleEngine::EventDriven)?;
+            assert!(out.verified, "fixed-epoch cycle run diverged from the native model");
+            if fixed_best.as_ref().is_none_or(|b| out.wall < b.wall) {
+                fixed_best = Some(EngineRun {
+                    label: "event_fixed",
+                    wall: out.wall,
+                    cycles: out.cycles,
+                    instructions: out.instructions,
+                });
+            }
+        }
+        let fixed = fixed_best.expect("at least one rep");
+        assert_eq!(
+            (fixed.cycles, fixed.instructions),
+            (base.cycles, base.instructions),
+            "adaptive epochs must be bit-identical to the fixed cadence"
+        );
+        let mmse_adaptive_speedup = fixed.wall.as_secs_f64() / base.wall.as_secs_f64().max(1e-9);
+        for run in [&base, &fixed] {
+            println!(
+                " {:<13} | wall {:>9} | {:>12} cycles | sim speed {:>8.2} MIPS | {:>6.1} ns/inst",
+                run.label,
+                min_sec(run.wall),
+                run.cycles,
+                run.sim_mips(),
+                run.ns_per_inst()
+            );
+        }
+        println!(
+            "adaptive vs fixed (MMSE, full occupancy): {mmse_adaptive_speedup:.2}x (identical CycleStats)"
+        );
+
+        let (skew_adaptive, skew_fixed, ereport, eskew_cycles) = measure_skew_epochs(scale_cores, spin, reps);
+        let skew_adaptive_speedup = skew_fixed.as_secs_f64() / skew_adaptive.as_secs_f64().max(1e-9);
+        println!(
+            "\n adaptive      | wall {:>9} | {eskew_cycles:>12} cycles\n fixed         | wall {:>9} | {eskew_cycles:>12} cycles",
+            min_sec(skew_adaptive),
+            min_sec(skew_fixed),
+        );
+        println!(
+            "adaptive vs fixed (barrier skew): {skew_adaptive_speedup:.2}x — \
+             {} windows, avg epoch {:.1} cycles, {:.1}% extended, {} trimmed",
+            ereport.windows,
+            ereport.avg_epoch_len(),
+            ereport.extended_pct(),
+            ereport.trimmed
+        );
+        assert!(
+            ereport.extended_pct() > 0.0,
+            "barrier-skew guest granted no extended epochs — the quiescence predicate stopped firing"
+        );
+        let threads4_json = speedup_threads4
+            .map(|s| format!("      \"speedup_threads_4_adaptive\": {s:.3},\n"))
+            .unwrap_or_default();
+        format!(
+            ",\n    {{\n      \"kind\": \"adaptive_epochs\",\n      \"cores\": {scale_cores}, \"skew_straggler_spin\": {spin}, \"reps\": {scale_reps},\n      \"ns_per_inst_event_fixed\": {:.3},\n      \"ns_per_inst_event_adaptive\": {:.3},\n      \"speedup_adaptive_vs_fixed_mmse\": {mmse_adaptive_speedup:.3},\n{threads4_json}      \"skew_wall_s_adaptive\": {:.6}, \"skew_wall_s_fixed\": {:.6},\n      \"speedup_adaptive_vs_fixed_skew\": {skew_adaptive_speedup:.3},\n      \"windows\": {}, \"extended_windows\": {}, \"trimmed_windows\": {},\n      \"avg_epoch_len\": {:.3},\n      \"extended_epoch_pct\": {:.3},\n      \"stats_identical\": true\n    }}",
+            fixed.ns_per_inst(),
+            base.ns_per_inst(),
+            skew_adaptive.as_secs_f64(),
+            skew_fixed.as_secs_f64(),
+            ereport.windows,
+            ereport.extended,
+            ereport.trimmed,
+            ereport.avg_epoch_len(),
+            ereport.extended_pct(),
+        )
+    } else {
+        String::new()
+    };
 
     // --- Batch serving: jobs/sec over one shared artifact set (with and
     // without cluster-memory recycling) vs per-job artifact rebuild.
@@ -589,7 +727,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}{serve_json}{fusion_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cycle_engine\",\n  \"scale\": \"{}\",\n  \"workloads\": [\n    {{\n      \"kind\": \"parallel_mmse\",\n      \"cores\": {cores}, \"mimo\": {n}, \"precision\": \"{}\", \"reps\": {reps},\n      \"runs\": [\n    {},\n    {}\n      ],\n      \"speedup_event_vs_naive\": {speedup:.3},\n      \"ns_per_inst_event\": {:.3},\n      \"stats_identical\": true\n    }},\n    {{\n      \"kind\": \"barrier_skew\",\n      \"cores\": {cores}, \"straggler_spin\": {spin}, \"reps\": {reps},\n      \"runs\": [\n        {{\"engine\": \"event_driven\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}},\n        {{\"engine\": \"naive_scan\", \"wall_s\": {:.6}, \"simulated_cycles\": {skew_cycles}}}\n      ],\n      \"speedup_event_vs_naive\": {skew_speedup:.3},\n      \"stats_identical\": true\n    }},\n{scaling_json},\n{batch_json}{serve_json}{fusion_json}{epoch_json}\n  ]\n}}\n",
         // `--smoke` wins the label: it overrides the workload parameters
         // even when `--full` is also passed.
         if smoke {
@@ -611,15 +749,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Builds and times the barrier-skew guest: hart 0 spins `spin` loop
-/// iterations while every other hart parks in `wfi`, then wakes them.
-/// Returns (event wall, naive wall, simulated cycles), best of `reps`,
-/// after asserting both engines report identical stats.
-fn measure_skew(cores: u32, spin: i32, reps: u32) -> (Duration, Duration, u64) {
+/// Assembles the barrier-skew guest: hart 0 spins `spin` loop iterations
+/// while every other hart parks in `wfi`, then wakes them all.
+fn skew_image(spin: i32) -> terasim_riscv::Image {
     use terasim_riscv::{Assembler, Image, Reg, Segment};
-    use terasim_terapool::{CycleSim, Topology};
+    use terasim_terapool::Topology;
 
-    let topo = Topology::scaled(cores);
     let mut a = Assembler::new(Topology::L2_BASE);
     a.csrr(Reg::T0, terasim_riscv::csr::MHARTID);
     let waker = a.new_label();
@@ -640,6 +775,17 @@ fn measure_skew(cores: u32, spin: i32, reps: u32) -> (Duration, Duration, u64) {
     a.ecall();
     let mut image = Image::new(Topology::L2_BASE);
     image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().expect("skew guest assembles")));
+    image
+}
+
+/// Builds and times the barrier-skew guest (see [`skew_image`]).
+/// Returns (event wall, naive wall, simulated cycles), best of `reps`,
+/// after asserting both engines report identical stats.
+fn measure_skew(cores: u32, spin: i32, reps: u32) -> (Duration, Duration, u64) {
+    use terasim_terapool::{CycleSim, Topology};
+
+    let topo = Topology::scaled(cores);
+    let image = skew_image(spin);
 
     let mut best = (Duration::MAX, Duration::MAX, 0u64);
     let mut reference: Option<Vec<terasim_terapool::CycleStats>> = None;
@@ -664,4 +810,50 @@ fn measure_skew(cores: u32, spin: i32, reps: u32) -> (Duration, Duration, u64) {
         }
     }
     best
+}
+
+/// Times the sharded serial engine on the barrier-skew guest with
+/// adaptive vs fixed epochs at `cores` (multi-domain, so the sole-active
+/// grant actually applies). Returns (adaptive wall, fixed wall, adaptive
+/// epoch telemetry, simulated cycles), best of `reps`, after asserting
+/// bit-identical per-core stats across both cadences.
+fn measure_skew_epochs(
+    cores: u32,
+    spin: i32,
+    reps: u32,
+) -> (Duration, Duration, terasim_terapool::EpochReport, u64) {
+    use terasim_terapool::{CycleSim, EpochReport, SimArtifacts, Topology};
+
+    let topo = Topology::scaled(cores);
+    let image = skew_image(spin);
+
+    let mut best = (Duration::MAX, Duration::MAX);
+    let mut report = EpochReport::default();
+    let mut cycles = 0u64;
+    let mut reference: Option<Vec<terasim_terapool::CycleStats>> = None;
+    for _ in 0..reps {
+        for mode in [EpochMode::Adaptive, EpochMode::Fixed] {
+            let rc = RunConfig { epochs: mode, ..RunConfig::default() };
+            let arts = SimArtifacts::build_with(topo, &image, rc).expect("skew guest translates");
+            let mut sim = CycleSim::from_artifacts(arts);
+            let start = Instant::now();
+            let result = sim.run(cores).expect("runs");
+            let wall = start.elapsed();
+            assert!(!result.deadlocked, "skew guest must finish");
+            match &reference {
+                Some(stats) => assert_eq!(*stats, result.per_core, "epoch cadences diverged on skew guest"),
+                None => reference = Some(result.per_core.clone()),
+            }
+            cycles = result.cycles;
+            if mode == EpochMode::Adaptive {
+                if wall < best.0 {
+                    best.0 = wall;
+                    report = sim.epoch_report();
+                }
+            } else {
+                best.1 = best.1.min(wall);
+            }
+        }
+    }
+    (best.0, best.1, report, cycles)
 }

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! terasim-serve [--workers N] [--depth N] [--cache N] [--requests N]
-//!               [--rate R] [--seed S] [--budget B] [--fusion on|off] [--check]
+//!               [--rate R] [--seed S] [--budget B] [--fusion on|off]
+//!               [--epochs fixed|adaptive] [--check]
 //! ```
 //!
 //! `--rate 0` (the default) saturates the admission queue to measure
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 
 use terasim::daemon::{open_loop, standard_mix, Daemon, DaemonConfig};
 use terasim::serve::RunPolicy;
-use terasim_iss::FusionMode;
+use terasim_iss::{EpochMode, FusionMode};
 
 struct Args(Vec<String>);
 
@@ -60,7 +61,7 @@ fn main() -> ExitCode {
     let args = Args(std::env::args().skip(1).collect());
     if args.has("--help") || args.has("-h") {
         eprintln!(
-            "usage: terasim-serve [--workers N] [--depth N] [--cache N] [--requests N] [--rate R] [--seed S] [--budget B] [--fusion on|off] [--check]"
+            "usage: terasim-serve [--workers N] [--depth N] [--cache N] [--requests N] [--rate R] [--seed S] [--budget B] [--fusion on|off] [--epochs fixed|adaptive] [--check]"
         );
         return ExitCode::FAILURE;
     }
@@ -80,17 +81,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let epochs = match args.value("--epochs") {
+        None | Some("adaptive") => EpochMode::Adaptive,
+        Some("fixed") => EpochMode::Fixed,
+        Some(v) => {
+            eprintln!("error: invalid value for --epochs: {v:?} (expected fixed|adaptive)");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut policy = RunPolicy::new();
     if budget > 0 {
         policy = policy.with_budget(budget);
     }
-    let daemon =
-        Daemon::start(DaemonConfig { workers, queue_depth: depth, cache_capacity: cache, policy, fusion });
+    let daemon = Daemon::start(DaemonConfig {
+        workers,
+        queue_depth: depth,
+        cache_capacity: cache,
+        policy,
+        fusion,
+        epochs,
+    });
 
     println!(
-        "terasim-serve: workers={workers} depth={depth} cache={cache} requests={requests} rate={rate} seed={seed} fusion={}",
-        if fusion == FusionMode::On { "on" } else { "off" }
+        "terasim-serve: workers={workers} depth={depth} cache={cache} requests={requests} rate={rate} seed={seed} fusion={} epochs={}",
+        if fusion == FusionMode::On { "on" } else { "off" },
+        if epochs == EpochMode::Adaptive { "adaptive" } else { "fixed" }
     );
     let report = open_loop(&daemon, &standard_mix(), rate, requests, seed);
     let stats = daemon.shutdown();

@@ -9,9 +9,11 @@
 
 use std::process::ExitCode;
 
-use terasim::experiments::{self, BatchConfig, ParallelConfig, ParallelScenario, SymbolScenario};
+use terasim::experiments::{
+    self, BatchConfig, CycleEngine, ParallelConfig, ParallelScenario, SymbolScenario,
+};
 use terasim::DetectorKind;
-use terasim_iss::FusionMode;
+use terasim_iss::{EpochMode, FusionMode};
 use terasim_kernels::Precision;
 use terasim_phy::{ChannelKind, Mimo, Modulation};
 use terasim_terapool::Topology;
@@ -62,9 +64,20 @@ fn parse_fusion(args: &Args) -> Result<FusionMode, String> {
     }
 }
 
+/// Parses `--epochs fixed|adaptive` (default: adaptive — the
+/// quiescence-extended cadence of the sharded cycle engine; `fixed`
+/// keeps the base 4-cycle cadence served and CI-exercised).
+fn parse_epochs(args: &Args) -> Result<EpochMode, String> {
+    match args.value("--epochs") {
+        None | Some("adaptive") => Ok(EpochMode::Adaptive),
+        Some("fixed") => Ok(EpochMode::Fixed),
+        Some(v) => Err(format!("invalid value for --epochs: {v:?} (expected fixed|adaptive)")),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tsim run    --mimo <4|8|16|32> --precision <name> [--cores N] [--backend fast|cycle] [--threads T] [--seed S] [--fusion on|off]\n  tsim symbol --mimo <N> --precision <name> [--nsc N] [--seed S] [--fusion on|off]\n  tsim ber    --mimo <N> --detector <64b|name|iss:name> [--mod 16qam|64qam] [--channel awgn|rayleigh] [--snr a,b,c] [--errors E]\n  tsim info   [--cores N]\n\nprecisions: 16bHalf 16bwDotp 16bCDotp 8bQuarter 8bwDotp"
+        "usage:\n  tsim run    --mimo <4|8|16|32> --precision <name> [--cores N] [--backend fast|cycle] [--threads T] [--seed S] [--fusion on|off] [--epochs fixed|adaptive]\n  tsim symbol --mimo <N> --precision <name> [--nsc N] [--seed S] [--fusion on|off] [--epochs fixed|adaptive]\n  tsim ber    --mimo <N> --detector <64b|name|iss:name> [--mod 16qam|64qam] [--channel awgn|rayleigh] [--snr a,b,c] [--errors E]\n  tsim info   [--cores N]\n\nprecisions: 16bHalf 16bwDotp 16bCDotp 8bQuarter 8bwDotp"
     );
     ExitCode::FAILURE
 }
@@ -97,6 +110,13 @@ fn cmd_run(args: &Args) -> ExitCode {
         seed: u64::from(flag!(args, "--seed", 1)),
         unroll: flag!(args, "--unroll", 2),
     };
+    let epochs = match parse_epochs(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match args.value("--backend").unwrap_or("fast") {
         "fast" => {
             let threads = flag!(args, "--threads", 2) as usize;
@@ -108,7 +128,7 @@ fn cmd_run(args: &Args) -> ExitCode {
                 }
             };
             let run =
-                ParallelScenario::prepare_with_fusion(&config, fusion).and_then(|s| s.run_fast(threads));
+                ParallelScenario::prepare_with(&config, fusion, epochs).and_then(|s| s.run_fast(threads));
             match run {
                 Ok(out) => {
                     println!(
@@ -132,20 +152,37 @@ fn cmd_run(args: &Args) -> ExitCode {
                 }
             }
         }
-        "cycle" => match experiments::parallel_cycle(&config) {
-            Ok(out) => {
-                let b = out.breakdown;
-                println!(
-                    "cycle: {} cores x {}x{} {} -> {} cycles (instr {} raw {} lsu {} ins {} acc {} wfi {}), wall {:?}, verified={}",
-                    config.cores, n, n, precision, out.cycles, b.instructions, b.stall_raw, b.stall_lsu, b.stall_ins, b.stall_acc, b.stall_wfi, out.wall, out.verified
-                );
-                ExitCode::SUCCESS
+        "cycle" => {
+            let run = ParallelScenario::prepare_with(&config, FusionMode::default(), epochs)
+                .and_then(|s| s.run_cycle(CycleEngine::EventDriven));
+            match run {
+                Ok(out) => {
+                    let b = out.breakdown;
+                    println!(
+                        "cycle: {} cores x {}x{} {} (epochs {}) -> {} cycles (instr {} raw {} lsu {} ins {} acc {} wfi {}), wall {:?}, verified={}",
+                        config.cores,
+                        n,
+                        n,
+                        precision,
+                        if epochs == EpochMode::Adaptive { "adaptive" } else { "fixed" },
+                        out.cycles,
+                        b.instructions,
+                        b.stall_raw,
+                        b.stall_lsu,
+                        b.stall_ins,
+                        b.stall_acc,
+                        b.stall_wfi,
+                        out.wall,
+                        out.verified
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         _ => usage(),
     }
 }
@@ -168,7 +205,14 @@ fn cmd_symbol(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run = SymbolScenario::prepare_with_fusion(&config, fusion).and_then(|s| s.run_symbol(config.seed));
+    let epochs = match parse_epochs(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = SymbolScenario::prepare_with(&config, fusion, epochs).and_then(|s| s.run_symbol(config.seed));
     match run {
         Ok(out) => {
             println!(

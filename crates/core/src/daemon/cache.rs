@@ -27,7 +27,7 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use terasim_iss::FusionMode;
+use terasim_iss::{EpochMode, FusionMode};
 use terasim_phy::{BerJob, Detector};
 use terasim_terapool::{MemPool, PoolStats, SimArtifacts};
 
@@ -90,12 +90,24 @@ impl CachedScenario {
     ///
     /// Returns the kernel build or translation error as a string.
     pub fn build_with_fusion(req: &ServeRequest, fusion: FusionMode) -> Result<Self, String> {
+        Self::build_with(req, fusion, EpochMode::default())
+    }
+
+    /// As [`build_with_fusion`](Self::build_with_fusion) with an explicit
+    /// [`EpochMode`] for the scenario's sharded cycle-mode jobs (the
+    /// daemon passes its configured cadence; results are bit-identical
+    /// either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel build or translation error as a string.
+    pub fn build_with(req: &ServeRequest, fusion: FusionMode, epochs: EpochMode) -> Result<Self, String> {
         match req {
             ServeRequest::Symbol { config } => {
                 let mut config = *config;
                 config.seed = 0;
                 let scenario =
-                    SymbolScenario::prepare_with_fusion(&config, fusion).map_err(|e| e.to_string())?;
+                    SymbolScenario::prepare_with(&config, fusion, epochs).map_err(|e| e.to_string())?;
                 let pool = MemPool::new(Arc::clone(scenario.artifacts()));
                 Ok(Self { prepared: Prepared::Symbol(scenario), pool })
             }
@@ -103,7 +115,7 @@ impl CachedScenario {
                 let mut config = *config;
                 config.seed = 0;
                 let scenario =
-                    ParallelScenario::prepare_with_fusion(&config, fusion).map_err(|e| e.to_string())?;
+                    ParallelScenario::prepare_with(&config, fusion, epochs).map_err(|e| e.to_string())?;
                 let pool = MemPool::new(Arc::clone(scenario.artifacts()));
                 Ok(Self { prepared: Prepared::Parallel(scenario), pool })
             }

@@ -69,7 +69,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use terasim_iss::FusionMode;
+use terasim_iss::{EpochMode, FusionMode};
 use terasim_phy::{BerPoint, Mimo};
 use terasim_terapool::PoolStats;
 
@@ -368,11 +368,15 @@ pub struct DaemonConfig {
     /// prepares (A/B hook for the `--fusion` serve flag; results are
     /// bit-identical either way).
     pub fusion: FusionMode,
+    /// Epoch cadence of the sharded cycle engine applied to every
+    /// scenario the cache prepares (A/B hook for the `--epochs` serve
+    /// flag; results are bit-identical either way).
+    pub epochs: EpochMode,
 }
 
 impl Default for DaemonConfig {
     /// One worker, depth 64, four warm scenarios, permissive policy,
-    /// fused fast engine.
+    /// fused fast engine, adaptive epochs.
     fn default() -> Self {
         Self {
             workers: 1,
@@ -380,6 +384,7 @@ impl Default for DaemonConfig {
             cache_capacity: 4,
             policy: RunPolicy::new(),
             fusion: FusionMode::On,
+            epochs: EpochMode::Adaptive,
         }
     }
 }
@@ -421,6 +426,7 @@ struct Shared {
     cache: ArtifactCache,
     policy: RunPolicy,
     fusion: FusionMode,
+    epochs: EpochMode,
     high_water: usize,
     submitted: AtomicU64,
     rejected_overload: AtomicU64,
@@ -460,6 +466,7 @@ impl Daemon {
             cache: ArtifactCache::new(config.cache_capacity),
             policy: config.policy,
             fusion: config.fusion,
+            epochs: config.epochs,
             high_water: config.queue_depth,
             submitted: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
@@ -594,8 +601,9 @@ fn worker_loop(shared: &Shared) {
 fn serve_one(shared: &Shared, req: &ServeRequest) -> (Result<ServeResponse, ServeError>, bool) {
     let runner = BatchRunner::with_workers(1);
     if req.cacheable() {
-        let (entry, hit) =
-            shared.cache.get_or_build(req.key(), || CachedScenario::build_with_fusion(req, shared.fusion));
+        let (entry, hit) = shared
+            .cache
+            .get_or_build(req.key(), || CachedScenario::build_with(req, shared.fusion, shared.epochs));
         match entry {
             Ok(scenario) => {
                 let mut out =

@@ -9,7 +9,7 @@ use std::error::Error;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use terasim_iss::{FusionMode, FusionProfile, RunConfig};
+use terasim_iss::{EpochMode, FusionMode, FusionProfile, RunConfig};
 use terasim_kernels::{data, native, MmseKernel, Precision, ProblemLayout, C64};
 use terasim_phy::{BerPoint, ChannelKind, Mimo, Modulation, TxGenerator};
 use terasim_terapool::{ClusterMem, CycleSim, CycleStats, FastSim, MemPool, SimArtifacts, Topology};
@@ -167,11 +167,28 @@ impl ParallelScenario {
     ///
     /// Propagates kernel build and translation errors.
     pub fn prepare_with_fusion(config: &ParallelConfig, fusion: FusionMode) -> Result<Self, Box<dyn Error>> {
+        Self::prepare_with(config, fusion, EpochMode::default())
+    }
+
+    /// As [`prepare_with_fusion`](Self::prepare_with_fusion) with an
+    /// explicit [`EpochMode`] for the scenario's sharded cycle-mode jobs
+    /// — the A/B hook behind the `tsim`/`terasim-serve` `--epochs` flags
+    /// and the adaptive-vs-fixed differential legs. Results are
+    /// bit-identical either way; only the epoch cadence changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare_with(
+        config: &ParallelConfig,
+        fusion: FusionMode,
+        epochs: EpochMode,
+    ) -> Result<Self, Box<dyn Error>> {
         let topo = topology_for(config.cores, config.cores, config.n, config.precision, 1);
         let kernel = kernel_for(config.n, config.precision, 1, config.cores, config.unroll);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
-        let mut rc = RunConfig { fusion, ..RunConfig::default() };
+        let mut rc = RunConfig { fusion, epochs, ..RunConfig::default() };
         rc.latency.load = topo.max_access_latency();
         let arts = SimArtifacts::build_with(topo, &image, rc)?;
         Ok(Self { config: *config, layout, arts })
@@ -658,11 +675,27 @@ impl SymbolScenario {
     ///
     /// Propagates kernel build and translation errors.
     pub fn prepare_with_fusion(config: &BatchConfig, fusion: FusionMode) -> Result<Self, Box<dyn Error>> {
+        Self::prepare_with(config, fusion, EpochMode::default())
+    }
+
+    /// As [`prepare_with_fusion`](Self::prepare_with_fusion) with an
+    /// explicit [`EpochMode`] (A/B and differential legs; a single-Snitch
+    /// symbol job never shards, so the mode only matters when the same
+    /// scenario is also driven in cycle mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel build and translation errors.
+    pub fn prepare_with(
+        config: &BatchConfig,
+        fusion: FusionMode,
+        epochs: EpochMode,
+    ) -> Result<Self, Box<dyn Error>> {
         let topo = topology_for(1024, 1, config.n, config.precision, config.nsc);
         let kernel = kernel_for(config.n, config.precision, config.nsc, 1, config.unroll);
         let layout = kernel.layout(&topo)?;
         let image = kernel.build(&topo)?;
-        let rc = RunConfig { fusion, ..RunConfig::default() };
+        let rc = RunConfig { fusion, epochs, ..RunConfig::default() };
         let arts = SimArtifacts::build_with(topo, &image, rc)?;
         Ok(Self { config: *config, layout, arts })
     }

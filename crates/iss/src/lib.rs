@@ -69,8 +69,8 @@ pub use fuse::{
 pub use mem::{DenseMemory, MemError, Memory};
 pub use program::{Program, TranslateError};
 pub use runner::{
-    resume_core, resume_lowered, run_core, trace_core, FusionMode, RunConfig, RunStats, StopReason,
-    TraceEntry,
+    resume_core, resume_lowered, run_core, trace_core, EpochMode, FusionMode, RunConfig, RunStats,
+    StopReason, TraceEntry,
 };
 pub use timing::{InstClass, LatencyModel, Scoreboard};
 pub use uop::{Kernel, LoweredUop, MemOp, Uop, UopMeta, UopProgram, NO_REG};

@@ -35,6 +35,30 @@ pub enum FusionMode {
     On,
 }
 
+/// Epoch cadence of the sharded cycle engine (multi-group topologies).
+///
+/// `Fixed` advances every arbitration domain in lockstep epochs of the
+/// minimum cross-group latency — the retained reference cadence.
+/// `Adaptive` lets the epoch coordinator grant *extended* epochs while
+/// the cluster is provably quiescent (no in-flight or reachable
+/// cross-group access), skipping barriers, replay and cross-checks that
+/// would have been no-ops. Both modes are bit-identical in every
+/// observable effect — per-core stats, makespan, memory, traps — which
+/// the `epochs` differential suite pins; the knob exists so every binary
+/// can A/B the two cadences and so CI exercises `Fixed` explicitly.
+///
+/// The knob lives in [`RunConfig`] next to [`FusionMode`] so scenario
+/// descriptions (and artifact digests) carry it; the ISS itself never
+/// reads it — only the cluster cycle engine does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochMode {
+    /// Lockstep base-cadence epochs. The retained reference path.
+    Fixed,
+    /// Quiescence-extended epochs (bit-identical, fewer boundaries).
+    #[default]
+    Adaptive,
+}
+
 /// Configuration of a fast-mode run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -50,6 +74,11 @@ pub struct RunConfig {
     /// Dispatch mode: fused superinstruction table or the plain per-uop
     /// table. Bit-identical either way; `On` is the fast default.
     pub fusion: FusionMode,
+    /// Epoch cadence of the sharded cycle engine. Ignored by the ISS;
+    /// carried here so scenario descriptions and artifact digests agree
+    /// on the full engine configuration. Bit-identical either way;
+    /// `Adaptive` is the fast default.
+    pub epochs: EpochMode,
 }
 
 impl Default for RunConfig {
@@ -59,6 +88,7 @@ impl Default for RunConfig {
             max_instructions: u64::MAX,
             per_address_latency: false,
             fusion: FusionMode::On,
+            epochs: EpochMode::Adaptive,
         }
     }
 }

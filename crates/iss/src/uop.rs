@@ -151,6 +151,16 @@ pub struct UopMeta {
     pub is_div_sqrt: bool,
     /// May redirect the PC (taken-branch penalty applies).
     pub is_control_flow: bool,
+    /// Never touches data memory, so it can never target a remote group,
+    /// the L2, or the control region. The static reachability pass of the
+    /// sharded cycle engine builds on this bit: an instruction stream is
+    /// *local-only* while every reachable uop has `local_only` set.
+    pub local_only: bool,
+    /// Eligible for the quiescent-stretch slim issue path: local-only,
+    /// no FPU/divider structural hazard, and a single-cycle result, so
+    /// issuing it can neither stall nor leave a latency shadow that later
+    /// full-path bookkeeping would have to see.
+    pub elide_ok: bool,
 }
 
 impl UopMeta {
@@ -173,6 +183,10 @@ impl UopMeta {
             }
             _ => (NO_REG, true, 0),
         };
+        let is_mem = inst.is_mem();
+        let uses_fpu =
+            matches!(class, InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp);
+        let result_lat = u64::from(latency.result_latency(class));
         Self {
             srcs,
             nsrcs,
@@ -181,18 +195,17 @@ impl UopMeta {
             ea_base,
             ea_no_offset,
             ea_offset,
-            result_lat: u64::from(latency.result_latency(class)),
+            result_lat,
             class,
-            uses_fpu: matches!(
-                class,
-                InstClass::Fp | InstClass::FpDivSqrt | InstClass::Simd | InstClass::Dotp
-            ),
-            is_mem: inst.is_mem(),
+            uses_fpu,
+            is_mem,
             mem: MemOp::of(inst),
             is_load: matches!(inst, Inst::Load { .. }),
             is_amo: matches!(class, InstClass::Amo),
             is_div_sqrt: matches!(class, InstClass::FpDivSqrt),
             is_control_flow: inst.is_control_flow(),
+            local_only: !is_mem,
+            elide_ok: !is_mem && !uses_fpu && result_lat <= 1,
         }
     }
 }

@@ -52,10 +52,10 @@
 use std::sync::{Arc, OnceLock};
 
 use terasim_iss::uop::UopProgram;
-use terasim_iss::{FusedProgram, FusionMode, LatencyModel, Program, RunConfig, TranslateError};
+use terasim_iss::{EpochMode, FusedProgram, FusionMode, LatencyModel, Program, RunConfig, TranslateError};
 use terasim_riscv::Image;
 
-use crate::cycle::RunTables;
+use crate::cycle::{ReachMap, RunTables};
 use crate::mem::{ClusterMem, CoreMem};
 use crate::topology::Topology;
 
@@ -80,6 +80,10 @@ pub struct SimArtifacts {
     fast_fused: OnceLock<Arc<FusedProgram<CoreMem>>>,
     /// Lowered table + hop/bank-decode tables for the cycle engines.
     cycle_tables: OnceLock<RunTables>,
+    /// Static local-only reachability map (adaptive epoch scheduling).
+    /// Built on the first adaptive sharded run; shared across jobs and,
+    /// through the daemon's artifact cache, across requests.
+    reach: OnceLock<Arc<ReachMap>>,
 }
 
 impl std::fmt::Debug for SimArtifacts {
@@ -142,6 +146,7 @@ impl SimArtifacts {
             fast_table: OnceLock::new(),
             fast_fused: OnceLock::new(),
             cycle_tables: OnceLock::new(),
+            reach: OnceLock::new(),
         }))
     }
 
@@ -212,6 +217,7 @@ impl SimArtifacts {
         put(&rc.max_instructions.to_le_bytes());
         put(&[u8::from(rc.per_address_latency)]);
         put(&[u8::from(rc.fusion == FusionMode::On)]);
+        put(&[u8::from(rc.epochs == EpochMode::Adaptive)]);
         for lat in [&rc.latency, &self.cycle_latency] {
             for field in [
                 lat.alu,
@@ -274,6 +280,12 @@ impl SimArtifacts {
     /// The cycle-engine latency model.
     pub(crate) fn cycle_latency(&self) -> &LatencyModel {
         &self.cycle_latency
+    }
+
+    /// The shared static reachability map (built on first use; one CFG
+    /// pass over the decoded text, amortized like the lowered tables).
+    pub(crate) fn reach(&self) -> &Arc<ReachMap> {
+        self.reach.get_or_init(|| Arc::new(ReachMap::build(&self.program)))
     }
 }
 

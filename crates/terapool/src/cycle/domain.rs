@@ -8,11 +8,13 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use terasim_iss::Trap;
 
 use crate::mem::{ClusterMem, DomainBanks, XRequest};
 
+use super::reach::ReachMap;
 use super::{CoreCtx, CoreState, CycleSim, Defer, FastICache, RunTables, TurboMem};
 
 /// Wheel size in one-cycle slots (power of two; covers every short
@@ -127,6 +129,16 @@ pub(super) struct DomainEngine {
     /// coordinator can abort the run with the globally *earliest* trap —
     /// the same one the sequential full scan would hit first.
     pub(super) trap: Option<(u64, u32, Trap)>,
+    /// Static reachability map — present when the run uses adaptive
+    /// epoch scheduling, absent on fixed cadence (no horizon tracking,
+    /// no elision, the retained reference behaviour).
+    reach: Option<Arc<ReachMap>>,
+    /// Lower bound on the first cycle at which any of this domain's
+    /// *ready* cores could issue a possibly-remote uop, refreshed in the
+    /// [`Self::run_epoch`] epilogue and amended by wake delivery. The
+    /// coordinator may extend a multi-active epoch up to the minimum of
+    /// these bounds without any domain deferring a request into it.
+    horizon: u64,
     wheel: Wheel,
     cur: Vec<u64>,
     nxt: Vec<u64>,
@@ -137,11 +149,25 @@ pub(super) struct DomainEngine {
     paused: bool,
 }
 
+/// Per-window scheduling options the coordinator hands each
+/// [`DomainEngine::run_epoch`] call.
+pub(super) struct WindowOpts {
+    /// Base epoch length (the fixed-cadence grid unit).
+    pub(super) epoch: u64,
+    /// Extended window: the quiescent-stretch slim issue path may be
+    /// used for provably-local single-cycle uops.
+    pub(super) elide: bool,
+    /// Sole-active window: on the first deferred request, trim the
+    /// window end back to the request's base-cadence boundary so the
+    /// replay happens exactly where the fixed cadence would have put it.
+    pub(super) trim: bool,
+}
+
 impl DomainEngine {
     /// Builds the engine for `domain`, covering the intersection of the
     /// run's core range `0..cores` with the group's cores (possibly
     /// empty for partial-cluster runs).
-    pub(super) fn new(sim: &CycleSim, domain: u32, cores: u32) -> Self {
+    pub(super) fn new(sim: &CycleSim, domain: u32, cores: u32, reach: Option<Arc<ReachMap>>) -> Self {
         let topo = sim.topology();
         let lo = (domain * topo.cores_per_group()).min(cores);
         let hi = ((domain + 1) * topo.cores_per_group()).min(cores);
@@ -164,6 +190,8 @@ impl DomainEngine {
             parked: Vec::new(),
             outbox: Vec::new(),
             trap: None,
+            reach,
+            horizon: 0,
             wheel,
             nxt: vec![0u64; words],
             cur,
@@ -173,16 +201,26 @@ impl DomainEngine {
         }
     }
 
-    /// Simulates the epoch `[start, end)`: processes every queued event
+    /// Simulates the window `[start, end)`: processes every queued event
     /// of this domain's cores in that window, deferring cross-domain
     /// accesses into the outbox, then parks exactly at the boundary.
+    /// Returns the boundary actually reached — `end`, unless a
+    /// sole-active window ([`WindowOpts::trim`]) was trimmed back by a
+    /// deferred request.
     ///
-    /// On a trap the error is recorded in `self.trap` (and returned); the
-    /// coordinator aborts the run deterministically at the boundary.
-    pub(super) fn run_epoch(&mut self, sim: &CycleSim, tables: &RunTables, start: u64, end: u64) {
+    /// On a trap the error is recorded in `self.trap`; the coordinator
+    /// aborts the run deterministically at the boundary.
+    pub(super) fn run_epoch(
+        &mut self,
+        sim: &CycleSim,
+        tables: &RunTables,
+        start: u64,
+        mut end: u64,
+        opts: &WindowOpts,
+    ) -> u64 {
         debug_assert!(start < end && self.now <= start);
         if self.trap.is_some() {
-            return;
+            return self.now;
         }
         if self.paused {
             // Resume: pull the cores due exactly at `start` (the
@@ -204,16 +242,28 @@ impl DomainEngine {
                     let ctx = &mut self.ctxs[local as usize];
                     let mut defer =
                         Defer { domain: self.domain, topo: sim.topology(), outbox: &mut self.outbox };
-                    if let Err(trap) = sim.issue_fast(
-                        ctx,
-                        tables,
-                        &mut self.icaches,
-                        &mut self.banks,
-                        self.now,
-                        Some(&mut defer),
-                    ) {
+                    let issued = if opts.elide {
+                        sim.issue_quiescent(
+                            ctx,
+                            tables,
+                            &mut self.icaches,
+                            &mut self.banks,
+                            self.now,
+                            Some(&mut defer),
+                        )
+                    } else {
+                        sim.issue_fast(
+                            ctx,
+                            tables,
+                            &mut self.icaches,
+                            &mut self.banks,
+                            self.now,
+                            Some(&mut defer),
+                        )
+                    };
+                    if let Err(trap) = issued {
                         self.trap = Some((self.now, self.core_base + local, trap));
-                        return;
+                        return self.now;
                     }
                     match ctx.state {
                         CoreState::Ready => {
@@ -232,6 +282,15 @@ impl DomainEngine {
                     // through the (deferred) control-region store, so the
                     // wake channel can only move at epoch boundaries.
                 }
+            }
+
+            // Sole-active trim: a deferred request must be replayed at
+            // the same base-cadence boundary the fixed cadence would
+            // use, so the first one shrinks the window back to its
+            // issue cycle's boundary. (Multi-active extended windows
+            // never defer — the coordinator's horizon guarantees it.)
+            if opts.trim && !self.outbox.is_empty() {
+                end = end.min(self.now / opts.epoch * opts.epoch + opts.epoch);
             }
 
             // Advance to the next cycle with work, clamped to the epoch.
@@ -285,6 +344,55 @@ impl DomainEngine {
 
         self.now = end;
         self.paused = true;
+        self.refresh_horizon(end, opts.epoch);
+        end
+    }
+
+    /// Parks the engine at `end` without simulating anything: the
+    /// coordinator proved this domain has no event before `end` (the
+    /// idle half of a sole-active window). State other than the clock is
+    /// untouched, so the stored horizon stays valid.
+    pub(super) fn skip_to(&mut self, end: u64) {
+        debug_assert!(self.now <= end && self.nxt_count == 0);
+        self.now = end;
+        self.paused = true;
+    }
+
+    /// The coordinator's view of this domain's remote-issue horizon
+    /// (`u64::MAX` on fixed-cadence runs — never consulted there).
+    pub(super) fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Recomputes the remote-issue horizon after a window ending at
+    /// `end`: the minimum over ready cores of `wake_at + dist(pc)` —
+    /// each issue takes at least one cycle, so a core due at `wake_at`
+    /// whose nearest statically-reachable memory access is `dist`
+    /// instructions away cannot defer anything before that sum. The scan
+    /// exits early once the running minimum is too close for any
+    /// extension to be granted (an extension must gain at least one
+    /// whole epoch past the next base window, and the next window starts
+    /// no earlier than `end`).
+    fn refresh_horizon(&mut self, end: u64, epoch: u64) {
+        let Some(reach) = &self.reach else { return };
+        let floor = end + 2 * epoch;
+        let mut h = u64::MAX;
+        for ctx in &self.ctxs {
+            if ctx.state != CoreState::Ready {
+                continue;
+            }
+            let hc = ctx.wake_at.saturating_add(reach.dist(ctx.cpu.pc()));
+            if hc < h {
+                h = hc;
+                // Strictly below the grant threshold: no extension can
+                // be granted off this value, so the partial minimum is
+                // safe to publish without finishing the scan.
+                if h < floor {
+                    break;
+                }
+            }
+        }
+        self.horizon = h;
     }
 
     /// The earliest cycle (`≥ from`, the boundary just reached) at which
@@ -319,6 +427,12 @@ impl DomainEngine {
             ctx.stats.stall_wfi += at.saturating_sub(ctx.parked_at);
             ctx.state = CoreState::Ready;
             ctx.wake_at = at + 1;
+            // A woken core re-enters the horizon: it can issue from
+            // `at + 1` and its nearest memory access is `dist(pc)`
+            // instructions downstream of the `wfi`.
+            if let Some(reach) = &self.reach {
+                self.horizon = self.horizon.min((at + 1).saturating_add(reach.dist(ctx.cpu.pc())));
+            }
             self.wheel.push(at, at + 1, local);
             false
         });

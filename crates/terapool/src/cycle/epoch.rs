@@ -25,14 +25,20 @@
 //! `parallel`/`differential` integration tests.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use terasim_iss::{MemOp, Memory, Trap, NO_REG};
+use terasim_iss::{EpochMode, MemOp, Memory, Trap, NO_REG};
 use terasim_riscv::Reg;
 
-use super::domain::DomainEngine;
+use super::domain::{DomainEngine, WindowOpts, WHEEL_SLOTS};
 use super::{CoreCtx, CycleResult, CycleSim};
 use crate::mem::XRequest;
+
+/// Extension cap in base epochs. Equal to one wheel revolution at the
+/// standard 4-cycle epoch — the slot scan is only aliasing-free within
+/// one revolution — and small enough to bound the latency of the
+/// boundary-polled cancellation check.
+const MAX_EXTEND_EPOCHS: u64 = 64;
 
 /// Computes the bank grant of one replayed request against the target
 /// bank's reservation book and returns
@@ -60,6 +66,9 @@ fn grant(x: &XRequest, bank_free: &mut u64) -> (u64, u64) {
 /// Returns the [`Trap`] the access raises (attributed to the deferred
 /// instruction's PC), exactly as the kernel would have at issue.
 fn complete<M: Memory>(x: &XRequest, ctx: &mut CoreCtx<M>, granted: Option<(u64, u64)>) -> Result<(), Trap> {
+    // The replay rewrites scoreboard entries behind the slim path's
+    // cached bound; force the next quiescent issue to rescan.
+    ctx.hazard_until = u64::MAX;
     // WAW guard: touch rd (value and scoreboard) only while this request
     // is still rd's last writer — a later same-epoch writer wins, exactly
     // as it would against the kernel's issue-time write.
@@ -151,18 +160,36 @@ fn boundary(
     Ok(())
 }
 
+/// One scheduling window granted by [`decide`]: the interval every
+/// domain (or the sole active one) simulates before the next boundary.
+/// Base windows are exactly one epoch; adaptive runs may grant longer
+/// ones when the quiescence predicate proves no cross-domain traffic can
+/// be issued inside them.
+struct Window {
+    start: u64,
+    /// Granted boundary (grid-aligned). A sole-active domain may trim
+    /// the window back at run time; the boundary actually reached is
+    /// what [`DomainEngine::run_epoch`] returns.
+    end: u64,
+    /// `Some(d)`: only domain `d` has any event before `end`; it runs
+    /// alone with trim-on-defer while the rest fast-forward.
+    sole: Option<usize>,
+    /// Extended grant: the quiescent-stretch slim issue path is allowed.
+    extended: bool,
+}
+
 /// Coordinator decision taken at a boundary: cooperative cancellation
 /// first (the epoch just simulated is abandoned un-replayed — the result
 /// is partial either way), then the first trap in global
 /// `(issue cycle, core id)` order — the one the sequential full scan
 /// would hit first, domains being independent within an epoch — then
-/// replay-order traps, then termination, then the next epoch start.
+/// replay-order traps, then termination, then the next window.
 enum Verdict {
     Stop(Option<Trap>),
     /// The job's [`CancelToken`](crate::CancelToken) was raised: stop at
     /// this boundary and report the partial result as cancelled.
     Cancel,
-    Continue(u64),
+    Run(Window),
 }
 
 fn decide(
@@ -171,6 +198,7 @@ fn decide(
     scratch: &mut Vec<XRequest>,
     end: u64,
     epoch: u64,
+    adaptive: bool,
 ) -> Verdict {
     if sim.cancel_requested() {
         return Verdict::Cancel;
@@ -183,15 +211,52 @@ fn decide(
     if let Err(trap) = boundary(sim, domains, scratch, end) {
         return Verdict::Stop(Some(trap));
     }
-    let next = domains.iter().map(|d| d.next_event(end)).min().unwrap_or(u64::MAX);
-    if next == u64::MAX {
+    // First and second-smallest next-event times (and who owns the
+    // first), plus the global remote-issue horizon.
+    let mut first = u64::MAX;
+    let mut first_dom = 0usize;
+    let mut second = u64::MAX;
+    let mut horizon = u64::MAX;
+    for (i, d) in domains.iter().enumerate() {
+        let ne = d.next_event(end);
+        if ne < first {
+            second = first;
+            first = ne;
+            first_dom = i;
+        } else if ne < second {
+            second = ne;
+        }
+        horizon = horizon.min(d.horizon());
+    }
+    if first == u64::MAX {
         // Every core is done or parked with no wake in flight: finished
         // (or guest deadlock, surfaced via `CycleResult::deadlocked`).
         return Verdict::Stop(None);
     }
     // Fast-forward over empty epochs (barrier sleeps, long refills):
     // boundaries stay on the absolute epoch grid.
-    Verdict::Continue(next / epoch * epoch)
+    let start = first / epoch * epoch;
+    let base_end = start + epoch;
+    if adaptive {
+        let cap = start + (WHEEL_SLOTS / epoch).clamp(1, MAX_EXTEND_EPOCHS) * epoch;
+        // Sole-active: every other domain's first event lies at or
+        // beyond an epoch boundary the sole domain cannot outrun — it
+        // trims itself back to the fixed-cadence boundary on its first
+        // deferred request, so nothing it does can create an event for
+        // the others before they resume.
+        let end_sole = if second == u64::MAX { cap } else { (second / epoch * epoch).min(cap) };
+        // Multi-active: no ready core of any domain can issue a
+        // possibly-remote uop before the static horizon, so every
+        // boundary up to it is replay-empty and wake-silent.
+        let end_multi = if horizon == u64::MAX { cap } else { (horizon / epoch * epoch).min(cap) };
+        if end_sole > base_end && end_sole >= end_multi {
+            return Verdict::Run(Window { start, end: end_sole, sole: Some(first_dom), extended: true });
+        }
+        if end_multi > base_end {
+            return Verdict::Run(Window { start, end: end_multi, sole: None, extended: true });
+        }
+    }
+    Verdict::Run(Window { start, end: base_end, sole: None, extended: false })
 }
 
 fn collect_result(domains: Vec<DomainEngine>) -> CycleResult {
@@ -213,27 +278,51 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     // batch) read-only.
     let tables = sim.arts.cycle_tables();
     let epoch = topo.epoch_len();
-    let mut domains: Vec<DomainEngine> = (0..ndom).map(|d| DomainEngine::new(sim, d, cores)).collect();
+    let adaptive = sim.arts.fast_config().epochs == EpochMode::Adaptive;
+    let reach = adaptive.then(|| Arc::clone(sim.arts.reach()));
+    let mut domains: Vec<DomainEngine> =
+        (0..ndom).map(|d| DomainEngine::new(sim, d, cores, reach.clone())).collect();
     let threads = threads.clamp(1, ndom as usize);
 
     if threads == 1 {
         let mut scratch = Vec::new();
-        let mut start = 0u64;
+        let mut win = Window { start: 0, end: epoch, sole: None, extended: false };
         let mut cancelled = false;
         loop {
-            let end = start + epoch;
-            for d in domains.iter_mut() {
-                d.run_epoch(sim, tables, start, end);
-            }
+            let opts = WindowOpts { epoch, elide: win.extended, trim: win.sole.is_some() };
+            let end = match win.sole {
+                Some(s) => {
+                    let actual = domains[s].run_epoch(sim, tables, win.start, win.end, &opts);
+                    if domains[s].trap.is_none() {
+                        for (i, d) in domains.iter_mut().enumerate() {
+                            if i != s {
+                                d.skip_to(actual);
+                            }
+                        }
+                    }
+                    actual
+                }
+                None => {
+                    for d in domains.iter_mut() {
+                        d.run_epoch(sim, tables, win.start, win.end, &opts);
+                    }
+                    win.end
+                }
+            };
+            sim.epoch_counters.record(
+                win.end - win.start > epoch,
+                win.sole.is_some() && end < win.end,
+                end - win.start,
+            );
             let mut refs: Vec<&mut DomainEngine> = domains.iter_mut().collect();
-            match decide(sim, &mut refs, &mut scratch, end, epoch) {
+            match decide(sim, &mut refs, &mut scratch, end, epoch, adaptive) {
                 Verdict::Stop(Some(trap)) => return Err(trap),
                 Verdict::Stop(None) => break,
                 Verdict::Cancel => {
                     cancelled = true;
                     break;
                 }
-                Verdict::Continue(next) => start = next,
+                Verdict::Run(next) => win = next,
             }
         }
         let mut res = collect_result(domains);
@@ -249,6 +338,10 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
     let stop = AtomicBool::new(false);
     let cancelled = AtomicBool::new(false);
     let next_start = AtomicU64::new(0);
+    let next_end = AtomicU64::new(epoch);
+    // `usize::MAX` encodes "no sole domain" (multi-active window).
+    let next_sole = AtomicUsize::new(usize::MAX);
+    let next_extended = AtomicBool::new(false);
     let outcome: Mutex<Option<Trap>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
@@ -258,23 +351,55 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
             let stop = &stop;
             let cancelled = &cancelled;
             let next_start = &next_start;
+            let next_end = &next_end;
+            let next_sole = &next_sole;
+            let next_extended = &next_extended;
             let outcome = &outcome;
             move || {
                 let _poison = PoisonOnPanic(barrier);
                 let mut scratch = Vec::new();
-                let mut start = 0u64;
+                let mut win = Window { start: 0, end: epoch, sole: None, extended: false };
                 loop {
-                    let end = start + epoch;
-                    for d in (t..slots.len()).step_by(threads) {
-                        let mut engine = slots[d].lock().expect("domain lock");
-                        engine.run_epoch(sim, tables, start, end);
+                    let opts = WindowOpts { epoch, elide: win.extended, trim: win.sole.is_some() };
+                    let mut end = win.end;
+                    match win.sole {
+                        // A sole-active window runs entirely on worker 0:
+                        // one domain simulates, the idle rest only have
+                        // their clocks advanced to the boundary actually
+                        // reached (known only after the run).
+                        Some(s) => {
+                            if t == 0 {
+                                let mut engine = slots[s].lock().expect("domain lock");
+                                end = engine.run_epoch(sim, tables, win.start, win.end, &opts);
+                                let trapped = engine.trap.is_some();
+                                drop(engine);
+                                if !trapped {
+                                    for (d, m) in slots.iter().enumerate() {
+                                        if d != s {
+                                            m.lock().expect("domain lock").skip_to(end);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            for d in (t..slots.len()).step_by(threads) {
+                                let mut engine = slots[d].lock().expect("domain lock");
+                                engine.run_epoch(sim, tables, win.start, win.end, &opts);
+                            }
+                        }
                     }
                     barrier.wait();
                     if t == 0 {
+                        sim.epoch_counters.record(
+                            win.end - win.start > epoch,
+                            win.sole.is_some() && end < win.end,
+                            end - win.start,
+                        );
                         let mut guards: Vec<_> =
                             slots.iter().map(|m| m.lock().expect("domain lock")).collect();
                         let mut refs: Vec<&mut DomainEngine> = guards.iter_mut().map(|g| &mut **g).collect();
-                        match decide(sim, &mut refs, &mut scratch, end, epoch) {
+                        match decide(sim, &mut refs, &mut scratch, end, epoch, adaptive) {
                             Verdict::Stop(trap) => {
                                 *outcome.lock().expect("outcome lock") = trap;
                                 stop.store(true, Ordering::Release);
@@ -283,14 +408,25 @@ pub(super) fn run_sharded(sim: &CycleSim, cores: u32, threads: usize) -> Result<
                                 cancelled.store(true, Ordering::Release);
                                 stop.store(true, Ordering::Release);
                             }
-                            Verdict::Continue(next) => next_start.store(next, Ordering::Release),
+                            Verdict::Run(next) => {
+                                next_start.store(next.start, Ordering::Release);
+                                next_end.store(next.end, Ordering::Release);
+                                next_sole.store(next.sole.unwrap_or(usize::MAX), Ordering::Release);
+                                next_extended.store(next.extended, Ordering::Release);
+                            }
                         }
                     }
                     barrier.wait();
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
-                    start = next_start.load(Ordering::Acquire);
+                    let sole = next_sole.load(Ordering::Acquire);
+                    win = Window {
+                        start: next_start.load(Ordering::Acquire),
+                        end: next_end.load(Ordering::Acquire),
+                        sole: (sole != usize::MAX).then_some(sole),
+                        extended: next_extended.load(Ordering::Acquire),
+                    };
                 }
             }
         };

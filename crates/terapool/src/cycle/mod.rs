@@ -81,6 +81,7 @@
 //! On single-group topologies every access is domain-local, nothing is
 //! ever deferred, and the engines behave exactly as before.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use terasim_iss::uop::UopProgram;
@@ -95,8 +96,10 @@ use crate::topology::{L1Decode, Topology};
 
 mod domain;
 mod epoch;
+mod reach;
 
 use domain::Wheel;
+pub(crate) use reach::ReachMap;
 
 /// Per-core counters of the cycle-accurate run, matching the Figure 8
 /// breakdown.
@@ -182,6 +185,83 @@ impl CycleResult {
     }
 }
 
+/// Scheduling telemetry of the most recent sharded run: how often the
+/// adaptive coordinator extended or trimmed its windows and how much
+/// simulated time they covered. A side channel on [`CycleSim`] rather
+/// than a [`CycleResult`] field, so results stay directly comparable
+/// across engines and epoch modes (the bit-identity contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochReport {
+    /// Scheduling windows driven (each ends in one boundary replay).
+    pub windows: u64,
+    /// Windows granted longer than one base epoch.
+    pub extended: u64,
+    /// Sole-active windows trimmed back by a deferred request before
+    /// their granted boundary.
+    pub trimmed: u64,
+    /// Simulated cycles covered by all windows together.
+    pub cycles: u64,
+}
+
+impl EpochReport {
+    /// Mean simulated cycles per window — the base epoch length
+    /// (`Topology::epoch_len`) when nothing was ever extended, larger
+    /// when the quiescence predicate fired.
+    pub fn avg_epoch_len(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.windows as f64
+        }
+    }
+
+    /// Percentage of windows that were extended grants.
+    pub fn extended_pct(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            100.0 * self.extended as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Interior-mutable accumulator behind [`EpochReport`]: the coordinator
+/// records through a `&CycleSim`, so the counters are atomics (only the
+/// deciding worker ever writes; relaxed ordering suffices because the
+/// snapshot is taken after the run joins).
+#[derive(Debug, Default)]
+struct EpochCounters {
+    windows: AtomicU64,
+    extended: AtomicU64,
+    trimmed: AtomicU64,
+    cycles: AtomicU64,
+}
+
+impl EpochCounters {
+    fn reset(&self) {
+        self.windows.store(0, Ordering::Relaxed);
+        self.extended.store(0, Ordering::Relaxed);
+        self.trimmed.store(0, Ordering::Relaxed);
+        self.cycles.store(0, Ordering::Relaxed);
+    }
+
+    fn record(&self, extended: bool, trimmed: bool, span: u64) {
+        self.windows.fetch_add(1, Ordering::Relaxed);
+        self.extended.fetch_add(u64::from(extended), Ordering::Relaxed);
+        self.trimmed.fetch_add(u64::from(trimmed), Ordering::Relaxed);
+        self.cycles.fetch_add(span, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EpochReport {
+        EpochReport {
+            windows: self.windows.load(Ordering::Relaxed),
+            extended: self.extended.load(Ordering::Relaxed),
+            trimmed: self.trimmed.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CoreState {
     Ready,
@@ -211,6 +291,13 @@ struct CoreCtx<M> {
     lsu_free: [u64; LSU_DEPTH],
     state: CoreState,
     stats: CycleStats,
+    /// Upper bound on every hazard the quiescent-stretch slim path skips
+    /// checking (`reg_ready`, `lsu_free`, `fpu_busy_until`): while it is
+    /// `≤ now`, an elidable uop provably stalls for `+0` cycles on every
+    /// class and the full checks can be skipped. `u64::MAX` means
+    /// "unknown — rescan lazily" and is set wherever the full issue path
+    /// or the boundary replay rewrites scoreboard state.
+    hazard_until: u64,
     /// Cached `topo.tile_of_core` (hot-path index).
     tile: u32,
     /// The core was stopped by the `max_instructions` safety net (set in
@@ -468,6 +555,9 @@ fn defer_issue<M: Memory>(
     if post_inc != NO_REG {
         ctx.reg_ready[post_inc as usize] = now + 1;
     }
+    // In-flight request: force the slim path to rescan (and, until the
+    // boundary replay corrects `lsu_free`, refuse) before eliding.
+    ctx.hazard_until = u64::MAX;
     ctx.wake_at = now + 1;
 }
 
@@ -500,6 +590,9 @@ pub struct CycleSim {
     /// writes from an abandoned job, so drop quarantines instead of
     /// releasing.
     tainted: bool,
+    /// Scheduling telemetry of the most recent sharded run (reset at the
+    /// start of each one) — see [`CycleSim::epoch_report`].
+    epoch_counters: EpochCounters,
 }
 
 impl std::fmt::Debug for CycleSim {
@@ -551,6 +644,7 @@ impl CycleSim {
             pool: None,
             cancel: None,
             tainted: false,
+            epoch_counters: EpochCounters::default(),
         }
     }
 
@@ -612,6 +706,7 @@ impl CycleSim {
             fpu_busy_until: 0,
             state: CoreState::Ready,
             stats: CycleStats::default(),
+            hazard_until: 0,
             tile: self.arts.topology().tile_of_core(core),
             budget_hit: false,
         }
@@ -803,11 +898,23 @@ impl CycleSim {
     /// Runs the epoch-sharded engine, tainting this job if the run was
     /// cancelled (the sharded driver only sees `&CycleSim`).
     fn run_sharded(&mut self, cores: u32, threads: usize) -> Result<CycleResult, Trap> {
+        self.epoch_counters.reset();
         let res = epoch::run_sharded(self, cores, threads)?;
         if res.cancelled {
             self.tainted = true;
         }
         Ok(res)
+    }
+
+    /// Scheduling telemetry of the most recent sharded run
+    /// ([`CycleSim::run_parallel`], or [`CycleSim::run`] on multi-group
+    /// topologies): window counts, extension/trim tallies and cycle
+    /// coverage. All-zero before the first sharded run; a fixed-cadence
+    /// run ([`terasim_iss::EpochMode::Fixed`]) reports every window as a
+    /// plain base epoch. [`CycleSim::run_naive`] keeps its own epoch
+    /// loop and does not touch the report.
+    pub fn epoch_report(&self) -> EpochReport {
+        self.epoch_counters.snapshot()
     }
 
     /// Runs harts `0..cores` with the epoch-sharded engine, distributing
@@ -1448,6 +1555,8 @@ impl CycleSim {
         if meta.is_div_sqrt {
             ctx.fpu_busy_until = now + meta.result_lat;
         }
+        // Scoreboard rewritten: the slim path must rescan before eliding.
+        ctx.hazard_until = u64::MAX;
 
         ctx.wake_at = now + 1;
         if meta.is_control_flow && ctx.cpu.pc() != pc.wrapping_add(4) {
@@ -1471,6 +1580,103 @@ impl CycleSim {
             }
         }
         Ok(meta.is_mem)
+    }
+
+    /// The quiescent-stretch issue path, used inside *extended* windows
+    /// (the coordinator has already proven no possibly-remote uop can
+    /// issue there). Provably-local single-cycle uops
+    /// ([`UopMeta::elide_ok`]) skip the RAW/FPU/LSU hazard checks and the
+    /// scoreboard writes of [`CycleSim::issue_fast`] — each of which
+    /// provably contributes `+0` to every stall counter while
+    /// [`CoreCtx::hazard_until`] has passed — and reconstruct the exact
+    /// same statistics and architectural state. Everything else (memory,
+    /// FPU, multi-cycle results, a live hazard bound) delegates to the
+    /// full path, including local-L1 traffic inside sole-active windows.
+    fn issue_quiescent(
+        &self,
+        ctx: &mut CoreCtx<TurboMem>,
+        tables: &RunTables,
+        icaches: &mut [FastICache],
+        banks: &mut DomainBanks,
+        now: u64,
+        defer: Option<&mut Defer>,
+    ) -> Result<bool, Trap> {
+        if ctx.stats.instructions >= self.max_instructions {
+            ctx.state = CoreState::Done;
+            ctx.budget_hit = true;
+            ctx.stats.done_at = now;
+            return Ok(false);
+        }
+
+        let pc = ctx.cpu.pc();
+        let lu = tables.uops.fetch(pc).ok_or(Trap::IllegalFetch { pc })?;
+        let meta = &lu.meta;
+        if !meta.elide_ok {
+            return self.issue_fast(ctx, tables, icaches, banks, now, defer);
+        }
+        if ctx.hazard_until == u64::MAX {
+            // Lazy rescan after the full path or the boundary replay
+            // touched the scoreboard: cache an upper bound over every
+            // hazard the slim path skips. An in-flight deferred request
+            // keeps its `lsu_free` lower bound beyond the (trimmed)
+            // window end, so elision stays off until the replay corrects
+            // it — the bound is conservative exactly where it must be.
+            let mut h = ctx.fpu_busy_until;
+            for &r in &ctx.reg_ready {
+                h = h.max(r);
+            }
+            for &l in &ctx.lsu_free {
+                h = h.max(l);
+            }
+            ctx.hazard_until = h;
+        }
+        if ctx.hazard_until > now {
+            return self.issue_fast(ctx, tables, icaches, banks, now, defer);
+        }
+
+        // Fetch through the shared tile I$ — refills are real stalls and
+        // are counted exactly as on the full path.
+        let tile = banks.local_tile(ctx.tile);
+        if !icaches[tile].access(pc) {
+            ctx.stats.stall_ins += self.icache_refill;
+            ctx.wake_at = now + self.icache_refill;
+            return Ok(false);
+        }
+
+        // All hazard checks elided (`+0` stalls by the bound above):
+        // execute, retire, and keep the WAW counters exact — the
+        // boundary replay's write-back guard depends on them. The
+        // skipped `reg_ready` writes are sound: a `result_lat ≤ 1` value
+        // is ready by `now + 1`, and no later issue can observe a stale
+        // entry as anything but "ready in the past".
+        let outcome = (lu.exec)(&mut ctx.cpu, lu.uop, &mut ctx.mem)?;
+        ctx.stats.instructions += 1;
+        ctx.cpu.set_mcycle(now);
+        ctx.note_reg_writes(meta.dst, meta.post_inc);
+        ctx.hazard_until = now + 1;
+
+        ctx.wake_at = now + 1;
+        if meta.is_control_flow && ctx.cpu.pc() != pc.wrapping_add(4) {
+            ctx.wake_at = now + 1 + u64::from(self.latency().taken_branch_penalty);
+        }
+
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::Exit { .. } => {
+                ctx.state = CoreState::Done;
+                ctx.stats.done_at = now + 1;
+            }
+            Outcome::Wfi => {
+                if self.mem().take_wake(ctx.cpu.hart_id()) {
+                    // Wake already pending: fall through immediately.
+                } else {
+                    ctx.state = CoreState::Parked;
+                    ctx.parked_at = now + 1;
+                    ctx.wake_at = u64::MAX;
+                }
+            }
+        }
+        Ok(false)
     }
 }
 

@@ -84,7 +84,7 @@ mod topology;
 
 pub use artifacts::SimArtifacts;
 pub use cancel::CancelToken;
-pub use cycle::{CycleResult, CycleSim, CycleStats};
+pub use cycle::{CycleResult, CycleSim, CycleStats, EpochReport};
 pub use fast::{ClusterResult, FastSim};
 pub use mem::{ClusterMem, CoreMem};
 pub use pool::{MemPool, PoolStats};

@@ -1,0 +1,297 @@
+//! Differential validation of the **adaptive epoch scheduler**: under
+//! `EpochMode::Adaptive` the sharded cycle engine grants extended (and
+//! trims over-long) synchronization windows wherever the quiescence
+//! predicate allows, and the quiescent-stretch fast path elides per-uop
+//! bookkeeping inside them — all of which must be *invisible* in results.
+//!
+//! Every guest here runs under both cadences and is pinned bit-identical
+//! to the fixed-cadence full-scan reference (`run_naive`): per-core
+//! `CycleStats`, makespan, deadlock flag, parked set, memory contents and
+//! trap state — across the event engine and `run_parallel` at 1/2/4/8
+//! host threads, with fresh and pooled cluster memory, on 2-group (512
+//! cores) and 4-group (1024 cores) topologies.
+
+use std::sync::Arc;
+
+use terasim_iss::{EpochMode, RunConfig, Trap};
+use terasim_riscv::{csr, Assembler, Image, Inst, Reg, Segment};
+use terasim_terapool::{CycleResult, CycleSim, MemPool, SimArtifacts, Topology};
+
+fn image_of(build: impl FnOnce(&mut Assembler)) -> Image {
+    let mut a = Assembler::new(Topology::L2_BASE);
+    build(&mut a);
+    a.ecall();
+    let mut image = Image::new(Topology::L2_BASE);
+    image.push_segment(Segment::from_words(Topology::L2_BASE, &a.finish().unwrap()));
+    image
+}
+
+fn arts_for(topo: Topology, image: &Image, epochs: EpochMode) -> Arc<SimArtifacts> {
+    let rc = RunConfig { epochs, ..RunConfig::default() };
+    SimArtifacts::build_with(topo, image, rc).unwrap()
+}
+
+/// Pure-integer countdown: `addi`/`bnez` only — local by construction,
+/// so the reachability pass marks the loop eligible for extended grants.
+fn emit_spin(a: &mut Assembler, reg: Reg, iters: Reg) {
+    let top = a.new_label();
+    a.add(reg, iters, Reg::Zero);
+    a.bind(top);
+    a.addi(reg, reg, -1);
+    a.bnez(reg, top);
+}
+
+/// Amoadd-counting barrier on an interleaved (group-0) counter word; the
+/// last arrival wakes the parked cores.
+fn emit_barrier(a: &mut Assembler, counter_addr: i32, cores: u32) {
+    a.li(Reg::A1, counter_addr);
+    a.li(Reg::A2, 1);
+    a.amoadd_w(Reg::A3, Reg::A2, Reg::A1);
+    a.li(Reg::A4, (cores - 1) as i32);
+    let last = a.new_label();
+    let done = a.new_label();
+    a.beq(Reg::A3, Reg::A4, last);
+    a.wfi();
+    a.j(done);
+    a.bind(last);
+    a.li(Reg::A5, Topology::CTRL_WAKE_ALL as i32);
+    a.sw(Reg::A2, 0, Reg::A5);
+    a.bind(done);
+}
+
+/// One engine invocation over a prepared artifact set. Returns the run
+/// outcome plus a memory sample taken *before* the sim drops (a pooled
+/// job's arena goes back to the pool on drop).
+fn run_one(
+    arts: &Arc<SimArtifacts>,
+    topo: Topology,
+    cores: u32,
+    mode: &str,
+    pooled: bool,
+    seed: &dyn Fn(&CycleSim),
+) -> (Result<CycleResult, Trap>, Vec<u32>) {
+    let mut sim = if pooled {
+        CycleSim::from_pool(&MemPool::new(Arc::clone(arts)))
+    } else {
+        CycleSim::from_artifacts(Arc::clone(arts))
+    };
+    seed(&sim);
+    let result = match mode {
+        "event" => sim.run(cores),
+        "naive" => sim.run_naive(cores),
+        par => sim.run_parallel(cores, par.strip_prefix("par").unwrap().parse().unwrap()),
+    };
+    // Low interleaved words plus a sequential-view sample per tile (the
+    // same coverage the sharding differential suite uses).
+    let mut words = Vec::with_capacity(0x1000 + 16 * topo.num_tiles() as usize);
+    for addr in (0..0x4000u32).step_by(4) {
+        words.push(sim.memory().read_u32(addr));
+    }
+    for tile in 0..topo.num_tiles() {
+        for w in 0..16 {
+            words.push(sim.memory().read_u32(Topology::SEQ_BASE + tile * Topology::SEQ_STRIDE + w * 4));
+        }
+    }
+    (result, words)
+}
+
+fn assert_same(
+    label: &str,
+    got: &(Result<CycleResult, Trap>, Vec<u32>),
+    want: &(Result<CycleResult, Trap>, Vec<u32>),
+) {
+    match (&got.0, &want.0) {
+        (Ok(g), Ok(w)) => {
+            assert_eq!(g.cycles, w.cycles, "{label}: makespan differs");
+            assert_eq!(g.deadlocked, w.deadlocked, "{label}: deadlock flag differs");
+            assert_eq!(g.parked, w.parked, "{label}: parked set differs");
+            assert_eq!(g.budgeted, w.budgeted, "{label}: budgeted set differs");
+            for (core, (a, b)) in g.per_core.iter().zip(&w.per_core).enumerate() {
+                assert_eq!(a, b, "{label}: per-core stats differ on core {core}");
+            }
+        }
+        (Err(g), Err(w)) => assert_eq!(g, w, "{label}: trap differs"),
+        (g, w) => panic!("{label}: outcome class differs: {g:?} vs {w:?}"),
+    }
+    if let Some(i) = got.1.iter().zip(&want.1).position(|(a, b)| a != b) {
+        panic!("{label}: memory sample differs at word {i}");
+    }
+}
+
+/// Runs the guest under both cadences — event engine, sharded engine at
+/// 1/2/4/8 host threads, pooled event + pooled 4-thread legs — and pins
+/// every outcome against the fixed-cadence `run_naive` reference.
+fn assert_cadence_invisible(cores: u32, image: &Image, seed: impl Fn(&CycleSim)) {
+    let topo = Topology::scaled(cores);
+    assert!(topo.num_domains() > 1, "topology must shard");
+    let fixed = arts_for(topo, image, EpochMode::Fixed);
+    let adaptive = arts_for(topo, image, EpochMode::Adaptive);
+    let reference = run_one(&fixed, topo, cores, "naive", false, &seed);
+    for (arts, cadence) in [(&fixed, "fixed"), (&adaptive, "adaptive")] {
+        for mode in ["event", "par1", "par2", "par4", "par8"] {
+            let got = run_one(arts, topo, cores, mode, false, &seed);
+            assert_same(&format!("{cadence}/{mode}"), &got, &reference);
+        }
+        for mode in ["event", "par4"] {
+            let got = run_one(arts, topo, cores, mode, true, &seed);
+            assert_same(&format!("{cadence}/{mode}/pooled"), &got, &reference);
+        }
+    }
+}
+
+/// Barrier episodes with a hartid-dependent pure-int spin in front: the
+/// skewed arrivals park most of the cluster, which is exactly where the
+/// sole-active grant rule fires, and the spin bodies are elision-eligible.
+#[test]
+fn barrier_guest_cadence_invisible() {
+    for cores in [512u32, 1024] {
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, csr::MHARTID);
+            for phase in 0..2 {
+                a.andi(Reg::T1, Reg::T0, 63);
+                a.addi(Reg::T1, Reg::T1, 16);
+                emit_spin(a, Reg::T2, Reg::T1);
+                emit_barrier(a, 0x40 + 4 * phase, cores);
+            }
+        });
+        assert_cadence_invisible(cores, &image, |_| {});
+    }
+}
+
+/// Contended cross-group AMOs: every core bumps four shared interleaved
+/// counters (bank 0 lives in group 0 — remote for most of the cluster)
+/// and publishes a per-core result word the memory sample covers.
+#[test]
+fn amo_guest_cadence_invisible() {
+    for cores in [512u32, 1024] {
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, csr::MHARTID);
+            a.li(Reg::T2, 1);
+            for i in 0..4 {
+                a.li(Reg::T1, 0x100 + 4 * i);
+                a.amoadd_w(Reg::A2, Reg::T2, Reg::T1);
+            }
+            a.slli(Reg::A0, Reg::T0, 2);
+            a.add(Reg::A3, Reg::T0, Reg::A2);
+            a.li(Reg::A4, 0x1000);
+            a.add(Reg::A4, Reg::A4, Reg::A0);
+            a.sw(Reg::A3, 0, Reg::A4);
+        });
+        assert_cadence_invisible(cores, &image, |_| {});
+    }
+}
+
+/// `lr/sc` pairs and sub-word stores against remote-group banks — the
+/// operand-capture paths of the deferral logic, now also crossed with
+/// the hazard-window invalidation of the quiescent fast path.
+#[test]
+fn lrsc_subword_guest_cadence_invisible() {
+    for cores in [512u32, 1024] {
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, csr::MHARTID);
+            a.slli(Reg::A0, Reg::T0, 2);
+            a.li(Reg::A1, 0x2000);
+            a.add(Reg::A1, Reg::A1, Reg::A0);
+            a.inst(Inst::LrW { rd: Reg::T1, rs1: Reg::A1 });
+            a.addi(Reg::T1, Reg::T1, 7);
+            a.inst(Inst::ScW { rd: Reg::T2, rs1: Reg::A1, rs2: Reg::T1 });
+            a.li(Reg::A2, 0x3800);
+            a.add(Reg::A2, Reg::A2, Reg::A0);
+            a.li(Reg::T3, 0xbeef);
+            a.sh(Reg::T3, 0, Reg::A2);
+            a.li(Reg::T4, 0x77);
+            a.sb(Reg::T4, 3, Reg::A2);
+        });
+        assert_cadence_invisible(cores, &image, |sim| {
+            for i in 0..0x600u32 {
+                sim.memory().write_u32(0x2000 + 4 * i, i * 11);
+            }
+        });
+    }
+}
+
+/// Guest deadlock: one hart per ~quarter of the cluster parks forever.
+/// Extended grants must not let the coordinator sail past the point
+/// where the deadlock is detected, and the parked set must match.
+#[test]
+fn deadlock_guest_cadence_invisible() {
+    for cores in [512u32, 1024] {
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, csr::MHARTID);
+            a.li(Reg::T1, 237);
+            let skip = a.new_label();
+            a.inst(Inst::MulDiv {
+                op: terasim_riscv::MulDivOp::Rem,
+                rd: Reg::T2,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            });
+            a.bnez(Reg::T2, skip);
+            a.wfi();
+            a.bind(skip);
+        });
+        assert_cadence_invisible(cores, &image, |_| {});
+    }
+}
+
+/// Forced cross-traffic **mid-grant**: long elision-eligible spins earn
+/// extended windows, then every core breaks quiescence with a remote AMO
+/// and a remote store — the defer-triggered trim path, interleaved with
+/// a barrier so parked/woken cores land inside other domains' grants.
+#[test]
+fn cross_traffic_mid_grant_cadence_invisible() {
+    for cores in [512u32, 1024] {
+        let image = image_of(|a| {
+            a.csrr(Reg::T0, csr::MHARTID);
+            a.slli(Reg::A0, Reg::T0, 2);
+            a.li(Reg::T2, 1);
+            for phase in 0..2i32 {
+                // Hartid-skewed quiescent stretch (pure-int, local).
+                a.andi(Reg::T1, Reg::T0, 127);
+                a.addi(Reg::T1, Reg::T1, 64);
+                emit_spin(a, Reg::T3, Reg::T1);
+                // Cross-group AMO into a group-0 bank, mid-stretch…
+                a.li(Reg::A1, 0x180 + 4 * phase);
+                a.amoadd_w(Reg::A2, Reg::T2, Reg::A1);
+                // …another quiescent stretch…
+                a.li(Reg::T1, 48);
+                emit_spin(a, Reg::T3, Reg::T1);
+                // …then a remote result store and a barrier.
+                a.add(Reg::A3, Reg::T0, Reg::A2);
+                a.li(Reg::A4, 0x1000 + 0x800 * phase);
+                a.add(Reg::A4, Reg::A4, Reg::A0);
+                a.sw(Reg::A3, 0, Reg::A4);
+                emit_barrier(a, 0x40 + 4 * phase, cores);
+            }
+        });
+        assert_cadence_invisible(cores, &image, |_| {});
+    }
+}
+
+/// A trapping guest (hart 0 hits `ebreak` mid-run while the rest spin):
+/// the cadence must be invisible even on aborted runs — same trap, same
+/// PC, same partial stats and memory, per engine mode.
+#[test]
+fn trap_state_identical_across_cadences() {
+    let cores = 512u32;
+    let topo = Topology::scaled(cores);
+    let image = image_of(|a| {
+        a.csrr(Reg::T0, csr::MHARTID);
+        let others = a.new_label();
+        a.bnez(Reg::T0, others);
+        a.li(Reg::T1, 40);
+        emit_spin(a, Reg::T2, Reg::T1);
+        a.inst(Inst::Ebreak);
+        a.bind(others);
+        a.li(Reg::T1, 8);
+        emit_spin(a, Reg::T2, Reg::T1);
+    });
+    let fixed = arts_for(topo, &image, EpochMode::Fixed);
+    let adaptive = arts_for(topo, &image, EpochMode::Adaptive);
+    for mode in ["event", "par1", "par4"] {
+        let f = run_one(&fixed, topo, cores, mode, false, &|_| {});
+        let a_ = run_one(&adaptive, topo, cores, mode, false, &|_| {});
+        assert!(a_.0.is_err(), "{mode}: guest must trap");
+        assert_same(&format!("trap/{mode}"), &a_, &f);
+    }
+}
